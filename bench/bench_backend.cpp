@@ -1,0 +1,53 @@
+// E10 (engineering): wall-clock check that the BVRAM's vector instructions
+// parallelize on real hardware (the thread-pool backend), using
+// google-benchmark.  The cost model is unchanged; this validates that the
+// machine's "one instruction = one parallel step" is implementable.
+#include <benchmark/benchmark.h>
+
+#include "bvram/machine.hpp"
+#include "support/parallel.hpp"
+
+namespace {
+
+using namespace nsc::bvram;
+
+Program make_arith_chain() {
+  Assembler a;
+  auto x = a.reg();
+  auto y = a.reg();
+  auto z = a.reg();
+  for (int i = 0; i < 24; ++i) {
+    a.arith(z, ArithOp::Add, x, y);
+    a.arith(x, ArithOp::Mul, z, y);
+    a.arith(y, ArithOp::Monus, x, z);
+  }
+  a.halt();
+  return a.finish(2, 3);
+}
+
+void run_backend(benchmark::State& state, bool parallel) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> v1(n), v2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v1[i] = i;
+    v2[i] = 2 * i + 1;
+  }
+  auto program = make_arith_chain();
+  RunConfig cfg;
+  cfg.parallel_backend = parallel;
+  for (auto _ : state) {
+    auto r = run(program, {v1, v2}, cfg);
+    benchmark::DoNotOptimize(r.outputs);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 72);
+}
+
+void BM_Serial(benchmark::State& state) { run_backend(state, false); }
+void BM_Parallel(benchmark::State& state) { run_backend(state, true); }
+
+BENCHMARK(BM_Serial)->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Parallel)->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// E9 (Example D.1): `combine(f, x, y)` -- interleave two sequences by a
+// flag vector -- in the flat algebra: O(1) parallel steps, linear work.
+// We measure the compiled BVRAM combine (as emitted for lifted sum-case
+// merges by the flattening compiler) via an NSC case-merge program, and
+// the NSC-level costs of the same program.
+#include <cstdio>
+
+#include "nsc/build.hpp"
+#include "nsc/eval.hpp"
+#include "nsc/typecheck.hpp"
+#include "sa/compile.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace nsc;
+  namespace L = nsc::lang;
+  const TypeRef N = Type::nat();
+  std::printf(
+      "E9: Example D.1 -- combine by flags in the flat algebra\n"
+      "program: map(case v of in1 a => a * 2 | in2 b => b + 1) over a\n"
+      "mixed [N + N]: the compiled code packs both sides, applies each\n"
+      "branch, and re-interleaves with the D.1 combine.\n\n");
+
+  auto f = L::lam(Type::seq(Type::sum(N, N)), [&](L::TermRef x) {
+    // \v. case v of in1 a => 2a | in2 b => b+1
+    const std::string a = L::gensym("a");
+    const std::string b = L::gensym("b");
+    const std::string v = L::gensym("v");
+    auto g = L::lambda(
+        v, Type::sum(N, N),
+        L::case_of(L::var(v), a, L::mul(L::var(a), L::nat(2)), b,
+                   L::add(L::var(b), L::nat(1))));
+    return L::apply(L::map_f(g), x);
+  });
+  auto [dom, cod] = L::check_func(f);
+  auto program = sa::compile_nsc(f);
+
+  Table t({"n", "T_nsc", "W_nsc", "T_bvram", "W_bvram", "W_bvram/n"});
+  SplitMix64 rng(12);
+  for (std::size_t n : {128u, 512u, 2048u, 8192u}) {
+    std::vector<ValueRef> elems;
+    elems.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto val = Value::nat(rng.below(1000));
+      elems.push_back(rng.coin() ? Value::in1(val) : Value::in2(val));
+    }
+    auto arg = Value::seq(std::move(elems));
+    auto nscr = L::apply_fn(f, arg);
+    auto bv = sa::run_compiled(program, dom, cod, arg);
+    if (!Value::equal(nscr.value, bv.value)) {
+      std::printf("MISMATCH at n=%zu!\n", n);
+      return 1;
+    }
+    t.row({Table::num(n), Table::num(nscr.cost.time),
+           Table::num(nscr.cost.work), Table::num(bv.cost.time),
+           Table::num(bv.cost.work),
+           Table::fixed(static_cast<double>(bv.cost.work) / n, 1)});
+  }
+  t.print();
+  std::printf(
+      "\nreading: the BVRAM T column is constant (O(1) parallel steps for\n"
+      "the whole map-case-combine) and W/n flat (linear work) -- Example\n"
+      "D.1's cost.  Values verified equal to the NSC semantics.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// E3 (Theorem 7.1): NSC -> NSA -> BVRAM compilation.
+// Paper claim: T' = O(T), W' = O(W^(1+eps)), with a register count fixed by
+// the source program.  For each corpus program we report NSC costs, BVRAM
+// costs, the ratios across input sizes (flat ratios = preserved orders),
+// and the static register count.
+#include <cstdio>
+
+#include "nsc/build.hpp"
+#include "nsc/eval.hpp"
+#include "nsc/maprec.hpp"
+#include "nsc/prelude.hpp"
+#include "nsc/typecheck.hpp"
+#include "sa/compile.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+namespace L = nsc::lang;
+namespace P = nsc::lang::prelude;
+using nsc::Table;
+using nsc::Type;
+using nsc::TypeRef;
+using nsc::Value;
+using nsc::ValueRef;
+
+const TypeRef N = Type::nat();
+const TypeRef NSeq = Type::seq(Type::nat());
+
+void report(const char* name, const L::FuncRef& f,
+            const std::vector<ValueRef>& args,
+            const std::vector<std::string>& labels) {
+  auto [dom, cod] = L::check_func(f);
+  auto program = nsc::sa::compile_nsc(f);
+  std::printf("\n-- %s (registers: %zu, instructions: %zu) --\n", name,
+              program.num_regs, program.code.size());
+  Table t({"input", "T_nsc", "W_nsc", "T_bvram", "W_bvram", "T'/T", "W'/W"});
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto nscr = L::apply_fn(f, args[i]);
+    auto bv = nsc::sa::run_compiled(program, dom, cod, args[i]);
+    t.row({labels[i], Table::num(nscr.cost.time), Table::num(nscr.cost.work),
+           Table::num(bv.cost.time), Table::num(bv.cost.work),
+           Table::fixed(static_cast<double>(bv.cost.time) / nscr.cost.time, 2),
+           Table::fixed(static_cast<double>(bv.cost.work) / nscr.cost.work,
+                        2)});
+  }
+  t.print();
+}
+
+ValueRef index_arg(std::size_t n) {
+  std::vector<std::uint64_t> c(n);
+  for (std::size_t i = 0; i < n; ++i) c[i] = i * 2;
+  return Value::pair(Value::nat_seq(c),
+                     Value::nat_seq({0, n / 3, n / 2, n - 1}));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E3: Theorem 7.1 -- compiling NSC to the BVRAM\n"
+      "paper: T' = O(T), W' = O(W^(1+eps)); registers depend only on the\n"
+      "source program (they are identical across all rows below).\n");
+
+  {
+    std::vector<ValueRef> args;
+    std::vector<std::string> labels;
+    for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+      args.push_back(index_arg(n));
+      labels.push_back("n=" + std::to_string(n));
+    }
+    report("index(C, I)  [Figure 3]", P::index(N), args, labels);
+  }
+  {
+    auto keep = L::lam(N, [](L::TermRef v) { return L::lt(v, L::nat(512)); });
+    auto dbl = L::lam(N, [](L::TermRef v) { return L::mul(v, L::nat(2)); });
+    auto f = L::lam(NSeq, [&](L::TermRef x) {
+      return L::apply(L::map_f(dbl), L::apply(P::filter(keep, N), x));
+    });
+    std::vector<ValueRef> args;
+    std::vector<std::string> labels;
+    nsc::SplitMix64 rng(5);
+    for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+      args.push_back(Value::nat_seq(rng.vec(n, 1024)));
+      labels.push_back("n=" + std::to_string(n));
+    }
+    report("filter-then-map pipeline", f, args, labels);
+  }
+  {
+    std::vector<ValueRef> args;
+    std::vector<std::string> labels;
+    for (std::size_t n : {64u, 256u, 1024u}) {
+      std::vector<std::uint64_t> v(n, 3);
+      args.push_back(Value::nat_seq(v));
+      labels.push_back("n=" + std::to_string(n));
+    }
+    report("sum via log-depth while (prelude)", P::sum_nats(), args, labels);
+  }
+  {
+    // Full stack: Theorem 4.2 translation of a divide-and-conquer
+    // reduction, then Theorem 7.1 compilation of the result.
+    const TypeRef range = Type::prod(N, N);
+    auto p = L::lam(range, [](L::TermRef x) {
+      return L::leq(L::monus_t(L::proj2(x), L::proj1(x)), L::nat(1));
+    });
+    auto s = L::lam(range, [](L::TermRef x) {
+      return L::ite(L::eq(L::monus_t(L::proj2(x), L::proj1(x)), L::nat(0)),
+                    L::nat(0), L::proj1(x));
+    });
+    auto d1 = L::lam(range, [](L::TermRef x) {
+      return L::pair(L::proj1(x),
+                     L::div_t(L::add(L::proj1(x), L::proj2(x)), L::nat(2)));
+    });
+    auto d2 = L::lam(range, [](L::TermRef x) {
+      return L::pair(L::div_t(L::add(L::proj1(x), L::proj2(x)), L::nat(2)),
+                     L::proj2(x));
+    });
+    auto c2 = L::lam(Type::prod(N, N), [](L::TermRef q) {
+      return L::add(L::proj1(q), L::proj2(q));
+    });
+    auto g = L::translate_maprec(L::schema_g(range, N, p, s, d1, d2, c2));
+    std::vector<ValueRef> args;
+    std::vector<std::string> labels;
+    for (std::uint64_t n : {32ull, 128ull, 512ull}) {
+      args.push_back(Value::pair(Value::nat(0), Value::nat(n)));
+      labels.push_back("n=" + std::to_string(n));
+    }
+    report("Thm 4.2-translated range-sum (full stack)", g, args, labels);
+  }
+  std::printf(
+      "\nreading: T'/T and W'/W stay bounded as inputs grow 64x --\n"
+      "the compilation preserves both orders; the register count column\n"
+      "never changes with the input (bounded registers, Thm 7.1).\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// E2 (Theorem 4.2): map-recursion -> NSC translation.
+// Paper claim: T' = O(T) always; W' = O(W) for balanced divide-and-conquer
+// trees; W' = O(v^eps W) for unbalanced trees with the staged z_i buffers.
+// We compare the direct recursive evaluation (T, W) against the translated
+// while-programs, plain and staged, on a balanced reduction and a skewed
+// (caterpillar) recursion.
+#include <cstdio>
+
+#include "nsc/build.hpp"
+#include "nsc/eval.hpp"
+#include "nsc/maprec.hpp"
+#include "nsc/prelude.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+namespace L = nsc::lang;
+using nsc::Table;
+using nsc::Type;
+using nsc::TypeRef;
+using nsc::Value;
+
+const TypeRef N = Type::nat();
+
+L::MapRec range_sum() {
+  const TypeRef range = Type::prod(N, N);
+  auto p = L::lam(range, [](L::TermRef x) {
+    return L::leq(L::monus_t(L::proj2(x), L::proj1(x)), L::nat(1));
+  });
+  auto s = L::lam(range, [](L::TermRef x) {
+    return L::ite(L::eq(L::monus_t(L::proj2(x), L::proj1(x)), L::nat(0)),
+                  L::nat(0), L::proj1(x));
+  });
+  auto d1 = L::lam(range, [](L::TermRef x) {
+    return L::pair(L::proj1(x),
+                   L::div_t(L::add(L::proj1(x), L::proj2(x)), L::nat(2)));
+  });
+  auto d2 = L::lam(range, [](L::TermRef x) {
+    return L::pair(L::div_t(L::add(L::proj1(x), L::proj2(x)), L::nat(2)),
+                   L::proj2(x));
+  });
+  auto c2 = L::lam(Type::prod(N, N), [](L::TermRef q) {
+    return L::add(L::proj1(q), L::proj2(q));
+  });
+  return L::schema_g(range, N, p, s, d1, d2, c2);
+}
+
+L::MapRec skewed_sum() {
+  auto p = L::lam(N, [](L::TermRef x) { return L::leq(x, L::nat(1)); });
+  auto s = L::prelude::identity(N);
+  auto d1 = L::lam(N, [](L::TermRef) { return L::nat(1); });
+  auto d2 = L::lam(N, [](L::TermRef x) { return L::monus_t(x, L::nat(1)); });
+  auto c2 = L::lam(Type::prod(N, N), [](L::TermRef q) {
+    return L::add(L::proj1(q), L::proj2(q));
+  });
+  return L::schema_g(N, N, p, s, d1, d2, c2);
+}
+
+void report(const char* name, const L::MapRec& f,
+            const std::vector<nsc::ValueRef>& args,
+            const std::vector<std::string>& labels) {
+  std::printf("\n-- %s --\n", name);
+  auto plain = L::translate_maprec(f);
+  L::MapRecTranslateOptions s2;
+  s2.staged = true;
+  s2.eps = {1, 2};
+  auto staged_half = L::translate_maprec(f, s2);
+  L::MapRecTranslateOptions s3;
+  s3.staged = true;
+  s3.eps = {1, 3};
+  auto staged_third = L::translate_maprec(f, s3);
+
+  Table t({"input", "T", "W", "T'pln/T", "W'pln/W", "W'e=1/2/W",
+           "W'e=1/3/W"});
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto direct = L::eval_maprec(f, args[i]);
+    auto rp = L::apply_fn(plain, args[i]);
+    auto rh = L::apply_fn(staged_half, args[i]);
+    auto rt = L::apply_fn(staged_third, args[i]);
+    const double T = direct.cost.time, W = direct.cost.work;
+    t.row({labels[i], Table::num(direct.cost.time),
+           Table::num(direct.cost.work), Table::fixed(rp.cost.time / T, 2),
+           Table::fixed(rp.cost.work / W, 2), Table::fixed(rh.cost.work / W, 2),
+           Table::fixed(rt.cost.work / W, 2)});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E2: Theorem 4.2 -- map-recursion translated to while-based NSC\n"
+      "paper: T' = O(T); W' = O(W) balanced; staged buffers bound the\n"
+      "re-touch overhead on unbalanced trees\n");
+
+  {
+    std::vector<nsc::ValueRef> args;
+    std::vector<std::string> labels;
+    for (std::uint64_t n : {64ull, 256ull, 1024ull, 4096ull}) {
+      args.push_back(Value::pair(Value::nat(0), Value::nat(n)));
+      labels.push_back("n=" + std::to_string(n) + " (balanced)");
+    }
+    report("balanced range-sum (schema g)", range_sum(), args, labels);
+  }
+  {
+    std::vector<nsc::ValueRef> args;
+    std::vector<std::string> labels;
+    // depths capped below 62: the plain translation's path keys live in
+    // one natural (key < 2^62); the staged translation has no such limit.
+    for (std::uint64_t n : {16ull, 28ull, 40ull, 56ull}) {
+      args.push_back(Value::nat(n));
+      labels.push_back("depth=" + std::to_string(n) + " (caterpillar)");
+    }
+    report("skewed caterpillar recursion", skewed_sum(), args, labels);
+  }
+  std::printf(
+      "\nreading: plain ratios stay flat on balanced trees (W' = O(W));\n"
+      "on the caterpillar the plain ratio grows with depth while the\n"
+      "staged ratios grow strictly slower (the z_i-buffer effect).\n");
+  return 0;
+}

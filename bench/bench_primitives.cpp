@@ -1,0 +1,103 @@
+// E8 (section 3 derived operations): the claimed costs of the prelude and
+// the "cost of an arbitrary permutation is visible" discussion.
+//   index:        T = O(1), W = O(n + k)            [Figure 3]
+//   bm_route:     T = O(1), W = O(in + out)
+//   permutation via map of index-lookups: T = O(1), W = O(n^2)
+#include <cstdio>
+
+#include "nsc/build.hpp"
+#include "nsc/eval.hpp"
+#include "nsc/prelude.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+namespace L = nsc::lang;
+namespace P = nsc::lang::prelude;
+using namespace nsc;
+
+const TypeRef N = Type::nat();
+const TypeRef NSeq = Type::seq(Type::nat());
+
+/// The section 3 "arbitrary permutation with map" program:
+/// permute(x, pi) = map(\i. x_i via rank filter)(pi) -- O(1) time, O(n^2)
+/// work, the work blowup the paper uses to motivate visible permutation
+/// costs.
+L::FuncRef permute_by_map() {
+  return L::lam(Type::prod(NSeq, NSeq), [](L::TermRef z) {
+    return L::let_in(NSeq, L::proj1(z), [&](L::TermRef x) {
+      auto pick = L::lam(N, [&](L::TermRef i) {
+        // x_i = get(filter(position == i)(zip(enumerate x, x)))
+        auto at_i = L::lam(Type::prod(N, N), [&](L::TermRef q) {
+          return L::eq(L::proj1(q), i);
+        });
+        return L::proj2(L::get(L::apply(
+            P::filter(at_i, Type::prod(N, N)), L::zip(L::enumerate(x), x))));
+      });
+      return L::apply(L::map_f(pick), L::proj2(z));
+    });
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: section 3 derived-operation costs\n\n");
+  {
+    Table t({"n", "T_index", "W_index", "W/(n+k)"});
+    auto f = P::index(N);
+    for (std::size_t n : {128u, 512u, 2048u, 8192u}) {
+      std::vector<std::uint64_t> c(n);
+      for (std::size_t i = 0; i < n; ++i) c[i] = i;
+      auto arg = Value::pair(Value::nat_seq(c),
+                             Value::nat_seq({0, n / 2, n - 1}));
+      auto r = L::apply_fn(f, arg);
+      t.row({Table::num(n), Table::num(r.cost.time), Table::num(r.cost.work),
+             Table::fixed(static_cast<double>(r.cost.work) / (n + 3), 1)});
+    }
+    std::printf("-- index(C, I): claimed T = O(1), W = O(n + k) --\n");
+    t.print();
+  }
+  {
+    Table t({"n", "T_route", "W_route", "W/n"});
+    auto f = P::bm_route(N, N);
+    for (std::size_t n : {128u, 512u, 2048u, 8192u}) {
+      std::vector<std::uint64_t> u(n, 0), d(n, 1), x(n, 7);
+      auto arg = Value::pair(
+          Value::pair(Value::nat_seq(u), Value::nat_seq(d)),
+          Value::nat_seq(x));
+      auto r = L::apply_fn(f, arg);
+      t.row({Table::num(n), Table::num(r.cost.time), Table::num(r.cost.work),
+             Table::fixed(static_cast<double>(r.cost.work) / n, 1)});
+    }
+    std::printf("\n-- bm_route: claimed T = O(1), W = O(n) --\n");
+    t.print();
+  }
+  {
+    Table t({"n", "T_perm", "W_perm", "W/n^2"});
+    auto f = permute_by_map();
+    SplitMix64 rng(8);
+    for (std::size_t n : {16u, 32u, 64u, 128u}) {
+      std::vector<std::uint64_t> x(n), pi(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] = rng.below(100);
+        pi[i] = i;
+      }
+      for (std::size_t i = n; i > 1; --i) {
+        std::swap(pi[i - 1], pi[rng.below(i)]);
+      }
+      auto arg = Value::pair(Value::nat_seq(x), Value::nat_seq(pi));
+      auto r = L::apply_fn(f, arg);
+      t.row({Table::num(n), Table::num(r.cost.time), Table::num(r.cost.work),
+             Table::fixed(static_cast<double>(r.cost.work) / (double(n) * n),
+                          2)});
+    }
+    std::printf(
+        "\n-- arbitrary permutation via map: T = O(1), W = O(n^2)\n"
+        "   (\"the cost of performing an arbitrary permutation is visible\n"
+        "   in the higher level language\", section 3) --\n");
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,192 @@
+#include "algorithms/valiant.hpp"
+
+#include "nsc/build.hpp"
+#include "nsc/prelude.hpp"
+
+namespace nsc::alg {
+
+namespace {
+
+namespace L = nsc::lang;
+namespace P = nsc::lang::prelude;
+using L::TermRef;
+using nsc::Type;
+using nsc::TypeRef;
+using nsc::Value;
+using nsc::ValueRef;
+
+const TypeRef N = Type::nat();
+const TypeRef NSeq = Type::seq(Type::nat());
+const TypeRef NSeqSeq = Type::seq(Type::seq(Type::nat()));
+const TypeRef MergeDom = Type::prod(Type::seq(Type::nat()),
+                                    Type::seq(Type::nat()));
+
+/// Figure 1's divide: sample, two-round rank, split, align.
+L::FuncRef merge_divide() {
+  return L::lam(
+      MergeDom,
+      [&](TermRef z) {
+        return L::let_in(NSeq, L::proj1(z), [&](TermRef A) {
+          return L::let_in(NSeq, L::proj2(z), [&](TermRef B) {
+            // A' and B': every ~sqrt-th element.
+            return L::let_in(
+                NSeq, L::apply(P::sqrt_positions(N), A), [&](TermRef Ap) {
+                  TermRef Bp = L::apply(P::sqrt_positions(N), B);
+                  // R' = rank of each sample of A among B's samples.
+                  return L::let_in(
+                      NSeq, L::apply(P::direct_rank(), L::pair(Ap, Bp)),
+                      [&](TermRef Rp) {
+                        // Candidate block of B for each sample.
+                        TermRef BBp = L::apply(P::sqrt_split(N), B);
+                        TermRef blocks =
+                            L::apply(P::index(NSeq), L::pair(BBp, Rp));
+                        TermRef aB = L::zip(Ap, blocks);
+                        // RR' = rank of each sample inside its block.
+                        TermRef RRp =
+                            L::apply(L::map_f(P::rank_one()), aB);
+                        // Global ranks R = (R' - 1) * sqrt(n) + RR'.
+                        return L::let_in(
+                            N, P::sqrt_block(L::length(B)), [&](TermRef bB) {
+                              L::FuncRef mk_rank = L::lam(
+                                  Type::prod(N, N),
+                                  [&](TermRef q) {
+                                    return L::add(
+                                        L::mul(L::monus_t(L::proj1(q),
+                                                          L::nat(1)),
+                                               bB),
+                                        L::proj2(q));
+                                  },
+                                  "q");
+                              TermRef R = L::apply(L::map_f(mk_rank),
+                                                   L::zip(Rp, RRp));
+                              TermRef AA = L::apply(P::sqrt_split(N), A);
+                              TermRef BB = L::apply(P::index_split(N),
+                                                    L::pair(B, R));
+                              return L::zip(AA, BB);
+                            },
+                            "bB");
+                      },
+                      "Rp");
+                },
+                "Ap");
+          });
+        });
+      },
+      "z");
+}
+
+}  // namespace
+
+MapRec valiant_merge() {
+  MapRec f;
+  f.dom = MergeDom;
+  f.cod = NSeq;
+  f.max_arity = ~std::uint64_t{0};  // sqrt(m)-way divide: unbounded arity
+  f.p = L::lam(
+      MergeDom,
+      [&](TermRef z) { return L::leq(L::length(L::proj1(z)), L::nat(2)); },
+      "z");
+  f.s = P::direct_merge();
+  f.d = merge_divide();
+  // Combine is just flatten: the recursive merges return aligned sorted
+  // blocks (Figure 1's flatten(map(merge)(zip(AA, BB)))).
+  f.c = L::lam(NSeqSeq, [&](TermRef ys) { return L::flatten(ys); }, "ys");
+  return f;
+}
+
+Evaluated eval_valiant_merge(const ValueRef& a_and_b) {
+  static const MapRec merge = valiant_merge();
+  return eval_maprec(merge, a_and_b);
+}
+
+namespace {
+
+MapRec mergesort_rec() {
+  MapRec f;
+  f.dom = NSeq;
+  f.cod = NSeq;
+  f.max_arity = 2;
+  f.p = L::lam(
+      NSeq, [&](TermRef A) { return L::leq(L::length(A), L::nat(1)); }, "A");
+  f.s = P::identity(NSeq);
+  // split(A, [n - n/2, n/2])  (Figure 1).
+  f.d = L::lam(
+      NSeq,
+      [&](TermRef A) {
+        return L::let_in(
+            N, L::length(A),
+            [&](TermRef n) {
+              TermRef half = L::div_t(n, L::nat(2));
+              TermRef sizes = L::append(L::singleton(L::monus_t(n, half)),
+                                        L::singleton(half));
+              return L::split(A, sizes);
+            },
+            "n");
+      },
+      "A");
+  // NSC-level combine (used if c_native is cleared): direct_merge of the
+  // two halves.  The section 5 algorithm plugs in Valiant's merge below.
+  f.c = L::lam(
+      NSeqSeq,
+      [&](TermRef ys) {
+        return L::apply(P::direct_merge(),
+                        L::pair(L::apply(P::first(NSeq), ys),
+                                L::apply(P::last(NSeq), ys)));
+      },
+      "ys");
+  f.c_native = [](const ValueRef& ys) {
+    return eval_valiant_merge(
+        Value::pair(ys->elems().at(0), ys->elems().at(1)));
+  };
+  return f;
+}
+
+}  // namespace
+
+Evaluated eval_valiant_mergesort(const ValueRef& xs) {
+  static const MapRec sorter = mergesort_rec();
+  return eval_maprec(sorter, xs);
+}
+
+MapRec quicksort() {
+  auto p = L::lam(
+      NSeq, [&](TermRef x) { return L::leq(L::length(x), L::nat(1)); }, "x");
+  auto s = P::identity(NSeq);
+  // d1: strictly-smaller elements, pivot appended (sorted ends with pivot);
+  // d2: the rest (>= pivot, duplicates included) -- shrinks by at least the
+  // pivot each level, so the recursion terminates on duplicate-heavy input.
+  auto d1 = L::lam(
+      NSeq,
+      [&](TermRef x) {
+        return L::let_in(
+            N, L::apply(P::first(N), x),
+            [&](TermRef pvt) {
+              auto less = L::lam(
+                  N, [&](TermRef v) { return L::lt(v, pvt); }, "v");
+              return L::append(
+                  L::apply(P::filter(less, N), L::apply(P::tail(N), x)),
+                  L::singleton(pvt));
+            },
+            "p");
+      },
+      "x");
+  auto d2 = L::lam(
+      NSeq,
+      [&](TermRef x) {
+        return L::let_in(
+            N, L::apply(P::first(N), x),
+            [&](TermRef pvt) {
+              auto ge = L::lam(
+                  N, [&](TermRef v) { return L::leq(pvt, v); }, "v");
+              return L::apply(P::filter(ge, N), L::apply(P::tail(N), x));
+            },
+            "p");
+      },
+      "x");
+  auto c2 = L::lam(
+      Type::prod(NSeq, NSeq),
+      [&](TermRef q) { return L::append(L::proj1(q), L::proj2(q)); }, "q");
+  return L::schema_g(NSeq, NSeq, p, s, d1, d2, c2);
+}
+
+}  // namespace nsc::alg

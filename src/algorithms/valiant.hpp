@@ -1,0 +1,45 @@
+// Section 5: Valiant's O(log n log log n) mergesort, transcribed from
+// Figures 1-3 as map-recursive NSC definitions.
+//
+//  * merge(A, B): if |A| <= 2, direct_merge; otherwise sample every
+//    ~sqrt|A|-th element of A, rank the samples in B (two rank rounds:
+//    against B's samples, then inside the located block), split both
+//    sequences at the resulting ranks, and recurse on the sqrt(m)+1 aligned
+//    block pairs in parallel.  The divide arity is ~sqrt(m) -- Definition
+//    4.1 allows this (d : s -> [s] is unbounded), and the reference
+//    evaluator eval_maprec runs it; the Theorem 4.2 *translation* requires
+//    a static arity bound, which merge does not have.
+//  * mergesort(A): binary schema-g recursion whose combine is merge --
+//    composed via MapRec::c_native, since the combine of one map-recursion
+//    is another map-recursion (exactly the section 5 structure).
+//
+// Claimed complexities (validated by bench_mergesort, experiment E1):
+//    merge:     T = O(log log m), W = O((m + n) log log m)
+//    mergesort: T = O(log n log log n), W = O(n log n log log n)
+// (the paper notes W can be made optimal with the [Jaj92] refinement; we
+// reproduce the as-written Figure 1 algorithm).
+#pragma once
+
+#include "nsc/maprec.hpp"
+
+namespace nsc::alg {
+
+using lang::Evaluated;
+using lang::MapRec;
+
+/// Figure 1's merge as a map-recursive definition over ([N] x [N]) -> [N].
+/// Both inputs must be sorted.
+MapRec valiant_merge();
+
+/// Evaluate merge(A, B) with reference costs.
+Evaluated eval_valiant_merge(const ValueRef& a_and_b);
+
+/// Evaluate mergesort(A) (Figure 1) with reference costs.
+Evaluated eval_valiant_mergesort(const ValueRef& xs);
+
+/// Quicksort as the paper's schema-g example ("Quicksort has this form",
+/// section 4): pivot-partition divide, append combine.  Bounded arity 2,
+/// so it also exercises the Theorem 4.2 translation.
+MapRec quicksort();
+
+}  // namespace nsc::alg

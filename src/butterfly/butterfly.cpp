@@ -1,0 +1,148 @@
+#include "butterfly/butterfly.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/checked.hpp"
+#include "support/error.hpp"
+
+namespace nsc::net {
+
+Butterfly::Butterfly(unsigned q) : q_(q) {
+  if (q > 24) throw Error("butterfly: q too large to simulate");
+}
+
+RouteStats Butterfly::monotone_route(const std::vector<std::uint32_t>& src,
+                                     const std::vector<std::uint32_t>& dst) const {
+  if (src.size() != dst.size()) {
+    throw Error("monotone_route: src/dst size mismatch");
+  }
+  RouteStats stats;
+  stats.packets = src.size();
+  stats.steps = q_;
+  if (src.empty()) return stats;
+
+  for (std::size_t i = 0; i + 1 < src.size(); ++i) {
+    if (src[i] > src[i + 1] || dst[i] > dst[i + 1]) {
+      throw Error("monotone_route: route is not monotone");
+    }
+  }
+  const std::uint32_t row_mask = static_cast<std::uint32_t>(rows() - 1);
+  for (auto r : src) {
+    if ((r & row_mask) != r) throw Error("monotone_route: src row overflow");
+  }
+  for (auto r : dst) {
+    if ((r & row_mask) != r) throw Error("monotone_route: dst row overflow");
+  }
+
+  // Greedy bit-fixing, highest dimension first.  At the transition into
+  // level l (1-based), bit (q - l) of the row is set to the destination's.
+  std::vector<std::uint32_t> at(src);
+  std::unordered_map<std::uint64_t, std::uint64_t> edge_load;
+  for (unsigned level = 1; level <= q_; ++level) {
+    edge_load.clear();
+    const unsigned bit = q_ - level;
+    for (std::size_t i = 0; i < at.size(); ++i) {
+      const std::uint32_t from = at[i];
+      const std::uint32_t to =
+          (from & ~(std::uint32_t{1} << bit)) | (dst[i] & (std::uint32_t{1} << bit));
+      const std::uint64_t edge =
+          (static_cast<std::uint64_t>(from) << 32) | to;
+      const std::uint64_t load = ++edge_load[edge];
+      if (load > stats.max_edge_load) stats.max_edge_load = load;
+      at[i] = to;
+    }
+  }
+  // Greedy bit-fixing of a monotone route has constant edge congestion
+  // (at most 2 packets per edge; see the header note), so delivery with
+  // queuing takes q * max_load = O(log n) steps.
+  stats.oblivious_ok = stats.max_edge_load <= 2;
+  stats.steps = sat_mul(q_, std::max<std::uint64_t>(1, stats.max_edge_load));
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    if (at[i] != dst[i]) throw Error("monotone_route: routing failed");
+  }
+  return stats;
+}
+
+RouteStats Butterfly::replicate(const std::vector<std::uint64_t>& seg_lens,
+                                const std::vector<std::uint64_t>& counts) const {
+  if (seg_lens.size() != counts.size()) {
+    throw Error("replicate: seg/count size mismatch");
+  }
+  RouteStats stats;
+  // Pad each subsequence to a power of two and place it at an address
+  // divisible by its padded length (one monotone routing pass), then
+  // broadcast over the remaining dimensions, higher dimension first
+  // (the proof of Prop 2.1).  Both phases are edge-disjoint, so the step
+  // count is 2q per full wave, with ceil(total / rows) waves when the
+  // padded output exceeds the machine width.
+  std::uint64_t total_padded = 0;
+  std::uint64_t packets = 0;
+  for (std::size_t t = 0; t < seg_lens.size(); ++t) {
+    const std::uint64_t padded =
+        seg_lens[t] == 0 ? 0 : ceil_pow2(seg_lens[t]);
+    total_padded = sat_add(total_padded, sat_mul(padded, counts[t]));
+    packets = sat_add(packets, sat_mul(seg_lens[t], counts[t]));
+  }
+  const std::uint64_t waves =
+      total_padded == 0 ? 1 : (total_padded + rows() - 1) / rows();
+  stats.packets = packets;
+  stats.steps = sat_mul(waves, 2 * static_cast<std::uint64_t>(q_));
+  stats.max_edge_load = 1;
+  return stats;
+}
+
+RouteStats Butterfly::scan(std::size_t n) const {
+  RouteStats stats;
+  const std::uint64_t waves =
+      n == 0 ? 1 : (static_cast<std::uint64_t>(n) + rows() - 1) / rows();
+  stats.packets = n;
+  stats.steps = sat_mul(waves, 2 * static_cast<std::uint64_t>(q_));
+  stats.max_edge_load = 1;
+  return stats;
+}
+
+std::uint64_t butterfly_steps(const bvram::TraceEntry& entry, unsigned q) {
+  const std::uint64_t width = std::uint64_t{1} << q;
+  const std::uint64_t waves =
+      entry.work == 0 ? 1 : (entry.work + width - 1) / width;
+  const std::uint64_t logn = q == 0 ? 1 : q;
+  switch (entry.op) {
+    // Local elementwise work: no communication at all (Prop 2.1 proof).
+    case bvram::Op::Arith:
+    case bvram::Op::Move:
+    case bvram::Op::LoadConst:
+    case bvram::Op::LoadEmpty:
+    case bvram::Op::Enumerate:
+    case bvram::Op::Goto:
+    case bvram::Op::GotoIfEmpty:
+    case bvram::Op::Halt:
+      return waves;
+    // One monotone routing pass.
+    case bvram::Op::Append:
+    case bvram::Op::BmRoute:
+      return sat_mul(waves, logn);
+    // Replication: padding route + broadcast stages.
+    case bvram::Op::SbmRoute:
+      return sat_mul(waves, 2 * logn);
+    // Compaction: scan for destinations + a monotone route.
+    case bvram::Op::Select:
+      return sat_mul(waves, 3 * logn);
+    // Up-sweep + down-sweep.
+    case bvram::Op::ScanPlus:
+      return sat_mul(waves, 2 * logn);
+    // length is a reduction: an up-sweep.
+    case bvram::Op::Length:
+      return sat_mul(waves, logn);
+  }
+  return waves;
+}
+
+std::uint64_t butterfly_steps_for_trace(
+    const std::vector<bvram::TraceEntry>& trace, unsigned q) {
+  std::uint64_t total = 0;
+  for (const auto& e : trace) total = sat_add(total, butterfly_steps(e, q));
+  return total;
+}
+
+}  // namespace nsc::net

@@ -1,0 +1,85 @@
+// Butterfly-network implementation of BVRAM instructions (Prop 2.1):
+// "Any BVRAM instruction of work complexity W can be implemented in time
+//  O(log n) on a butterfly network with n log n nodes, where n = O(W),
+//  using only oblivious routing algorithms."
+//
+// The simulator models a butterfly with 2^q rows and q+1 levels (so
+// (q+1) * 2^q nodes).  Packets move level by level in lockstep; one step
+// advances every packet one level.  The routing algorithms are the ones
+// from the proof:
+//
+//  * monotone routing (append, bm-route, select-compaction): greedy
+//    bit-fixing (Leighton 1992, p. 534).  For monotone routes (sorted
+//    sources to sorted, duplicate-free destinations) greedy bit-fixing has
+//    *constant* edge congestion -- at most two packets ever share a
+//    directed edge in a step (two packets collide at level l only if their
+//    source suffixes above l and destination prefixes through l agree,
+//    which pins a unique partner) -- so queued delivery completes in
+//    q * max_load = O(log n) steps.  The simulator measures the actual
+//    congestion and reports `oblivious_ok = (max_edge_load <= 2)`.
+//  * replication (sbm-route): round the subsequences up to powers of two,
+//    place each at an aligned address, and broadcast over the remaining
+//    dimensions, higher dimension first (the proof's q-stage scheme);
+//    each level at most doubles the packet population, edge-disjointly.
+//  * scan (the ScanPlus extension): an up-sweep and a down-sweep across
+//    the q dimensions, 2q steps, one value per row-wire.
+//
+// The grouped mode models p < W ("group adjacent elements of the array in
+// the same processor"): an instruction of work W on an n-row butterfly
+// takes O((W/n) log n) steps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bvram/machine.hpp"
+
+namespace nsc::net {
+
+struct RouteStats {
+  std::uint64_t steps = 0;         ///< lockstep network steps
+  std::uint64_t packets = 0;       ///< packets injected
+  std::uint64_t max_edge_load = 0; ///< max packets over one edge in one step
+  bool oblivious_ok = true;        ///< no greedy-routing contention observed
+};
+
+class Butterfly {
+ public:
+  /// A butterfly with 2^q rows (q >= 0) and q+1 levels.
+  explicit Butterfly(unsigned q);
+
+  unsigned q() const { return q_; }
+  std::size_t rows() const { return std::size_t{1} << q_; }
+  /// (q+1) * 2^q nodes -- the "n log n nodes" of Prop 2.1.
+  std::size_t nodes() const { return (q_ + 1) * rows(); }
+
+  /// Route packet i from row src[i] to row dst[i] by greedy bit-fixing.
+  /// Requires the route to be monotone (src and dst both ascending);
+  /// verifies edge-disjointness.
+  RouteStats monotone_route(const std::vector<std::uint32_t>& src,
+                            const std::vector<std::uint32_t>& dst) const;
+
+  /// The proof's sbm-route scheme: seg_lens[t] items, replicated counts[t]
+  /// times.  Returns the stats of the padding move plus the broadcast
+  /// stages.
+  RouteStats replicate(const std::vector<std::uint64_t>& seg_lens,
+                       const std::vector<std::uint64_t>& counts) const;
+
+  /// Up-sweep/down-sweep prefix scan over the first n rows: 2q steps.
+  RouteStats scan(std::size_t n) const;
+
+ private:
+  unsigned q_;
+};
+
+/// Butterfly step count for one executed BVRAM instruction (from its trace
+/// entry), on a machine with 2^q rows.  Arithmetic with <= 2^q elements is
+/// local (1 step); longer vectors are grouped (ceil(len / 2^q) steps);
+/// data-movement instructions cost O(ceil(W / 2^q) * q) steps.
+std::uint64_t butterfly_steps(const bvram::TraceEntry& entry, unsigned q);
+
+/// Total butterfly steps for a whole BVRAM trace.
+std::uint64_t butterfly_steps_for_trace(
+    const std::vector<bvram::TraceEntry>& trace, unsigned q);
+
+}  // namespace nsc::net

@@ -1,0 +1,441 @@
+#include "bvram/machine.hpp"
+
+#include <sstream>
+
+#include "support/checked.hpp"
+#include "support/parallel.hpp"
+
+namespace nsc::bvram {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Move:
+      return "move";
+    case Op::Arith:
+      return "arith";
+    case Op::LoadEmpty:
+      return "load-empty";
+    case Op::LoadConst:
+      return "load-const";
+    case Op::Append:
+      return "append";
+    case Op::Length:
+      return "length";
+    case Op::Enumerate:
+      return "enumerate";
+    case Op::BmRoute:
+      return "bm-route";
+    case Op::SbmRoute:
+      return "sbm-route";
+    case Op::Select:
+      return "select";
+    case Op::ScanPlus:
+      return "scan-plus";
+    case Op::Goto:
+      return "goto";
+    case Op::GotoIfEmpty:
+      return "goto-if-empty";
+    case Op::Halt:
+      return "halt";
+  }
+  return "?";
+}
+
+std::string Instr::show() const {
+  std::ostringstream out;
+  switch (op) {
+    case Op::Move:
+      out << "V" << dst << " <- V" << a;
+      break;
+    case Op::Arith:
+      out << "V" << dst << " <- V" << a << " " << lang::arith_op_name(aop)
+          << " V" << b;
+      break;
+    case Op::LoadEmpty:
+      out << "V" << dst << " <- []";
+      break;
+    case Op::LoadConst:
+      out << "V" << dst << " <- [" << imm << "]";
+      break;
+    case Op::Append:
+      out << "V" << dst << " <- V" << a << " @ V" << b;
+      break;
+    case Op::Length:
+      out << "V" << dst << " <- [length(V" << a << ")]";
+      break;
+    case Op::Enumerate:
+      out << "V" << dst << " <- enumerate(V" << a << ")";
+      break;
+    case Op::BmRoute:
+      out << "V" << dst << " <- bm-route(V" << a << ", V" << b << ", V" << c
+          << ")";
+      break;
+    case Op::SbmRoute:
+      out << "V" << dst << " <- sbm-route(V" << a << ", V" << b << ", V" << c
+          << ", V" << imm << ")";
+      break;
+    case Op::Select:
+      out << "V" << dst << " <- sigma(V" << a << ")";
+      break;
+    case Op::ScanPlus:
+      out << "V" << dst << " <- scan+(V" << a << ")";
+      break;
+    case Op::Goto:
+      out << "goto " << target;
+      break;
+    case Op::GotoIfEmpty:
+      out << "if empty?(V" << a << ") goto " << target;
+      break;
+    case Op::Halt:
+      out << "halt";
+      break;
+  }
+  return out.str();
+}
+
+std::string Program::disassemble() const {
+  std::ostringstream out;
+  out << "; regs=" << num_regs << " in=" << num_inputs
+      << " out=" << num_outputs << "\n";
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    out << i << ":\t" << code[i].show() << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+using Vec = std::vector<std::uint64_t>;
+
+[[noreturn]] void fail(const Instr& instr, const std::string& what) {
+  throw MachineError(what + " in `" + instr.show() + "`");
+}
+
+std::uint64_t vec_sum(const Vec& v) {
+  std::uint64_t s = 0;
+  for (auto x : v) s = sat_add(s, x);
+  return s;
+}
+
+}  // namespace
+
+RunResult run(const Program& program, const std::vector<Vec>& inputs,
+              const RunConfig& cfg) {
+  if (inputs.size() != program.num_inputs) {
+    throw MachineError("expected " + std::to_string(program.num_inputs) +
+                       " inputs, got " + std::to_string(inputs.size()));
+  }
+  std::vector<Vec> regs(program.num_regs);
+  for (std::size_t i = 0; i < inputs.size(); ++i) regs[i] = inputs[i];
+
+  auto reg_of = [&](std::uint32_t r, const Instr& instr) -> Vec& {
+    if (r >= regs.size()) fail(instr, "register out of range");
+    return regs[r];
+  };
+
+  RunResult result;
+  std::size_t pc = 0;
+  std::uint64_t executed = 0;
+
+  while (pc < program.code.size()) {
+    const Instr& instr = program.code[pc];
+    if (++executed > cfg.max_instructions) {
+      throw FuelExhausted("BVRAM exceeded " +
+                          std::to_string(cfg.max_instructions) +
+                          " instructions");
+    }
+    std::uint64_t work = 0;
+    std::uint64_t max_len = 0;
+    auto charge = [&](const Vec& v) {
+      work = sat_add(work, v.size());
+      if (v.size() > max_len) max_len = v.size();
+    };
+    std::size_t next = pc + 1;
+
+    switch (instr.op) {
+      case Op::Move: {
+        Vec out = reg_of(instr.a, instr);
+        charge(out);
+        charge(out);  // input + output
+        reg_of(instr.dst, instr) = std::move(out);
+        break;
+      }
+      case Op::Arith: {
+        const Vec& a = reg_of(instr.a, instr);
+        const Vec& b = reg_of(instr.b, instr);
+        if (a.size() != b.size()) fail(instr, "length mismatch");
+        Vec out(a.size());
+        const auto op = instr.aop;
+        auto body = [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            out[i] = lang::arith_apply(op, a[i], b[i]);
+          }
+        };
+        if (cfg.parallel_backend) {
+          parallel_for(a.size(), body);
+        } else {
+          body(0, a.size());
+        }
+        charge(a);
+        charge(b);
+        charge(out);
+        reg_of(instr.dst, instr) = std::move(out);
+        break;
+      }
+      case Op::LoadEmpty: {
+        reg_of(instr.dst, instr).clear();
+        work = 1;
+        break;
+      }
+      case Op::LoadConst: {
+        reg_of(instr.dst, instr) = Vec{instr.imm};
+        work = 1;
+        max_len = 1;
+        break;
+      }
+      case Op::Append: {
+        const Vec& a = reg_of(instr.a, instr);
+        const Vec& b = reg_of(instr.b, instr);
+        Vec out;
+        out.reserve(a.size() + b.size());
+        out.insert(out.end(), a.begin(), a.end());
+        out.insert(out.end(), b.begin(), b.end());
+        charge(a);
+        charge(b);
+        charge(out);
+        reg_of(instr.dst, instr) = std::move(out);
+        break;
+      }
+      case Op::Length: {
+        const Vec& a = reg_of(instr.a, instr);
+        charge(a);
+        reg_of(instr.dst, instr) = Vec{a.size()};
+        work = sat_add(work, 1);
+        break;
+      }
+      case Op::Enumerate: {
+        const Vec& a = reg_of(instr.a, instr);
+        Vec out(a.size());
+        auto body = [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) out[i] = i;
+        };
+        if (cfg.parallel_backend) {
+          parallel_for(a.size(), body);
+        } else {
+          body(0, a.size());
+        }
+        charge(a);
+        charge(out);
+        reg_of(instr.dst, instr) = std::move(out);
+        break;
+      }
+      case Op::BmRoute: {
+        const Vec& bound = reg_of(instr.a, instr);
+        const Vec& counts = reg_of(instr.b, instr);
+        const Vec& data = reg_of(instr.c, instr);
+        if (counts.size() != data.size()) {
+          fail(instr, "bm-route: counts/data length mismatch");
+        }
+        if (vec_sum(counts) != bound.size()) {
+          fail(instr, "bm-route: bound length != sum of counts");
+        }
+        Vec out;
+        out.reserve(bound.size());
+        for (std::size_t t = 0; t < data.size(); ++t) {
+          for (std::uint64_t r = 0; r < counts[t]; ++r) out.push_back(data[t]);
+        }
+        charge(bound);
+        charge(counts);
+        charge(data);
+        charge(out);
+        reg_of(instr.dst, instr) = std::move(out);
+        break;
+      }
+      case Op::SbmRoute: {
+        const Vec& bound = reg_of(instr.a, instr);
+        const Vec& counts = reg_of(instr.b, instr);
+        const Vec& data = reg_of(instr.c, instr);
+        const Vec& segs =
+            reg_of(static_cast<std::uint32_t>(instr.imm), instr);
+        if (counts.size() != segs.size()) {
+          fail(instr, "sbm-route: counts/segs length mismatch");
+        }
+        if (vec_sum(counts) != bound.size()) {
+          fail(instr, "sbm-route: bound length != sum of counts");
+        }
+        if (vec_sum(segs) != data.size()) {
+          fail(instr, "sbm-route: segment sizes don't cover the data");
+        }
+        Vec out;
+        std::size_t at = 0;
+        for (std::size_t t = 0; t < segs.size(); ++t) {
+          const std::size_t len = segs[t];
+          for (std::uint64_t r = 0; r < counts[t]; ++r) {
+            out.insert(out.end(), data.begin() + at, data.begin() + at + len);
+          }
+          at += len;
+        }
+        charge(bound);
+        charge(counts);
+        charge(data);
+        charge(segs);
+        charge(out);
+        reg_of(instr.dst, instr) = std::move(out);
+        break;
+      }
+      case Op::Select: {
+        const Vec& a = reg_of(instr.a, instr);
+        Vec out;
+        for (auto x : a) {
+          if (x != 0) out.push_back(x);
+        }
+        charge(a);
+        charge(out);
+        reg_of(instr.dst, instr) = std::move(out);
+        break;
+      }
+      case Op::ScanPlus: {
+        const Vec& a = reg_of(instr.a, instr);
+        Vec out(a.size());
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          out[i] = acc;
+          acc = sat_add(acc, a[i]);
+        }
+        charge(a);
+        charge(out);
+        reg_of(instr.dst, instr) = std::move(out);
+        break;
+      }
+      case Op::Goto: {
+        if (instr.target > program.code.size()) fail(instr, "bad jump");
+        next = instr.target;
+        work = 1;
+        break;
+      }
+      case Op::GotoIfEmpty: {
+        const Vec& a = reg_of(instr.a, instr);
+        charge(a);
+        work = sat_add(work, 1);
+        if (a.empty()) {
+          if (instr.target > program.code.size()) fail(instr, "bad jump");
+          next = instr.target;
+        }
+        break;
+      }
+      case Op::Halt: {
+        work = 1;
+        next = program.code.size();
+        break;
+      }
+    }
+
+    result.cost.time = sat_add(result.cost.time, 1);
+    result.cost.work = sat_add(result.cost.work, work);
+    if (cfg.record_trace) {
+      result.trace.push_back({instr.op, work, max_len});
+    }
+    pc = next;
+  }
+
+  result.outputs.assign(regs.begin(), regs.begin() + program.num_outputs);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------------
+
+std::uint32_t Assembler::reg() { return next_reg_++; }
+
+void Assembler::reserve_regs(std::size_t n) {
+  if (next_reg_ < n) next_reg_ = static_cast<std::uint32_t>(n);
+}
+
+void Assembler::move(std::uint32_t dst, std::uint32_t src) {
+  code_.push_back({Op::Move, ArithOp::Add, dst, src, 0, 0, 0, 0});
+}
+
+void Assembler::arith(std::uint32_t dst, ArithOp op, std::uint32_t a,
+                      std::uint32_t b) {
+  code_.push_back({Op::Arith, op, dst, a, b, 0, 0, 0});
+}
+
+void Assembler::load_empty(std::uint32_t dst) {
+  code_.push_back({Op::LoadEmpty, ArithOp::Add, dst, 0, 0, 0, 0, 0});
+}
+
+void Assembler::load_const(std::uint32_t dst, std::uint64_t n) {
+  code_.push_back({Op::LoadConst, ArithOp::Add, dst, 0, 0, 0, n, 0});
+}
+
+void Assembler::append(std::uint32_t dst, std::uint32_t a, std::uint32_t b) {
+  code_.push_back({Op::Append, ArithOp::Add, dst, a, b, 0, 0, 0});
+}
+
+void Assembler::length(std::uint32_t dst, std::uint32_t src) {
+  code_.push_back({Op::Length, ArithOp::Add, dst, src, 0, 0, 0, 0});
+}
+
+void Assembler::enumerate(std::uint32_t dst, std::uint32_t src) {
+  code_.push_back({Op::Enumerate, ArithOp::Add, dst, src, 0, 0, 0, 0});
+}
+
+void Assembler::bm_route(std::uint32_t dst, std::uint32_t bound,
+                         std::uint32_t counts, std::uint32_t data) {
+  code_.push_back({Op::BmRoute, ArithOp::Add, dst, bound, counts, data, 0, 0});
+}
+
+void Assembler::sbm_route(std::uint32_t dst, std::uint32_t bound,
+                          std::uint32_t counts, std::uint32_t data,
+                          std::uint32_t segs) {
+  code_.push_back(
+      {Op::SbmRoute, ArithOp::Add, dst, bound, counts, data, segs, 0});
+}
+
+void Assembler::select(std::uint32_t dst, std::uint32_t src) {
+  code_.push_back({Op::Select, ArithOp::Add, dst, src, 0, 0, 0, 0});
+}
+
+void Assembler::scan_plus(std::uint32_t dst, std::uint32_t src) {
+  code_.push_back({Op::ScanPlus, ArithOp::Add, dst, src, 0, 0, 0, 0});
+}
+
+void Assembler::halt() {
+  code_.push_back({Op::Halt, ArithOp::Add, 0, 0, 0, 0, 0, 0});
+}
+
+Assembler::Label Assembler::fresh_label() {
+  label_addr_.push_back(-1);
+  return label_addr_.size() - 1;
+}
+
+void Assembler::bind(Label l) {
+  label_addr_.at(l) = static_cast<std::ptrdiff_t>(code_.size());
+}
+
+void Assembler::jump(Label l) {
+  fixups_.emplace_back(code_.size(), l);
+  code_.push_back({Op::Goto, ArithOp::Add, 0, 0, 0, 0, 0, 0});
+}
+
+void Assembler::jump_if_empty(std::uint32_t reg, Label l) {
+  fixups_.emplace_back(code_.size(), l);
+  code_.push_back({Op::GotoIfEmpty, ArithOp::Add, 0, reg, 0, 0, 0, 0});
+}
+
+Program Assembler::finish(std::size_t num_inputs, std::size_t num_outputs) {
+  for (const auto& [at, label] : fixups_) {
+    const std::ptrdiff_t addr = label_addr_.at(label);
+    if (addr < 0) throw MachineError("unbound label in program");
+    code_[at].target = static_cast<std::size_t>(addr);
+  }
+  Program p;
+  p.num_regs = next_reg_;
+  p.num_inputs = num_inputs;
+  p.num_outputs = num_outputs;
+  p.code = std::move(code_);
+  return p;
+}
+
+}  // namespace nsc::bvram

@@ -1,0 +1,170 @@
+// The Bounded Vector Random Access Machine (paper section 2).
+//
+// A BVRAM has a *fixed* number of vector registers V_0 .. V_{r-1}, each
+// holding a finite sequence of naturals.  There are no scalar registers --
+// a number is a sequence of length 1 -- and, crucially, no runtime vector
+// stack: the register count is part of the machine, which is the paper's
+// point of departure from Blelloch's VRAM.
+//
+// Instruction set (section 2):
+//   Move        V_i <- V_j
+//   Arith       V_i <- V_j op V_k        (elementwise; lengths must match)
+//   LoadEmpty   V_i <- []
+//   LoadConst   V_i <- [n]
+//   Append      V_i <- V_j @ V_k
+//   Length      V_i <- [length(V_j)]
+//   Enumerate   V_i <- [0, 1, ..., length(V_j) - 1]
+//   BmRoute     V_i <- bm-route(V_j, V_k, V_l):  element t of V_l is
+//               replicated V_k[t] times; V_j is the "bound": its length
+//               must equal sum(V_k)   (so the output size is pre-budgeted).
+//   SbmRoute    V_i <- sbm-route(V_j, V_k, V_l, V_m): V_l is split into
+//               subsequences by V_m; subsequence t is replicated V_k[t]
+//               times.  (V_j, V_k) must be a nested sequence (len V_j =
+//               sum V_k) and length(V_k) = length(V_m).
+//   Select      V_i <- sigma(V_j): pack the nonzero values of V_j.
+//   ScanPlus    V_i <- exclusive prefix sums of V_j.
+//               *Extension*: not in the paper's base ISA; added under the
+//               paper's own robustness remark ("theorem 7.1 can be extended
+//               ... provided corresponding instructions are added to the
+//               BVRAM", section 3, which names scan explicitly).  Needed by
+//               the flattening of sigma/enumerate (the extended abstract
+//               omits the segment-descriptor bookkeeping).  Prop 2.1 is
+//               preserved: a scan runs in O(log n) butterfly steps
+//               (see butterfly/).
+//   Goto        unconditional jump
+//   GotoIfEmpty if empty?(V_j) then goto l
+//   Halt
+//
+// Costs (section 2): T counts executed instructions (1 each); W charges
+// each instruction the sum of the lengths of its input and output
+// registers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nsc/ast.hpp"  // ArithOp (the shared operation set Sigma)
+#include "support/cost.hpp"
+#include "support/error.hpp"
+
+namespace nsc::bvram {
+
+using lang::ArithOp;
+
+enum class Op {
+  Move,
+  Arith,
+  LoadEmpty,
+  LoadConst,
+  Append,
+  Length,
+  Enumerate,
+  BmRoute,
+  SbmRoute,
+  Select,
+  ScanPlus,
+  Goto,
+  GotoIfEmpty,
+  Halt,
+};
+
+const char* op_name(Op op);
+
+/// One instruction.  Register operands are indices into the machine's
+/// register file; `target` is an instruction index for jumps.
+struct Instr {
+  Op op = Op::Halt;
+  ArithOp aop = ArithOp::Add;
+  std::uint32_t dst = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  std::uint64_t imm = 0;
+  std::size_t target = 0;
+
+  std::string show() const;
+};
+
+/// A program plus its machine shape (register count, I/O arity).
+struct Program {
+  std::size_t num_regs = 0;
+  std::size_t num_inputs = 0;   // inputs arrive in V_0 .. V_{num_inputs-1}
+  std::size_t num_outputs = 0;  // outputs read from V_0 .. V_{num_outputs-1}
+  std::vector<Instr> code;
+
+  std::string disassemble() const;
+};
+
+/// Per-instruction work record, consumed by the PRAM scheduler (Prop 3.2)
+/// and the butterfly mapper (Prop 2.1).
+struct TraceEntry {
+  Op op;
+  std::uint64_t work;
+  std::uint64_t max_len;  // longest register touched
+};
+
+struct RunResult {
+  std::vector<std::vector<std::uint64_t>> outputs;
+  Cost cost;
+  std::vector<TraceEntry> trace;  // only if RunConfig::record_trace
+};
+
+struct RunConfig {
+  std::uint64_t max_instructions = std::uint64_t{1} << 32;
+  bool record_trace = false;
+  /// Execute elementwise vector operations with the thread pool
+  /// (experiment E10's "real hardware" backend).  Results are identical.
+  bool parallel_backend = false;
+};
+
+/// Execute a program.  Throws MachineError on ill-formed programs
+/// (register/length/jump violations) and FuelExhausted past the budget.
+RunResult run(const Program& program,
+              const std::vector<std::vector<std::uint64_t>>& inputs,
+              const RunConfig& cfg = {});
+
+/// Assembler with labels, for writing programs by hand (tests, examples)
+/// and for the SA -> BVRAM code generator.
+class Assembler {
+ public:
+  /// Reserve a fresh register; returns its index.
+  std::uint32_t reg();
+  /// Ensure at least n registers exist (used to pin input registers).
+  void reserve_regs(std::size_t n);
+
+  // -- instruction emitters ------------------------------------------------
+  void move(std::uint32_t dst, std::uint32_t src);
+  void arith(std::uint32_t dst, ArithOp op, std::uint32_t a, std::uint32_t b);
+  void load_empty(std::uint32_t dst);
+  void load_const(std::uint32_t dst, std::uint64_t n);
+  void append(std::uint32_t dst, std::uint32_t a, std::uint32_t b);
+  void length(std::uint32_t dst, std::uint32_t src);
+  void enumerate(std::uint32_t dst, std::uint32_t src);
+  void bm_route(std::uint32_t dst, std::uint32_t bound, std::uint32_t counts,
+                std::uint32_t data);
+  void sbm_route(std::uint32_t dst, std::uint32_t bound, std::uint32_t counts,
+                 std::uint32_t data, std::uint32_t segs);
+  void select(std::uint32_t dst, std::uint32_t src);
+  void scan_plus(std::uint32_t dst, std::uint32_t src);
+  void halt();
+
+  // -- labels ---------------------------------------------------------------
+  using Label = std::size_t;
+  Label fresh_label();
+  void bind(Label l);  ///< bind the label to the next instruction
+  void jump(Label l);
+  void jump_if_empty(std::uint32_t reg, Label l);
+
+  /// Finish: resolves labels; `num_inputs`/`num_outputs` describe the I/O
+  /// convention of the finished program.
+  Program finish(std::size_t num_inputs, std::size_t num_outputs);
+
+ private:
+  std::vector<Instr> code_;
+  std::vector<std::ptrdiff_t> label_addr_;     // -1 = unbound
+  std::vector<std::pair<std::size_t, Label>> fixups_;
+  std::uint32_t next_reg_ = 0;
+};
+
+}  // namespace nsc::bvram

@@ -1,0 +1,280 @@
+#include "nsa/ast.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace nsc::nsa {
+
+NsaFn::NsaFn(Init init)
+    : kind_(init.kind),
+      dom_(std::move(init.dom)),
+      cod_(std::move(init.cod)),
+      f_(std::move(init.f)),
+      g_(std::move(init.g)),
+      imm_(init.imm),
+      aop_(init.aop) {}
+
+NsaRef NsaFn::make(Init init) {
+  struct Access : NsaFn {
+    explicit Access(Init i) : NsaFn(std::move(i)) {}
+  };
+  return std::make_shared<Access>(std::move(init));
+}
+
+std::size_t NsaFn::node_count() const {
+  std::size_t n = 1;
+  if (f_) n += f_->node_count();
+  if (g_) n += g_->node_count();
+  return n;
+}
+
+std::string NsaFn::show() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case NsaKind::Id:
+      out << "id";
+      break;
+    case NsaKind::Compose:
+      out << "(" << g_->show() << " . " << f_->show() << ")";
+      break;
+    case NsaKind::Bang:
+      out << "!";
+      break;
+    case NsaKind::PairF:
+      out << "<" << f_->show() << ", " << g_->show() << ">";
+      break;
+    case NsaKind::Pi1:
+      out << "pi1";
+      break;
+    case NsaKind::Pi2:
+      out << "pi2";
+      break;
+    case NsaKind::In1F:
+      out << "in1";
+      break;
+    case NsaKind::In2F:
+      out << "in2";
+      break;
+    case NsaKind::SumCase:
+      out << "[" << f_->show() << " + " << g_->show() << "]";
+      break;
+    case NsaKind::Dist:
+      out << "delta";
+      break;
+    case NsaKind::Omega:
+      out << "omega";
+      break;
+    case NsaKind::ConstNat:
+      out << imm_;
+      break;
+    case NsaKind::Arith:
+      out << lang::arith_op_name(aop_);
+      break;
+    case NsaKind::EqF:
+      out << "=";
+      break;
+    case NsaKind::EmptySeq:
+      out << "[]";
+      break;
+    case NsaKind::SingletonF:
+      out << "single";
+      break;
+    case NsaKind::AppendF:
+      out << "@";
+      break;
+    case NsaKind::FlattenF:
+      out << "flatten";
+      break;
+    case NsaKind::LengthF:
+      out << "length";
+      break;
+    case NsaKind::GetF:
+      out << "get";
+      break;
+    case NsaKind::MapF:
+      out << "map(" << f_->show() << ")";
+      break;
+    case NsaKind::ZipF:
+      out << "zip";
+      break;
+    case NsaKind::EnumerateF:
+      out << "enumerate";
+      break;
+    case NsaKind::SplitF:
+      out << "split";
+      break;
+    case NsaKind::P2:
+      out << "p2";
+      break;
+    case NsaKind::WhileF:
+      out << "while(" << f_->show() << ", " << g_->show() << ")";
+      break;
+  }
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void type_fail(const std::string& what) {
+  throw TypeError("NSA: " + what);
+}
+
+NsaRef make(NsaKind k, TypeRef dom, TypeRef cod, NsaRef f = nullptr,
+            NsaRef g = nullptr, std::uint64_t imm = 0,
+            ArithOp aop = ArithOp::Add) {
+  NsaFn::Init init;
+  init.kind = k;
+  init.dom = std::move(dom);
+  init.cod = std::move(cod);
+  init.f = std::move(f);
+  init.g = std::move(g);
+  init.imm = imm;
+  init.aop = aop;
+  return NsaFn::make(std::move(init));
+}
+
+}  // namespace
+
+NsaRef id(TypeRef t) { return make(NsaKind::Id, t, t); }
+
+NsaRef compose(NsaRef g, NsaRef f) {
+  if (!Type::equal(f->cod(), g->dom())) {
+    type_fail("compose: " + f->cod()->show() + " vs " + g->dom()->show());
+  }
+  TypeRef dom = f->dom();
+  TypeRef cod = g->cod();
+  return make(NsaKind::Compose, std::move(dom), std::move(cod), std::move(f),
+              std::move(g));
+}
+
+NsaRef bang(TypeRef t) { return make(NsaKind::Bang, std::move(t), Type::unit()); }
+
+NsaRef pairf(NsaRef f, NsaRef g) {
+  if (!Type::equal(f->dom(), g->dom())) type_fail("pair: domains differ");
+  TypeRef dom = f->dom();
+  TypeRef cod = Type::prod(f->cod(), g->cod());
+  return make(NsaKind::PairF, std::move(dom), std::move(cod), std::move(f),
+              std::move(g));
+}
+
+NsaRef pi1(TypeRef t1, TypeRef t2) {
+  return make(NsaKind::Pi1, Type::prod(t1, std::move(t2)), t1);
+}
+
+NsaRef pi2(TypeRef t1, TypeRef t2) {
+  return make(NsaKind::Pi2, Type::prod(std::move(t1), t2), t2);
+}
+
+NsaRef in1f(TypeRef t1, TypeRef t2) {
+  return make(NsaKind::In1F, t1, Type::sum(t1, std::move(t2)));
+}
+
+NsaRef in2f(TypeRef t1, TypeRef t2) {
+  return make(NsaKind::In2F, t2, Type::sum(std::move(t1), t2));
+}
+
+NsaRef sum_case(NsaRef f1, NsaRef f2) {
+  if (!Type::equal(f1->cod(), f2->cod())) type_fail("sum: codomains differ");
+  TypeRef dom = Type::sum(f1->dom(), f2->dom());
+  TypeRef cod = f1->cod();
+  return make(NsaKind::SumCase, std::move(dom), std::move(cod), std::move(f1),
+              std::move(f2));
+}
+
+NsaRef dist(TypeRef t1, TypeRef t2, TypeRef s) {
+  TypeRef dom = Type::prod(Type::sum(t1, t2), s);
+  TypeRef cod = Type::sum(Type::prod(t1, s), Type::prod(t2, s));
+  return make(NsaKind::Dist, std::move(dom), std::move(cod));
+}
+
+NsaRef omega(TypeRef dom, TypeRef cod) {
+  return make(NsaKind::Omega, std::move(dom), std::move(cod));
+}
+
+NsaRef const_nat(std::uint64_t n) {
+  return make(NsaKind::ConstNat, Type::unit(), Type::nat(), nullptr, nullptr,
+              n);
+}
+
+NsaRef arith(ArithOp op) {
+  return make(NsaKind::Arith, Type::prod(Type::nat(), Type::nat()),
+              Type::nat(), nullptr, nullptr, 0, op);
+}
+
+NsaRef eqf() {
+  return make(NsaKind::EqF, Type::prod(Type::nat(), Type::nat()),
+              Type::boolean());
+}
+
+NsaRef empty_seq(TypeRef elem) {
+  return make(NsaKind::EmptySeq, Type::unit(), Type::seq(std::move(elem)));
+}
+
+NsaRef singletonf(TypeRef t) {
+  return make(NsaKind::SingletonF, t, Type::seq(t));
+}
+
+NsaRef appendf(TypeRef t) {
+  TypeRef st = Type::seq(std::move(t));
+  return make(NsaKind::AppendF, Type::prod(st, st), st);
+}
+
+NsaRef flattenf(TypeRef t) {
+  TypeRef st = Type::seq(std::move(t));
+  return make(NsaKind::FlattenF, Type::seq(st), st);
+}
+
+NsaRef lengthf(TypeRef t) {
+  return make(NsaKind::LengthF, Type::seq(std::move(t)), Type::nat());
+}
+
+NsaRef getf(TypeRef t) {
+  return make(NsaKind::GetF, Type::seq(t), t);
+}
+
+NsaRef mapf(NsaRef f) {
+  TypeRef dom = Type::seq(f->dom());
+  TypeRef cod = Type::seq(f->cod());
+  return make(NsaKind::MapF, std::move(dom), std::move(cod), std::move(f));
+}
+
+NsaRef zipf(TypeRef s, TypeRef t) {
+  TypeRef dom = Type::prod(Type::seq(s), Type::seq(t));
+  return make(NsaKind::ZipF, std::move(dom),
+              Type::seq(Type::prod(std::move(s), std::move(t))));
+}
+
+NsaRef enumeratef(TypeRef t) {
+  return make(NsaKind::EnumerateF, Type::seq(std::move(t)),
+              Type::seq(Type::nat()));
+}
+
+NsaRef splitf(TypeRef t) {
+  TypeRef st = Type::seq(t);
+  return make(NsaKind::SplitF, Type::prod(st, Type::seq(Type::nat())),
+              Type::seq(st));
+}
+
+NsaRef p2f(TypeRef s, TypeRef t) {
+  TypeRef dom = Type::prod(s, Type::seq(t));
+  return make(NsaKind::P2, std::move(dom),
+              Type::seq(Type::prod(std::move(s), std::move(t))));
+}
+
+NsaRef whilef(NsaRef p, NsaRef f) {
+  if (!p->cod()->is_boolean()) type_fail("while: predicate must return B");
+  if (!Type::equal(p->dom(), f->dom()) || !Type::equal(f->dom(), f->cod())) {
+    type_fail("while: p : t -> B and f : t -> t must agree");
+  }
+  TypeRef dom = f->dom();
+  TypeRef cod = f->cod();
+  return make(NsaKind::WhileF, std::move(dom), std::move(cod), std::move(p),
+              std::move(f));
+}
+
+NsaRef swapf(TypeRef t1, TypeRef t2) {
+  return pairf(pi2(t1, t2), pi1(t1, t2));
+}
+
+}  // namespace nsc::nsa

@@ -1,0 +1,128 @@
+// The Nested Sequence Algebra NSA (paper appendix C): a variable-free
+// combinator form of NSC.  NSA contains only functions f : s -> t; terms
+// with free variables x1:s1,...,xn:sn become functions out of the encoded
+// context s1 x (s2 x (... x unit)).  The broadcast p2 "replaces the free
+// variables present in NSC" (appendix C); we additionally include the
+// distributivity delta : (s1+s2) x s -> s1 x s + s2 x s, which appendix D
+// lists for SA's scalar fragment and which the case-translation needs at
+// every type (the appendix-C table is abbreviated in the extended
+// abstract).
+//
+// Every node carries its domain and codomain, so NSA programs are typed by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nsc/ast.hpp"
+#include "object/type.hpp"
+
+namespace nsc::nsa {
+
+using lang::ArithOp;
+
+enum class NsaKind {
+  // function structure
+  Id,        // id : t -> t
+  Compose,   // g . f
+  Bang,      // ! : t -> unit
+  PairF,     // <f, g>
+  Pi1,       // pi1 : t1 x t2 -> t1
+  Pi2,
+  In1F,      // in1 : t1 -> t1 + t2
+  In2F,
+  SumCase,   // f1 + f2 : t1 + t2 -> t
+  Dist,      // delta : (t1 + t2) x s -> t1 x s + t2 x s
+  // constants / arithmetic
+  Omega,     // omega : s -> t
+  ConstNat,  // n : unit -> N
+  Arith,     // op : N x N -> N
+  EqF,       // = : N x N -> B
+  // collections
+  EmptySeq,   // [] : unit -> [t]
+  SingletonF, // t -> [t]
+  AppendF,    // [t] x [t] -> [t]
+  FlattenF,   // [[t]] -> [t]
+  LengthF,    // [t] -> N
+  GetF,       // [t] -> t
+  MapF,       // map(f) : [s] -> [t]
+  // sequences
+  ZipF,        // [s] x [t] -> [s x t]
+  EnumerateF,  // [t] -> [N]
+  SplitF,      // [t] x [N] -> [[t]]
+  P2,          // s x [t] -> [s x t]
+  // iteration
+  WhileF,  // while(p, f) : t -> t
+};
+
+class NsaFn;
+using NsaRef = std::shared_ptr<const NsaFn>;
+
+class NsaFn {
+ public:
+  NsaKind kind() const { return kind_; }
+  const TypeRef& dom() const { return dom_; }
+  const TypeRef& cod() const { return cod_; }
+  const NsaRef& f() const { return f_; }  ///< first child (or only child)
+  const NsaRef& g() const { return g_; }  ///< second child
+  std::uint64_t imm() const { return imm_; }
+  ArithOp aop() const { return aop_; }
+
+  std::size_t node_count() const;
+  std::string show() const;
+
+  struct Init {
+    NsaKind kind;
+    TypeRef dom, cod;
+    NsaRef f, g;
+    std::uint64_t imm = 0;
+    ArithOp aop = ArithOp::Add;
+  };
+  static NsaRef make(Init init);
+
+ private:
+  explicit NsaFn(Init init);
+
+  NsaKind kind_;
+  TypeRef dom_, cod_;
+  NsaRef f_, g_;
+  std::uint64_t imm_;
+  ArithOp aop_;
+};
+
+// -- constructors (each checks its typing rule) ------------------------------
+
+NsaRef id(TypeRef t);
+NsaRef compose(NsaRef g, NsaRef f);  ///< g after f
+NsaRef bang(TypeRef t);
+NsaRef pairf(NsaRef f, NsaRef g);
+NsaRef pi1(TypeRef t1, TypeRef t2);
+NsaRef pi2(TypeRef t1, TypeRef t2);
+NsaRef in1f(TypeRef t1, TypeRef t2);
+NsaRef in2f(TypeRef t1, TypeRef t2);
+NsaRef sum_case(NsaRef f1, NsaRef f2);
+NsaRef dist(TypeRef t1, TypeRef t2, TypeRef s);
+NsaRef omega(TypeRef dom, TypeRef cod);
+NsaRef const_nat(std::uint64_t n);
+NsaRef arith(ArithOp op);
+NsaRef eqf();
+NsaRef empty_seq(TypeRef elem);
+NsaRef singletonf(TypeRef t);
+NsaRef appendf(TypeRef t);
+NsaRef flattenf(TypeRef t);
+NsaRef lengthf(TypeRef t);
+NsaRef getf(TypeRef t);
+NsaRef mapf(NsaRef f);
+NsaRef zipf(TypeRef s, TypeRef t);
+NsaRef enumeratef(TypeRef t);
+NsaRef splitf(TypeRef t);
+NsaRef p2f(TypeRef s, TypeRef t);
+NsaRef whilef(NsaRef p, NsaRef f);
+
+/// swap : t1 x t2 -> t2 x t1 = <pi2, pi1> (derived; used heavily by the
+/// NSC translation).
+NsaRef swapf(TypeRef t1, TypeRef t2);
+
+}  // namespace nsc::nsa

@@ -1,0 +1,217 @@
+#include "nsa/eval.hpp"
+
+#include <algorithm>
+
+#include "support/checked.hpp"
+#include "support/error.hpp"
+
+namespace nsc::nsa {
+
+namespace {
+
+class Interp {
+ public:
+  explicit Interp(const EvalConfig& cfg) : cfg_(cfg) {}
+
+  Evaluated apply(const NsaRef& f, const ValueRef& x) {
+    if (++steps_ > cfg_.max_steps) {
+      throw FuelExhausted("NSA evaluation exceeded " +
+                          std::to_string(cfg_.max_steps) + " steps");
+    }
+    switch (f->kind()) {
+      case NsaKind::Id:
+        return unary(x);
+      case NsaKind::Compose: {
+        Evaluated inner = apply(f->f(), x);
+        Evaluated outer = apply(f->g(), inner.value);
+        Cost c{1, outer.value->size()};
+        c += inner.cost;
+        c += outer.cost;
+        return {std::move(outer.value), c};
+      }
+      case NsaKind::Bang:
+        return unary(Value::unit());
+      case NsaKind::PairF: {
+        Evaluated a = apply(f->f(), x);
+        Evaluated b = apply(f->g(), x);
+        ValueRef v = Value::pair(a.value, b.value);
+        Cost c{1, v->size()};
+        c += a.cost;
+        c += b.cost;
+        return {std::move(v), c};
+      }
+      case NsaKind::Pi1:
+        return unary(x->first());
+      case NsaKind::Pi2:
+        return unary(x->second());
+      case NsaKind::In1F:
+        return unary(Value::in1(x));
+      case NsaKind::In2F:
+        return unary(Value::in2(x));
+      case NsaKind::SumCase: {
+        const bool left = x->is(ValueKind::In1);
+        if (!left && !x->is(ValueKind::In2)) {
+          throw EvalError("NSA sum: not an injection: " + x->show());
+        }
+        Evaluated r = apply(left ? f->f() : f->g(), x->injected());
+        Cost c{1, r.value->size()};
+        c += r.cost;
+        return {std::move(r.value), c};
+      }
+      case NsaKind::Dist: {
+        const ValueRef& u = x->first();
+        const ValueRef& s = x->second();
+        ValueRef out;
+        if (u->is(ValueKind::In1)) {
+          out = Value::in1(Value::pair(u->injected(), s));
+        } else if (u->is(ValueKind::In2)) {
+          out = Value::in2(Value::pair(u->injected(), s));
+        } else {
+          throw EvalError("NSA delta: not an injection: " + u->show());
+        }
+        return unary(std::move(out));
+      }
+      case NsaKind::Omega:
+        throw EvalError("NSA omega applied");
+      case NsaKind::ConstNat:
+        return unary(Value::nat(f->imm()));
+      case NsaKind::Arith:
+        return unary(Value::nat(lang::arith_apply(
+            f->aop(), x->first()->as_nat(), x->second()->as_nat())));
+      case NsaKind::EqF:
+        return unary(Value::boolean(x->first()->as_nat() ==
+                                    x->second()->as_nat()));
+      case NsaKind::EmptySeq:
+        return unary(Value::empty_seq());
+      case NsaKind::SingletonF:
+        return unary(Value::seq({x}));
+      case NsaKind::AppendF: {
+        std::vector<ValueRef> out = x->first()->elems();
+        const auto& more = x->second()->elems();
+        out.insert(out.end(), more.begin(), more.end());
+        return unary(Value::seq(std::move(out)), x->size());
+      }
+      case NsaKind::FlattenF: {
+        std::vector<ValueRef> out;
+        for (const auto& inner : x->elems()) {
+          const auto& es = inner->elems();
+          out.insert(out.end(), es.begin(), es.end());
+        }
+        return unary(Value::seq(std::move(out)), x->size());
+      }
+      case NsaKind::LengthF:
+        return unary(Value::nat(x->length()), x->size());
+      case NsaKind::GetF: {
+        if (x->length() != 1) {
+          throw EvalError("NSA get of non-singleton " + x->show());
+        }
+        return unary(x->elems()[0], x->size());
+      }
+      case NsaKind::MapF: {
+        std::vector<ValueRef> out;
+        out.reserve(x->length());
+        Cost c{1, 0};
+        std::uint64_t tmax = 0;
+        std::uint64_t out_size = 1;
+        for (const auto& e : x->elems()) {
+          Evaluated r = apply(f->f(), e);
+          tmax = std::max(tmax, r.cost.time);
+          c.work = sat_add(c.work, r.cost.work);
+          out_size = sat_add(out_size, r.value->size());
+          out.push_back(std::move(r.value));
+        }
+        c.time = sat_add(c.time, tmax);
+        c.work = sat_add(c.work, sat_add(x->size(), out_size));
+        return {Value::seq(std::move(out)), c};
+      }
+      case NsaKind::ZipF: {
+        const auto& xs = x->first()->elems();
+        const auto& ys = x->second()->elems();
+        if (xs.size() != ys.size()) {
+          throw EvalError("NSA zip: length mismatch");
+        }
+        std::vector<ValueRef> out;
+        out.reserve(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          out.push_back(Value::pair(xs[i], ys[i]));
+        }
+        return unary(Value::seq(std::move(out)), x->size());
+      }
+      case NsaKind::EnumerateF: {
+        std::vector<ValueRef> out;
+        out.reserve(x->length());
+        for (std::size_t i = 0; i < x->length(); ++i) {
+          out.push_back(Value::nat(i));
+        }
+        return unary(Value::seq(std::move(out)), x->size());
+      }
+      case NsaKind::SplitF: {
+        const auto& xs = x->first()->elems();
+        std::vector<ValueRef> groups;
+        std::size_t at = 0;
+        for (const auto& sz : x->second()->elems()) {
+          const std::uint64_t n = sz->as_nat();
+          if (at + n > xs.size()) {
+            throw EvalError("NSA split: sizes exceed data");
+          }
+          groups.push_back(Value::seq(
+              std::vector<ValueRef>(xs.begin() + at, xs.begin() + at + n)));
+          at += n;
+        }
+        if (at != xs.size()) throw EvalError("NSA split: sizes don't cover");
+        return unary(Value::seq(std::move(groups)), x->size());
+      }
+      case NsaKind::P2: {
+        const ValueRef& a = x->first();
+        std::vector<ValueRef> out;
+        out.reserve(x->second()->length());
+        for (const auto& e : x->second()->elems()) {
+          out.push_back(Value::pair(a, e));
+        }
+        return unary(Value::seq(std::move(out)), x->size());
+      }
+      case NsaKind::WhileF: {
+        ValueRef cur = x;
+        Cost total{0, 0};
+        for (;;) {
+          if (++steps_ > cfg_.max_steps) {
+            throw FuelExhausted("NSA while exceeded step budget");
+          }
+          Evaluated p = apply(f->f(), cur);
+          if (!p.value->as_bool()) {
+            total.time = sat_add(total.time, sat_add(1, p.cost.time));
+            total.work = sat_add(total.work, sat_add(p.cost.work, cur->size()));
+            return {std::move(cur), total};
+          }
+          Evaluated step = apply(f->g(), cur);
+          total.time = sat_add(
+              total.time, sat_add(1, sat_add(p.cost.time, step.cost.time)));
+          total.work = sat_add(
+              total.work, sat_add(sat_add(p.cost.work, step.cost.work),
+                                  sat_add(cur->size(), step.value->size())));
+          cur = std::move(step.value);
+        }
+      }
+    }
+    throw EvalError("NSA: unknown combinator");
+  }
+
+ private:
+  /// Leaf combinator: T = 1, W = size of result (+ optionally input).
+  static Evaluated unary(ValueRef v, std::uint64_t extra_in = 0) {
+    Cost c{1, sat_add(v->size(), extra_in)};
+    return {std::move(v), c};
+  }
+
+  const EvalConfig& cfg_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+Evaluated eval(const NsaRef& f, const ValueRef& arg, const EvalConfig& cfg) {
+  Interp interp(cfg);
+  return interp.apply(f, arg);
+}
+
+}  // namespace nsc::nsa

@@ -1,0 +1,31 @@
+// Evaluator for NSA with the same work/time accounting style as NSC
+// (Proposition C.1: NSC and NSA have the same expressive power with the
+// same T and W up to constants).  Each combinator application charges one
+// time step and the size of the values flowing through it; map is a
+// parallel max; while charges its state per iteration and never re-charges
+// the final result.
+#pragma once
+
+#include "nsa/ast.hpp"
+#include "object/value.hpp"
+#include "support/cost.hpp"
+
+namespace nsc::nsa {
+
+using nsc::Cost;
+using nsc::Value;
+using nsc::ValueRef;
+
+struct Evaluated {
+  ValueRef value;
+  Cost cost;
+};
+
+struct EvalConfig {
+  std::uint64_t max_steps = std::uint64_t{1} << 36;
+};
+
+/// Apply an NSA function to a value.
+Evaluated eval(const NsaRef& f, const ValueRef& arg, const EvalConfig& cfg = {});
+
+}  // namespace nsc::nsa

@@ -1,0 +1,260 @@
+#include "nsa/from_nsc.hpp"
+
+#include <set>
+
+#include "nsc/freevars.hpp"
+#include "nsc/typecheck.hpp"
+#include "support/error.hpp"
+
+namespace nsc::nsa {
+
+namespace {
+
+using lang::FuncKind;
+using lang::FuncRef;
+using lang::TermKind;
+using lang::TermRef;
+
+/// Type environment view of the ordered context.
+lang::TypeEnv type_env(const Context& ctx) {
+  lang::TypeEnv env;
+  // Innermost bindings shadow outer ones: iterate outermost-first.
+  for (auto it = ctx.rbegin(); it != ctx.rend(); ++it) {
+    env[it->first] = it->second;
+  }
+  return env;
+}
+
+/// Trim a context to the variables in `used`, returning the restricted
+/// context and the restriction morphism <Gamma> -> <Gamma'>.  Inner
+/// bindings shadow outer ones, so only the first (innermost) occurrence of
+/// each name survives.
+struct Trimmed {
+  Context ctx;
+  NsaRef restrict_fn;  // <Gamma> -> <Gamma'>
+};
+
+NsaRef project_var(const Context& ctx, std::size_t i);
+
+Trimmed trim_context(const Context& ctx, const std::set<std::string>& used);
+
+/// Projection chain extracting variable #i (0 = innermost) from <Gamma>.
+NsaRef project_var(const Context& ctx, std::size_t i) {
+  // <Gamma> = s0 x (s1 x (... x unit)); var i = pi1 . pi2^i.
+  std::vector<TypeRef> tails(ctx.size() + 1);
+  tails[ctx.size()] = Type::unit();
+  for (std::size_t k = ctx.size(); k-- > 0;) {
+    tails[k] = Type::prod(ctx[k].second, tails[k + 1]);
+  }
+  NsaRef acc = id(tails[0]);
+  for (std::size_t k = 0; k < i; ++k) {
+    acc = compose(pi2(ctx[k].second, tails[k + 1]), acc);
+  }
+  return compose(pi1(ctx[i].second, tails[i + 1]), acc);
+}
+
+Trimmed trim_context(const Context& ctx, const std::set<std::string>& used) {
+  Trimmed out;
+  std::set<std::string> seen;
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    if (used.count(ctx[i].first) && !seen.count(ctx[i].first)) {
+      keep.push_back(i);
+      seen.insert(ctx[i].first);
+      out.ctx.push_back(ctx[i]);
+    }
+  }
+  // <Gamma'> = v_{k0} x (v_{k1} x (... x unit)), built by nested pairing of
+  // projections out of <Gamma>.
+  const TypeRef gamma = context_type(ctx);
+  NsaRef acc = bang(gamma);  // unit tail
+  for (std::size_t k = keep.size(); k-- > 0;) {
+    acc = pairf(project_var(ctx, keep[k]), acc);
+  }
+  out.restrict_fn = acc;
+  return out;
+}
+
+}  // namespace
+
+TypeRef context_type(const Context& ctx) {
+  TypeRef t = Type::unit();
+  for (std::size_t k = ctx.size(); k-- > 0;) {
+    t = Type::prod(ctx[k].second, t);
+  }
+  return t;
+}
+
+ValueRef encode_context(const std::vector<ValueRef>& values) {
+  ValueRef v = Value::unit();
+  for (std::size_t k = values.size(); k-- > 0;) {
+    v = Value::pair(values[k], v);
+  }
+  return v;
+}
+
+NsaRef from_nsc(const TermRef& m, const Context& ctx) {
+  const TypeRef gamma = context_type(ctx);
+  const lang::TypeEnv env = type_env(ctx);
+  auto type_of = [&](const TermRef& t) { return lang::check_term(t, env); };
+
+  switch (m->kind()) {
+    case TermKind::Var: {
+      for (std::size_t i = 0; i < ctx.size(); ++i) {
+        if (ctx[i].first == m->var_name()) return project_var(ctx, i);
+      }
+      throw TypeError("from_nsc: unbound variable " + m->var_name());
+    }
+    case TermKind::Omega:
+      return omega(gamma, m->annotation());
+    case TermKind::NatConst:
+      return compose(const_nat(m->nat_value()), bang(gamma));
+    case TermKind::Arith:
+      return compose(arith(m->op()),
+                     pairf(from_nsc(m->child0(), ctx),
+                           from_nsc(m->child1(), ctx)));
+    case TermKind::Eq:
+      return compose(eqf(), pairf(from_nsc(m->child0(), ctx),
+                                  from_nsc(m->child1(), ctx)));
+    case TermKind::UnitVal:
+      return bang(gamma);
+    case TermKind::MkPair:
+      return pairf(from_nsc(m->child0(), ctx), from_nsc(m->child1(), ctx));
+    case TermKind::Proj1: {
+      TypeRef t = type_of(m->child0());
+      return compose(pi1(t->left(), t->right()), from_nsc(m->child0(), ctx));
+    }
+    case TermKind::Proj2: {
+      TypeRef t = type_of(m->child0());
+      return compose(pi2(t->left(), t->right()), from_nsc(m->child0(), ctx));
+    }
+    case TermKind::Inj1: {
+      TypeRef t = type_of(m->child0());
+      return compose(in1f(t, m->annotation()), from_nsc(m->child0(), ctx));
+    }
+    case TermKind::Inj2: {
+      TypeRef t = type_of(m->child0());
+      return compose(in2f(m->annotation(), t), from_nsc(m->child0(), ctx));
+    }
+    case TermKind::Case: {
+      // (f_N + f_P) . delta . <f_M, id>
+      TypeRef st = type_of(m->child0());
+      Context ctx1 = ctx;
+      ctx1.insert(ctx1.begin(), {m->binder1(), st->left()});
+      Context ctx2 = ctx;
+      ctx2.insert(ctx2.begin(), {m->binder2(), st->right()});
+      NsaRef branch1 = from_nsc(m->branch1(), ctx1);  // t1 x Gamma -> t
+      NsaRef branch2 = from_nsc(m->branch2(), ctx2);  // t2 x Gamma -> t
+      NsaRef scrut = from_nsc(m->child0(), ctx);      // Gamma -> t1 + t2
+      return compose(
+          sum_case(branch1, branch2),
+          compose(dist(st->left(), st->right(), gamma),
+                  pairf(scrut, id(gamma))));
+    }
+    case TermKind::Apply: {
+      // f_F . <f_M, id>
+      NsaRef arg = from_nsc(m->child0(), ctx);
+      NsaRef fn = from_nsc_func(m->fn(), ctx);
+      return compose(fn, pairf(arg, id(gamma)));
+    }
+    case TermKind::Empty:
+      return compose(empty_seq(m->annotation()), bang(gamma));
+    case TermKind::Singleton: {
+      TypeRef t = type_of(m->child0());
+      return compose(singletonf(t), from_nsc(m->child0(), ctx));
+    }
+    case TermKind::Append: {
+      TypeRef t = type_of(m->child0());
+      return compose(appendf(t->elem()),
+                     pairf(from_nsc(m->child0(), ctx),
+                           from_nsc(m->child1(), ctx)));
+    }
+    case TermKind::Flatten: {
+      TypeRef t = type_of(m->child0());
+      return compose(flattenf(t->elem()->elem()),
+                     from_nsc(m->child0(), ctx));
+    }
+    case TermKind::Length: {
+      TypeRef t = type_of(m->child0());
+      return compose(lengthf(t->elem()), from_nsc(m->child0(), ctx));
+    }
+    case TermKind::Get: {
+      TypeRef t = type_of(m->child0());
+      return compose(getf(t->elem()), from_nsc(m->child0(), ctx));
+    }
+    case TermKind::Zip: {
+      TypeRef a = type_of(m->child0());
+      TypeRef b = type_of(m->child1());
+      return compose(zipf(a->elem(), b->elem()),
+                     pairf(from_nsc(m->child0(), ctx),
+                           from_nsc(m->child1(), ctx)));
+    }
+    case TermKind::Enumerate: {
+      TypeRef t = type_of(m->child0());
+      return compose(enumeratef(t->elem()), from_nsc(m->child0(), ctx));
+    }
+    case TermKind::Split: {
+      TypeRef t = type_of(m->child0());
+      return compose(splitf(t->elem()),
+                     pairf(from_nsc(m->child0(), ctx),
+                           from_nsc(m->child1(), ctx)));
+    }
+  }
+  throw TypeError("from_nsc: unknown term kind");
+}
+
+NsaRef from_nsc_func(const FuncRef& f, const Context& ctx) {
+  const TypeRef gamma = context_type(ctx);
+  switch (f->kind()) {
+    case FuncKind::Lambda: {
+      Context inner = ctx;
+      inner.insert(inner.begin(), {f->param(), f->param_type()});
+      return from_nsc(f->body(), inner);  // s x Gamma -> t
+    }
+    case FuncKind::Map: {
+      // Trim the context to the body's free variables before broadcasting:
+      // p2 replicates the context once per element, so only what the body
+      // actually reads may ride along (this is what keeps the translated
+      // work within a constant of NSC's per-use variable charging).
+      Trimmed tr = trim_context(ctx, lang::free_vars(f->inner()));
+      const TypeRef gamma2 = context_type(tr.ctx);
+      NsaRef inner = from_nsc_func(f->inner(), tr.ctx);  // s x Gamma' -> t
+      TypeRef s = inner->dom()->left();
+      NsaRef body = compose(inner, swapf(gamma2, s));    // Gamma' x s -> t
+      // [s] x Gamma --<pi1, restrict.pi2>--> [s] x Gamma' --swap-->
+      // Gamma' x [s] --p2--> [Gamma' x s] --map--> [t]
+      NsaRef narrow = pairf(pi1(Type::seq(s), gamma),
+                            compose(tr.restrict_fn, pi2(Type::seq(s), gamma)));
+      return compose(
+          mapf(body),
+          compose(p2f(gamma2, s),
+                  compose(swapf(Type::seq(s), gamma2), narrow)));
+    }
+    case FuncKind::While: {
+      // Trim the context before threading it through the loop state: the
+      // state is charged at every iteration (Definition 3.1).
+      std::set<std::string> used = lang::free_vars(f->pred());
+      std::set<std::string> used2 = lang::free_vars(f->inner());
+      used.insert(used2.begin(), used2.end());
+      Trimmed tr = trim_context(ctx, used);
+      const TypeRef gamma2 = context_type(tr.ctx);
+      NsaRef pred = from_nsc_func(f->pred(), tr.ctx);    // t x Gamma' -> B
+      NsaRef body = from_nsc_func(f->inner(), tr.ctx);   // t x Gamma' -> t
+      TypeRef t = body->dom()->left();
+      NsaRef step = pairf(body, pi2(t, gamma2));
+      NsaRef narrow =
+          pairf(pi1(t, gamma), compose(tr.restrict_fn, pi2(t, gamma)));
+      return compose(pi1(t, gamma2), compose(whilef(pred, step), narrow));
+    }
+  }
+  throw TypeError("from_nsc_func: unknown function kind");
+}
+
+NsaRef from_closed_func(const FuncRef& f) {
+  // f_F : s x unit -> t; pre-compose with <id, !> to get s -> t.
+  NsaRef open = from_nsc_func(f, {});
+  TypeRef s = open->dom()->left();
+  return compose(open, pairf(id(s), bang(s)));
+}
+
+}  // namespace nsc::nsa

@@ -1,0 +1,50 @@
+// Variable elimination: NSC -> NSA (paper section 7, "Variable
+// Elimination", and appendix C / Proposition C.1).
+//
+// A term Gamma |- M : t with Gamma = x1:s1, ..., xn:sn becomes a function
+//   f_M : <Gamma> -> t,     <Gamma> = s1 x (s2 x (... x unit))
+// and a function expression Gamma |- F : s -> t becomes
+//   f_F : s x <Gamma> -> t.
+//
+// Variables are projection chains; `case` pushes the context into the
+// branches with delta; `map` broadcasts the context with p2 (the appendix-C
+// note: "this replaces the free variables present in NSC"); `while` threads
+// the context through the loop state as t x <Gamma>.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nsa/ast.hpp"
+#include "object/value.hpp"
+
+namespace nsc::nsa {
+
+using nsc::Value;
+using nsc::ValueRef;
+
+/// An ordered typing context; index 0 is the *innermost* (most recently
+/// bound) variable, matching the right-nested product encoding.
+using Context = std::vector<std::pair<std::string, TypeRef>>;
+
+/// The encoded type <Gamma>.
+TypeRef context_type(const Context& ctx);
+
+/// Translate a term: f_M : <Gamma> -> t.
+NsaRef from_nsc(const lang::TermRef& m, const Context& ctx = {});
+
+/// Translate a function expression: f_F : s x <Gamma> -> t.
+NsaRef from_nsc_func(const lang::FuncRef& f, const Context& ctx = {});
+
+/// Translate a *closed* NSC function F : s -> t into an NSA function with
+/// the same domain and codomain (the common entry point: wraps the context
+/// plumbing so that f(x) = from_nsc of F(x)).
+NsaRef from_closed_func(const lang::FuncRef& f);
+
+/// Encode an argument list for a translated open term: values for the
+/// context variables, innermost first, as the nested pair
+/// (v1, (v2, (..., ()))).
+ValueRef encode_context(const std::vector<ValueRef>& values);
+
+}  // namespace nsc::nsa

@@ -1,0 +1,276 @@
+#include "nsc/ast.hpp"
+
+#include <sstream>
+
+#include "support/checked.hpp"
+#include "support/error.hpp"
+
+namespace nsc::lang {
+
+const char* arith_op_name(ArithOp op) {
+  switch (op) {
+    case ArithOp::Add:
+      return "+";
+    case ArithOp::Monus:
+      return "-";
+    case ArithOp::Mul:
+      return "*";
+    case ArithOp::Div:
+      return "/";
+    case ArithOp::Rsh:
+      return ">>";
+    case ArithOp::Log2:
+      return "log2";
+  }
+  return "?";
+}
+
+std::uint64_t arith_apply(ArithOp op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case ArithOp::Add:
+      return sat_add(a, b);
+    case ArithOp::Monus:
+      return monus(a, b);
+    case ArithOp::Mul:
+      return sat_mul(a, b);
+    case ArithOp::Div:
+      if (b == 0) throw EvalError("division by zero");
+      return a / b;
+    case ArithOp::Rsh:
+      return b >= 64 ? 0 : a >> b;
+    case ArithOp::Log2:
+      return ilog2(a);
+  }
+  throw EvalError("unknown arithmetic op");
+}
+
+// ---------------------------------------------------------------------------
+// Term
+// ---------------------------------------------------------------------------
+
+Term::Term(Init init)
+    : kind_(init.kind),
+      var_(std::move(init.var)),
+      nat_(init.nat),
+      op_(init.op),
+      a_(std::move(init.a)),
+      b_(std::move(init.b)),
+      ann_(std::move(init.ann)),
+      binder1_(std::move(init.binder1)),
+      binder2_(std::move(init.binder2)),
+      branch1_(std::move(init.branch1)),
+      branch2_(std::move(init.branch2)),
+      fn_(std::move(init.fn)) {}
+
+TermRef Term::make(Init init) {
+  struct Access : Term {
+    explicit Access(Init i) : Term(std::move(i)) {}
+  };
+  return std::make_shared<Access>(std::move(init));
+}
+
+namespace {
+[[noreturn]] void bad_access(const char* what, TermKind k) {
+  throw Error(std::string("internal: term accessor ") + what + " on kind " +
+              std::to_string(static_cast<int>(k)));
+}
+}  // namespace
+
+const std::string& Term::var_name() const {
+  if (kind_ != TermKind::Var) bad_access("var_name", kind_);
+  return var_;
+}
+
+std::uint64_t Term::nat_value() const {
+  if (kind_ != TermKind::NatConst) bad_access("nat_value", kind_);
+  return nat_;
+}
+
+ArithOp Term::op() const {
+  if (kind_ != TermKind::Arith) bad_access("op", kind_);
+  return op_;
+}
+
+const TermRef& Term::child0() const { return a_; }
+const TermRef& Term::child1() const { return b_; }
+const TypeRef& Term::annotation() const { return ann_; }
+
+const std::string& Term::binder1() const {
+  if (kind_ != TermKind::Case) bad_access("binder1", kind_);
+  return binder1_;
+}
+const std::string& Term::binder2() const {
+  if (kind_ != TermKind::Case) bad_access("binder2", kind_);
+  return binder2_;
+}
+const TermRef& Term::branch1() const {
+  if (kind_ != TermKind::Case) bad_access("branch1", kind_);
+  return branch1_;
+}
+const TermRef& Term::branch2() const {
+  if (kind_ != TermKind::Case) bad_access("branch2", kind_);
+  return branch2_;
+}
+const FuncRef& Term::fn() const {
+  if (kind_ != TermKind::Apply) bad_access("fn", kind_);
+  return fn_;
+}
+
+std::size_t Term::node_count() const {
+  std::size_t n = 1;
+  if (a_) n += a_->node_count();
+  if (b_) n += b_->node_count();
+  if (branch1_) n += branch1_->node_count();
+  if (branch2_) n += branch2_->node_count();
+  if (fn_) n += fn_->node_count();
+  return n;
+}
+
+std::string Term::show() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case TermKind::Var:
+      out << var_;
+      break;
+    case TermKind::Omega:
+      out << "omega";
+      break;
+    case TermKind::NatConst:
+      out << nat_;
+      break;
+    case TermKind::Arith:
+      if (op_ == ArithOp::Log2) {
+        out << "log2(" << a_->show() << ")";
+      } else {
+        out << "(" << a_->show() << " " << arith_op_name(op_) << " "
+            << b_->show() << ")";
+      }
+      break;
+    case TermKind::Eq:
+      out << "(" << a_->show() << " = " << b_->show() << ")";
+      break;
+    case TermKind::UnitVal:
+      out << "()";
+      break;
+    case TermKind::MkPair:
+      out << "(" << a_->show() << ", " << b_->show() << ")";
+      break;
+    case TermKind::Proj1:
+      out << "pi1(" << a_->show() << ")";
+      break;
+    case TermKind::Proj2:
+      out << "pi2(" << a_->show() << ")";
+      break;
+    case TermKind::Inj1:
+      out << "in1(" << a_->show() << ")";
+      break;
+    case TermKind::Inj2:
+      out << "in2(" << a_->show() << ")";
+      break;
+    case TermKind::Case:
+      out << "case " << a_->show() << " of in1 " << binder1_ << " => "
+          << branch1_->show() << " | in2 " << binder2_ << " => "
+          << branch2_->show();
+      break;
+    case TermKind::Apply:
+      out << fn_->show() << "(" << a_->show() << ")";
+      break;
+    case TermKind::Empty:
+      out << "[]";
+      break;
+    case TermKind::Singleton:
+      out << "[" << a_->show() << "]";
+      break;
+    case TermKind::Append:
+      out << "(" << a_->show() << " @ " << b_->show() << ")";
+      break;
+    case TermKind::Flatten:
+      out << "flatten(" << a_->show() << ")";
+      break;
+    case TermKind::Length:
+      out << "length(" << a_->show() << ")";
+      break;
+    case TermKind::Get:
+      out << "get(" << a_->show() << ")";
+      break;
+    case TermKind::Zip:
+      out << "zip(" << a_->show() << ", " << b_->show() << ")";
+      break;
+    case TermKind::Enumerate:
+      out << "enumerate(" << a_->show() << ")";
+      break;
+    case TermKind::Split:
+      out << "split(" << a_->show() << ", " << b_->show() << ")";
+      break;
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Func
+// ---------------------------------------------------------------------------
+
+Func::Func(Init init)
+    : kind_(init.kind),
+      param_(std::move(init.param)),
+      param_type_(std::move(init.param_type)),
+      body_(std::move(init.body)),
+      inner_(std::move(init.inner)),
+      pred_(std::move(init.pred)) {}
+
+FuncRef Func::make(Init init) {
+  struct Access : Func {
+    explicit Access(Init i) : Func(std::move(i)) {}
+  };
+  return std::make_shared<Access>(std::move(init));
+}
+
+const std::string& Func::param() const {
+  if (kind_ != FuncKind::Lambda) throw Error("internal: param() on non-lambda");
+  return param_;
+}
+const TypeRef& Func::param_type() const {
+  if (kind_ != FuncKind::Lambda) {
+    throw Error("internal: param_type() on non-lambda");
+  }
+  return param_type_;
+}
+const TermRef& Func::body() const {
+  if (kind_ != FuncKind::Lambda) throw Error("internal: body() on non-lambda");
+  return body_;
+}
+const FuncRef& Func::inner() const {
+  if (kind_ == FuncKind::Lambda) throw Error("internal: inner() on lambda");
+  return inner_;
+}
+const FuncRef& Func::pred() const {
+  if (kind_ != FuncKind::While) throw Error("internal: pred() on non-while");
+  return pred_;
+}
+
+std::size_t Func::node_count() const {
+  std::size_t n = 1;
+  if (body_) n += body_->node_count();
+  if (inner_) n += inner_->node_count();
+  if (pred_) n += pred_->node_count();
+  return n;
+}
+
+std::string Func::show() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case FuncKind::Lambda:
+      out << "(\\" << param_ << ":" << param_type_->show() << ". "
+          << body_->show() << ")";
+      break;
+    case FuncKind::Map:
+      out << "map(" << inner_->show() << ")";
+      break;
+    case FuncKind::While:
+      out << "while(" << pred_->show() << ", " << inner_->show() << ")";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace nsc::lang

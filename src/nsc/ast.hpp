@@ -1,0 +1,164 @@
+// Abstract syntax of the Nested Sequence Calculus (paper appendix A).
+//
+// NSC has two syntactic categories:
+//   * terms M, N, ... which have a type t, and
+//   * functions F, G, ... which have a domain and codomain s -> t
+//     (s -> t is *not* a type: NSC is deliberately first-order).
+//
+// Terms:    x | Omega | n | M op N | M = N
+//         | () | (M, N) | pi1 M | pi2 M
+//         | in1 M | in2 M | case M of in1 x => N | in2 y => P
+//         | F(M)
+//         | [] | [M] | M @ N | flatten M | length M | get M
+//         | zip(M, N) | enumerate M | split(M, N)
+// Functions: \x:s. M | map(F) | while(P, F)
+//
+// Nodes are immutable and shared; the builder DSL in build.hpp is the
+// intended construction interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "object/type.hpp"
+
+namespace nsc::lang {
+
+using nsc::Type;
+using nsc::TypeRef;
+
+class Term;
+class Func;
+using TermRef = std::shared_ptr<const Term>;
+using FuncRef = std::shared_ptr<const Func>;
+
+enum class TermKind {
+  Var,        // x
+  Omega,      // error (annotated with its type)
+  NatConst,   // n
+  Arith,      // M op N   (op in Sigma; Log2 ignores its second operand)
+  Eq,         // M = N    (on naturals, yields B)
+  UnitVal,    // ()
+  MkPair,     // (M, N)
+  Proj1,      // pi1 M
+  Proj2,      // pi2 M
+  Inj1,       // in1 M    (annotated with the right summand type)
+  Inj2,       // in2 M    (annotated with the left summand type)
+  Case,       // case M of in1 x => N | in2 y => P
+  Apply,      // F(M)
+  Empty,      // []       (annotated with the element type)
+  Singleton,  // [M]
+  Append,     // M @ N
+  Flatten,    // flatten M
+  Length,     // length M
+  Get,        // get M
+  Zip,        // zip(M, N)
+  Enumerate,  // enumerate M
+  Split,      // split(M, N)
+};
+
+enum class FuncKind {
+  Lambda,  // \x:s. M
+  Map,     // map(F)
+  While,   // while(P, F)
+};
+
+/// The arithmetic operation set Sigma (section 2): {+, -, *, /, >>, log2}.
+/// `-` is monus.  Log2 is morally unary; as a binary node it ignores its
+/// second operand (the DSL always passes a zero literal there).
+enum class ArithOp { Add, Monus, Mul, Div, Rsh, Log2 };
+
+const char* arith_op_name(ArithOp op);
+
+/// Apply an arithmetic op to concrete naturals (shared by every layer:
+/// NSC/NSA/SA evaluators and the BVRAM interpreter).  Division by zero
+/// raises EvalError (Omega).
+std::uint64_t arith_apply(ArithOp op, std::uint64_t a, std::uint64_t b);
+
+class Term {
+ public:
+  TermKind kind() const { return kind_; }
+
+  // Accessors; each asserts the node kind in debug sense (throws on misuse).
+  const std::string& var_name() const;         // Var
+  std::uint64_t nat_value() const;             // NatConst
+  ArithOp op() const;                          // Arith
+  const TermRef& child0() const;               // unary/binary first child
+  const TermRef& child1() const;               // binary second child
+  const TypeRef& annotation() const;           // Omega/Empty/Inj1/Inj2
+  const std::string& binder1() const;          // Case
+  const std::string& binder2() const;          // Case
+  const TermRef& branch1() const;              // Case
+  const TermRef& branch2() const;              // Case
+  const FuncRef& fn() const;                   // Apply
+
+  /// Number of AST nodes (for reporting / sanity limits).
+  std::size_t node_count() const;
+
+  std::string show() const;
+
+  // Raw constructor used by build.hpp.
+  struct Init {
+    TermKind kind;
+    std::string var;
+    std::uint64_t nat = 0;
+    ArithOp op = ArithOp::Add;
+    TermRef a;
+    TermRef b;
+    TypeRef ann;
+    std::string binder1, binder2;
+    TermRef branch1, branch2;
+    FuncRef fn;
+  };
+  static TermRef make(Init init);
+
+ private:
+  explicit Term(Init init);
+
+  TermKind kind_;
+  std::string var_;
+  std::uint64_t nat_;
+  ArithOp op_;
+  TermRef a_, b_;
+  TypeRef ann_;
+  std::string binder1_, binder2_;
+  TermRef branch1_, branch2_;
+  FuncRef fn_;
+};
+
+class Func {
+ public:
+  FuncKind kind() const { return kind_; }
+
+  const std::string& param() const;      // Lambda
+  const TypeRef& param_type() const;     // Lambda
+  const TermRef& body() const;           // Lambda
+  const FuncRef& inner() const;          // Map body / While body F
+  const FuncRef& pred() const;           // While predicate P
+
+  std::size_t node_count() const;
+  std::string show() const;
+
+  struct Init {
+    FuncKind kind;
+    std::string param;
+    TypeRef param_type;
+    TermRef body;
+    FuncRef inner;
+    FuncRef pred;
+  };
+  static FuncRef make(Init init);
+
+ private:
+  explicit Func(Init init);
+
+  FuncKind kind_;
+  std::string param_;
+  TypeRef param_type_;
+  TermRef body_;
+  FuncRef inner_;
+  FuncRef pred_;
+};
+
+}  // namespace nsc::lang

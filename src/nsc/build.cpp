@@ -1,0 +1,278 @@
+#include "nsc/build.hpp"
+
+#include <atomic>
+
+namespace nsc::lang {
+
+std::string gensym(const std::string& hint) {
+  static std::atomic<std::uint64_t> counter{0};
+  return "_" + hint + std::to_string(counter.fetch_add(1));
+}
+
+// -- terms -------------------------------------------------------------------
+
+TermRef var(const std::string& name) {
+  Term::Init i;
+  i.kind = TermKind::Var;
+  i.var = name;
+  return Term::make(std::move(i));
+}
+
+TermRef omega(TypeRef type) {
+  Term::Init i;
+  i.kind = TermKind::Omega;
+  i.ann = std::move(type);
+  return Term::make(std::move(i));
+}
+
+TermRef nat(std::uint64_t n) {
+  Term::Init i;
+  i.kind = TermKind::NatConst;
+  i.nat = n;
+  return Term::make(std::move(i));
+}
+
+TermRef arith(ArithOp op, TermRef a, TermRef b) {
+  Term::Init i;
+  i.kind = TermKind::Arith;
+  i.op = op;
+  i.a = std::move(a);
+  i.b = std::move(b);
+  return Term::make(std::move(i));
+}
+
+TermRef add(TermRef a, TermRef b) {
+  return arith(ArithOp::Add, std::move(a), std::move(b));
+}
+TermRef monus_t(TermRef a, TermRef b) {
+  return arith(ArithOp::Monus, std::move(a), std::move(b));
+}
+TermRef mul(TermRef a, TermRef b) {
+  return arith(ArithOp::Mul, std::move(a), std::move(b));
+}
+TermRef div_t(TermRef a, TermRef b) {
+  return arith(ArithOp::Div, std::move(a), std::move(b));
+}
+TermRef rsh(TermRef a, TermRef b) {
+  return arith(ArithOp::Rsh, std::move(a), std::move(b));
+}
+TermRef log2_t(TermRef a) { return arith(ArithOp::Log2, std::move(a), nat(0)); }
+
+TermRef eq(TermRef a, TermRef b) {
+  Term::Init i;
+  i.kind = TermKind::Eq;
+  i.a = std::move(a);
+  i.b = std::move(b);
+  return Term::make(std::move(i));
+}
+
+TermRef unit_v() {
+  Term::Init i;
+  i.kind = TermKind::UnitVal;
+  return Term::make(std::move(i));
+}
+
+TermRef pair(TermRef a, TermRef b) {
+  Term::Init i;
+  i.kind = TermKind::MkPair;
+  i.a = std::move(a);
+  i.b = std::move(b);
+  return Term::make(std::move(i));
+}
+
+TermRef proj1(TermRef m) {
+  Term::Init i;
+  i.kind = TermKind::Proj1;
+  i.a = std::move(m);
+  return Term::make(std::move(i));
+}
+
+TermRef proj2(TermRef m) {
+  Term::Init i;
+  i.kind = TermKind::Proj2;
+  i.a = std::move(m);
+  return Term::make(std::move(i));
+}
+
+TermRef inj1(TermRef m, TypeRef right) {
+  Term::Init i;
+  i.kind = TermKind::Inj1;
+  i.a = std::move(m);
+  i.ann = std::move(right);
+  return Term::make(std::move(i));
+}
+
+TermRef inj2(TermRef m, TypeRef left) {
+  Term::Init i;
+  i.kind = TermKind::Inj2;
+  i.a = std::move(m);
+  i.ann = std::move(left);
+  return Term::make(std::move(i));
+}
+
+TermRef case_of(TermRef scrutinee, const std::string& x, TermRef left_branch,
+                const std::string& y, TermRef right_branch) {
+  Term::Init i;
+  i.kind = TermKind::Case;
+  i.a = std::move(scrutinee);
+  i.binder1 = x;
+  i.binder2 = y;
+  i.branch1 = std::move(left_branch);
+  i.branch2 = std::move(right_branch);
+  return Term::make(std::move(i));
+}
+
+TermRef apply(FuncRef f, TermRef m) {
+  Term::Init i;
+  i.kind = TermKind::Apply;
+  i.fn = std::move(f);
+  i.a = std::move(m);
+  return Term::make(std::move(i));
+}
+
+TermRef empty(TypeRef elem_type) {
+  Term::Init i;
+  i.kind = TermKind::Empty;
+  i.ann = std::move(elem_type);
+  return Term::make(std::move(i));
+}
+
+TermRef singleton(TermRef m) {
+  Term::Init i;
+  i.kind = TermKind::Singleton;
+  i.a = std::move(m);
+  return Term::make(std::move(i));
+}
+
+TermRef append(TermRef a, TermRef b) {
+  Term::Init i;
+  i.kind = TermKind::Append;
+  i.a = std::move(a);
+  i.b = std::move(b);
+  return Term::make(std::move(i));
+}
+
+TermRef flatten(TermRef m) {
+  Term::Init i;
+  i.kind = TermKind::Flatten;
+  i.a = std::move(m);
+  return Term::make(std::move(i));
+}
+
+TermRef length(TermRef m) {
+  Term::Init i;
+  i.kind = TermKind::Length;
+  i.a = std::move(m);
+  return Term::make(std::move(i));
+}
+
+TermRef get(TermRef m) {
+  Term::Init i;
+  i.kind = TermKind::Get;
+  i.a = std::move(m);
+  return Term::make(std::move(i));
+}
+
+TermRef zip(TermRef a, TermRef b) {
+  Term::Init i;
+  i.kind = TermKind::Zip;
+  i.a = std::move(a);
+  i.b = std::move(b);
+  return Term::make(std::move(i));
+}
+
+TermRef enumerate(TermRef m) {
+  Term::Init i;
+  i.kind = TermKind::Enumerate;
+  i.a = std::move(m);
+  return Term::make(std::move(i));
+}
+
+TermRef split(TermRef m, TermRef sizes) {
+  Term::Init i;
+  i.kind = TermKind::Split;
+  i.a = std::move(m);
+  i.b = std::move(sizes);
+  return Term::make(std::move(i));
+}
+
+// -- functions ---------------------------------------------------------------
+
+FuncRef lambda(const std::string& param, TypeRef param_type, TermRef body) {
+  Func::Init i;
+  i.kind = FuncKind::Lambda;
+  i.param = param;
+  i.param_type = std::move(param_type);
+  i.body = std::move(body);
+  return Func::make(std::move(i));
+}
+
+FuncRef lam(TypeRef param_type, const std::function<TermRef(TermRef)>& body,
+            const std::string& hint) {
+  const std::string name = gensym(hint);
+  return lambda(name, std::move(param_type), body(var(name)));
+}
+
+FuncRef map_f(FuncRef f) {
+  Func::Init i;
+  i.kind = FuncKind::Map;
+  i.inner = std::move(f);
+  return Func::make(std::move(i));
+}
+
+FuncRef while_f(FuncRef pred, FuncRef body) {
+  Func::Init i;
+  i.kind = FuncKind::While;
+  i.pred = std::move(pred);
+  i.inner = std::move(body);
+  return Func::make(std::move(i));
+}
+
+// -- derived sugar -----------------------------------------------------------
+
+TermRef tru() { return inj1(unit_v(), Type::unit()); }
+TermRef fls() { return inj2(unit_v(), Type::unit()); }
+
+TermRef ite(TermRef cond, TermRef then_term, TermRef else_term) {
+  return case_of(std::move(cond), gensym("u"), std::move(then_term),
+                 gensym("u"), std::move(else_term));
+}
+
+TermRef let_in(TypeRef type, TermRef m,
+               const std::function<TermRef(TermRef)>& body,
+               const std::string& hint) {
+  const std::string name = gensym(hint);
+  return apply(lambda(name, std::move(type), body(var(name))), std::move(m));
+}
+
+TermRef land(TermRef a, TermRef b) { return ite(std::move(a), std::move(b), fls()); }
+TermRef lor(TermRef a, TermRef b) { return ite(std::move(a), tru(), std::move(b)); }
+TermRef lnot(TermRef a) { return ite(std::move(a), fls(), tru()); }
+
+TermRef leq(TermRef a, TermRef b) {
+  return eq(monus_t(std::move(a), std::move(b)), nat(0));
+}
+
+TermRef lt(TermRef a, TermRef b) {
+  return leq(add(std::move(a), nat(1)), std::move(b));
+}
+
+TermRef neq(TermRef a, TermRef b) { return lnot(eq(std::move(a), std::move(b))); }
+
+TermRef mod_t(TermRef a, TermRef b) {
+  // a mod b = a - (a/b)*b; requires a, b to be duplicable terms (variables
+  // or literals) because they appear twice.
+  return monus_t(a, mul(div_t(a, b), b));
+}
+
+TermRef nat_list(std::initializer_list<std::uint64_t> ns) {
+  return nat_list(std::vector<std::uint64_t>(ns));
+}
+
+TermRef nat_list(const std::vector<std::uint64_t>& ns) {
+  TermRef acc = empty(Type::nat());
+  for (auto n : ns) acc = append(std::move(acc), singleton(nat(n)));
+  return acc;
+}
+
+}  // namespace nsc::lang

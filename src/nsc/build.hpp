@@ -1,0 +1,108 @@
+// Builder DSL for constructing NSC terms and functions from C++.
+//
+// This plays the role of the "user-friendly language with block structure"
+// the paper sketches at the start of section 4: the combinators below are a
+// thin construction layer that produces plain NSC ASTs (nothing here adds
+// expressive power).  `let_` is the standard sugar
+//   let x = M in N  ==  (\x. N)(M)
+// and named function definitions are simply C++ variables holding FuncRefs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "nsc/ast.hpp"
+
+namespace nsc::lang {
+
+// -- names -----------------------------------------------------------------
+
+/// Fresh variable name (process-unique); used by derived-form builders so
+/// that nested uses never capture.
+std::string gensym(const std::string& hint = "v");
+
+// -- terms -------------------------------------------------------------------
+
+TermRef var(const std::string& name);
+TermRef omega(TypeRef type);
+TermRef nat(std::uint64_t n);
+
+TermRef arith(ArithOp op, TermRef a, TermRef b);
+TermRef add(TermRef a, TermRef b);
+TermRef monus_t(TermRef a, TermRef b);
+TermRef mul(TermRef a, TermRef b);
+TermRef div_t(TermRef a, TermRef b);
+TermRef rsh(TermRef a, TermRef b);
+TermRef log2_t(TermRef a);
+TermRef eq(TermRef a, TermRef b);
+
+TermRef unit_v();
+TermRef pair(TermRef a, TermRef b);
+TermRef proj1(TermRef m);
+TermRef proj2(TermRef m);
+
+/// in1(M) : s + t  where M : s and `right` = t.
+TermRef inj1(TermRef m, TypeRef right);
+/// in2(M) : s + t  where M : t and `left` = s.
+TermRef inj2(TermRef m, TypeRef left);
+TermRef case_of(TermRef scrutinee, const std::string& x, TermRef left_branch,
+                const std::string& y, TermRef right_branch);
+
+TermRef apply(FuncRef f, TermRef m);
+
+TermRef empty(TypeRef elem_type);
+TermRef singleton(TermRef m);
+TermRef append(TermRef a, TermRef b);
+TermRef flatten(TermRef m);
+TermRef length(TermRef m);
+TermRef get(TermRef m);
+TermRef zip(TermRef a, TermRef b);
+TermRef enumerate(TermRef m);
+TermRef split(TermRef m, TermRef sizes);
+
+// -- functions ---------------------------------------------------------------
+
+FuncRef lambda(const std::string& param, TypeRef param_type, TermRef body);
+/// lambda with a machine-generated parameter name; `body` receives the
+/// parameter as a Var term.
+FuncRef lam(TypeRef param_type, const std::function<TermRef(TermRef)>& body,
+            const std::string& hint = "x");
+FuncRef map_f(FuncRef f);
+FuncRef while_f(FuncRef pred, FuncRef body);
+
+// -- derived sugar -----------------------------------------------------------
+
+/// true / false as terms (in1 () / in2 ()).
+TermRef tru();
+TermRef fls();
+
+/// if C then T else E  ==  case C of in1 _ => T | in2 _ => E  (section 3).
+TermRef ite(TermRef cond, TermRef then_term, TermRef else_term);
+
+/// let x = M in body(x)  ==  (\x:t. body)(M).  `t` is the type of M.
+TermRef let_in(TypeRef type, TermRef m,
+               const std::function<TermRef(TermRef)>& body,
+               const std::string& hint = "l");
+
+/// Boolean connectives on B-typed terms (derived via case).
+TermRef land(TermRef a, TermRef b);
+TermRef lor(TermRef a, TermRef b);
+TermRef lnot(TermRef a);
+
+/// Comparisons on naturals, derived from monus and equality (section 3
+/// mentions these are definable): a <= b iff a - b = 0; a < b iff a+1 <= b.
+TermRef leq(TermRef a, TermRef b);
+TermRef lt(TermRef a, TermRef b);
+TermRef neq(TermRef a, TermRef b);
+
+/// a mod b = a - (a/b)*b (errors when b = 0, like /).
+TermRef mod_t(TermRef a, TermRef b);
+
+/// Literal sequence of naturals [n0, n1, ...].
+TermRef nat_list(std::initializer_list<std::uint64_t> ns);
+TermRef nat_list(const std::vector<std::uint64_t>& ns);
+
+}  // namespace nsc::lang

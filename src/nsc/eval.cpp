@@ -1,0 +1,349 @@
+#include "nsc/eval.hpp"
+
+#include <algorithm>
+
+#include "support/checked.hpp"
+
+namespace nsc::lang {
+
+// ---------------------------------------------------------------------------
+// Env
+// ---------------------------------------------------------------------------
+
+Env Env::extend(const std::string& name, ValueRef v) const {
+  Env out = *this;
+  for (auto& b : out.bindings_) {
+    if (b.first == name) {
+      out.size_ = sat_add(monus(out.size_, b.second->size()), v->size());
+      b.second = std::move(v);
+      return out;
+    }
+  }
+  out.size_ = sat_add(out.size_, v->size());
+  out.bindings_.emplace_back(name, std::move(v));
+  return out;
+}
+
+const ValueRef& Env::lookup(const std::string& name) const {
+  for (const auto& b : bindings_) {
+    if (b.first == name) return b.second;
+  }
+  throw EvalError("unbound variable " + name);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+void Evaluator::tick() {
+  if (++steps_ > cfg_.max_steps) {
+    throw FuelExhausted("NSC evaluation exceeded " +
+                        std::to_string(cfg_.max_steps) + " rule instances");
+  }
+}
+
+Evaluated Evaluator::eval(const TermRef& m, const Env& env) {
+  steps_ = 0;
+  return eval_term(m, env);
+}
+
+Evaluated Evaluator::apply(const FuncRef& f, const ValueRef& arg,
+                           const Env& env) {
+  steps_ = 0;
+  return apply_func(f, arg, env);
+}
+
+namespace {
+
+/// Charge for a term judgment: the result flowing out of the rule.
+/// (Environment values are charged at their Var lookups; see eval.hpp.)
+std::uint64_t judgment_size(const Env& env, const ValueRef& result) {
+  (void)env;
+  return result->size();
+}
+
+}  // namespace
+
+Evaluated Evaluator::eval_term(const TermRef& m, const Env& env) {
+  tick();
+  switch (m->kind()) {
+    case TermKind::Var: {
+      ValueRef v = env.lookup(m->var_name());
+      const std::uint64_t size = judgment_size(env, v);
+      return {std::move(v), {1, size}};
+    }
+    case TermKind::Omega:
+      throw EvalError("omega evaluated");
+    case TermKind::NatConst: {
+      ValueRef v = Value::nat(m->nat_value());
+      Cost c{1, judgment_size(env, v)};
+      return {std::move(v), c};
+    }
+    case TermKind::Arith: {
+      Evaluated a = eval_term(m->child0(), env);
+      Evaluated b = eval_term(m->child1(), env);
+      ValueRef v =
+          Value::nat(arith_apply(m->op(), a.value->as_nat(), b.value->as_nat()));
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      c += b.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Eq: {
+      Evaluated a = eval_term(m->child0(), env);
+      Evaluated b = eval_term(m->child1(), env);
+      ValueRef v = Value::boolean(a.value->as_nat() == b.value->as_nat());
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      c += b.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::UnitVal: {
+      ValueRef v = Value::unit();
+      return {v, {1, judgment_size(env, v)}};
+    }
+    case TermKind::MkPair: {
+      Evaluated a = eval_term(m->child0(), env);
+      Evaluated b = eval_term(m->child1(), env);
+      ValueRef v = Value::pair(a.value, b.value);
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      c += b.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Proj1: {
+      Evaluated a = eval_term(m->child0(), env);
+      ValueRef v = a.value->first();
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Proj2: {
+      Evaluated a = eval_term(m->child0(), env);
+      ValueRef v = a.value->second();
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Inj1: {
+      Evaluated a = eval_term(m->child0(), env);
+      ValueRef v = Value::in1(a.value);
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Inj2: {
+      Evaluated a = eval_term(m->child0(), env);
+      ValueRef v = Value::in2(a.value);
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Case: {
+      Evaluated scrut = eval_term(m->child0(), env);
+      const bool left = scrut.value->is(ValueKind::In1);
+      if (!left && !scrut.value->is(ValueKind::In2)) {
+        throw EvalError("case of non-sum " + scrut.value->show());
+      }
+      const std::string& binder = left ? m->binder1() : m->binder2();
+      const TermRef& branch = left ? m->branch1() : m->branch2();
+      Env inner = env.extend(binder, scrut.value->injected());
+      Evaluated r = eval_term(branch, inner);
+      Cost c{1, judgment_size(env, r.value)};
+      c += scrut.cost;
+      c += r.cost;
+      return {std::move(r.value), c};
+    }
+    case TermKind::Apply: {
+      Evaluated a = eval_term(m->child0(), env);
+      Evaluated r = apply_func(m->fn(), a.value, env);
+      Cost c{1, judgment_size(env, r.value)};
+      c += a.cost;
+      c += r.cost;
+      return {std::move(r.value), c};
+    }
+    case TermKind::Empty: {
+      ValueRef v = Value::empty_seq();
+      return {v, {1, judgment_size(env, v)}};
+    }
+    case TermKind::Singleton: {
+      Evaluated a = eval_term(m->child0(), env);
+      ValueRef v = Value::seq({a.value});
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Append: {
+      Evaluated a = eval_term(m->child0(), env);
+      Evaluated b = eval_term(m->child1(), env);
+      std::vector<ValueRef> elems = a.value->elems();
+      const auto& more = b.value->elems();
+      elems.insert(elems.end(), more.begin(), more.end());
+      ValueRef v = Value::seq(std::move(elems));
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      c += b.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Flatten: {
+      Evaluated a = eval_term(m->child0(), env);
+      std::vector<ValueRef> elems;
+      for (const auto& inner : a.value->elems()) {
+        const auto& es = inner->elems();
+        elems.insert(elems.end(), es.begin(), es.end());
+      }
+      ValueRef v = Value::seq(std::move(elems));
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Length: {
+      Evaluated a = eval_term(m->child0(), env);
+      ValueRef v = Value::nat(a.value->length());
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Get: {
+      Evaluated a = eval_term(m->child0(), env);
+      if (a.value->length() != 1) {
+        throw EvalError("get of non-singleton " + a.value->show());
+      }
+      ValueRef v = a.value->elems()[0];
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Zip: {
+      Evaluated a = eval_term(m->child0(), env);
+      Evaluated b = eval_term(m->child1(), env);
+      const auto& xs = a.value->elems();
+      const auto& ys = b.value->elems();
+      if (xs.size() != ys.size()) {
+        throw EvalError("zip of lengths " + std::to_string(xs.size()) +
+                        " and " + std::to_string(ys.size()));
+      }
+      std::vector<ValueRef> elems;
+      elems.reserve(xs.size());
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        elems.push_back(Value::pair(xs[i], ys[i]));
+      }
+      ValueRef v = Value::seq(std::move(elems));
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      c += b.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Enumerate: {
+      Evaluated a = eval_term(m->child0(), env);
+      std::vector<ValueRef> elems;
+      elems.reserve(a.value->length());
+      for (std::size_t i = 0; i < a.value->length(); ++i) {
+        elems.push_back(Value::nat(i));
+      }
+      ValueRef v = Value::seq(std::move(elems));
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      return {std::move(v), c};
+    }
+    case TermKind::Split: {
+      Evaluated a = eval_term(m->child0(), env);
+      Evaluated b = eval_term(m->child1(), env);
+      const auto& xs = a.value->elems();
+      std::vector<ValueRef> groups;
+      std::size_t at = 0;
+      for (const auto& sz : b.value->elems()) {
+        const std::uint64_t n = sz->as_nat();
+        if (at + n > xs.size()) {
+          throw EvalError("split: sizes sum past the data length");
+        }
+        groups.push_back(Value::seq(
+            std::vector<ValueRef>(xs.begin() + at, xs.begin() + at + n)));
+        at += n;
+      }
+      if (at != xs.size()) {
+        throw EvalError("split: sizes sum to " + std::to_string(at) +
+                        " but data has length " + std::to_string(xs.size()));
+      }
+      ValueRef v = Value::seq(std::move(groups));
+      Cost c{1, judgment_size(env, v)};
+      c += a.cost;
+      c += b.cost;
+      return {std::move(v), c};
+    }
+  }
+  throw EvalError("unknown term kind");
+}
+
+Evaluated Evaluator::apply_func(const FuncRef& f, const ValueRef& arg,
+                                const Env& env) {
+  tick();
+  switch (f->kind()) {
+    case FuncKind::Lambda: {
+      Env inner = env.extend(f->param(), arg);
+      Evaluated r = eval_term(f->body(), inner);
+      // Judgment rho . F(C) | D mentions rho, C and D.
+      Cost c{1, sat_add(judgment_size(env, r.value), arg->size())};
+      c += r.cost;
+      return {std::move(r.value), c};
+    }
+    case FuncKind::Map: {
+      const auto& xs = arg->elems();
+      std::vector<ValueRef> out;
+      out.reserve(xs.size());
+      Cost c{1, 0};
+      std::uint64_t tmax = 0;
+      std::uint64_t out_size = 1;
+      for (const auto& x : xs) {
+        Evaluated r = apply_func(f->inner(), x, env);
+        tmax = std::max(tmax, r.cost.time);
+        c.work = sat_add(c.work, r.cost.work);
+        out_size = sat_add(out_size, r.value->size());
+        out.push_back(std::move(r.value));
+      }
+      // T = 1 + max_i T(F, C_i); SIZE charges the conclusion judgment
+      // (input sequence + output sequence).
+      c.time = sat_add(c.time, tmax);
+      c.work = sat_add(c.work, sat_add(arg->size(), out_size));
+      return {Value::seq(std::move(out)), c};
+    }
+    case FuncKind::While: {
+      // Iterative transcription of the two while rules; each iteration
+      // charges size(C_k) + size(C_{k+1}) + env, and the final output is
+      // never re-charged (Definition 3.1's while exception).
+      ValueRef cur = arg;
+      Cost total{0, 0};
+      for (;;) {
+        tick();
+        Evaluated p = apply_func(f->pred(), cur, env);
+        if (!p.value->as_bool()) {
+          total.time = sat_add(total.time, sat_add(1, p.cost.time));
+          total.work =
+              sat_add(total.work, sat_add(p.cost.work, cur->size()));
+          return {std::move(cur), total};
+        }
+        Evaluated step = apply_func(f->inner(), cur, env);
+        total.time =
+            sat_add(total.time, sat_add(1, sat_add(p.cost.time, step.cost.time)));
+        total.work = sat_add(
+            total.work,
+            sat_add(sat_add(p.cost.work, step.cost.work),
+                    sat_add(cur->size(), step.value->size())));
+        cur = std::move(step.value);
+      }
+    }
+  }
+  throw EvalError("unknown function kind");
+}
+
+Evaluated eval(const TermRef& m, const Env& env) {
+  Evaluator ev;
+  return ev.eval(m, env);
+}
+
+Evaluated apply_fn(const FuncRef& f, const ValueRef& arg, const Env& env) {
+  Evaluator ev;
+  return ev.apply(f, arg, env);
+}
+
+}  // namespace nsc::lang

@@ -1,0 +1,108 @@
+// Natural-semantics evaluator for NSC (paper appendix B) with the
+// machine-independent cost accounting of Definition 3.1.
+//
+// Cost model.  For every instance of a rule
+//
+//      J_1  ...  J_k
+//      -------------
+//            J
+//
+// we charge  T = 1 + sum_i T(J_i)   and   W = SIZE + sum_i W(J_i),
+// where SIZE is the total size of the S-objects *flowing through* the rule
+// instance: the conclusion's result, plus (for application/while/map
+// judgments) the argument/state being consumed.  Environment values are
+// charged at their Var-lookup rule (whose result *is* the bound value), not
+// as ambient context on every rule.  This is the reading of Definition
+// 3.1's "including the environments" under which the paper's own
+// constructions are meaningful: a value parked in a variable or carried in
+// an enclosing scope costs nothing until used, while a free variable used
+// inside a map body is re-charged once per parallel application -- exactly
+// the broadcast cost that NSA realizes with p2 and the BVRAM with routing.
+// (Charging the whole environment on every rule instance would make the
+// z_i-buffer schedule of Theorem 4.2 and the V1/V2 staging of Lemma 7.2
+// pointless, since untouched buffers would be billed at every step.)
+//
+// Two exceptions, exactly as in the paper:
+//
+//  * map:    T = 1 + max_i T(F, C_i)   (the n applications run in parallel);
+//  * while:  each iteration charges size(C_k) (current state) and
+//            size(C_{k+1}); the final result D is *not* re-charged per
+//            iteration (Definition 3.1's explicit exclusion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nsc/ast.hpp"
+#include "object/value.hpp"
+#include "support/cost.hpp"
+#include "support/error.hpp"
+
+namespace nsc::lang {
+
+using nsc::Cost;
+using nsc::Value;
+using nsc::ValueRef;
+
+/// Immutable evaluation environment rho = {x1 = C1, ...}.  Extension with an
+/// existing name replaces the binding (the paper's environments are sets).
+/// The total size of all bound S-objects is cached so that charging
+/// size(rho) on every rule instance is O(1).
+class Env {
+ public:
+  Env() = default;
+
+  Env extend(const std::string& name, ValueRef v) const;
+  /// Lookup; throws EvalError on unbound names (the typechecker prevents
+  /// this for checked programs).
+  const ValueRef& lookup(const std::string& name) const;
+
+  /// Sum of sizes of all bound values (Definition 3.1 charges this).
+  std::uint64_t size() const { return size_; }
+  bool empty_env() const { return bindings_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, ValueRef>> bindings_;
+  std::uint64_t size_ = 0;
+};
+
+struct Evaluated {
+  ValueRef value;
+  Cost cost;
+};
+
+struct EvalConfig {
+  /// Upper bound on the number of rule instances before FuelExhausted.
+  std::uint64_t max_steps = std::uint64_t{1} << 36;
+};
+
+/// The evaluator.  Stateless between calls except for the step counter,
+/// which is reset by each top-level eval/apply.
+class Evaluator {
+ public:
+  explicit Evaluator(EvalConfig cfg = {}) : cfg_(cfg) {}
+
+  /// rho . M  |  C with Definition 3.1 costs.
+  Evaluated eval(const TermRef& m, const Env& env = {});
+
+  /// rho . F(C)  |  D with Definition 3.1 costs.
+  Evaluated apply(const FuncRef& f, const ValueRef& arg, const Env& env = {});
+
+ private:
+  Evaluated eval_term(const TermRef& m, const Env& env);
+  Evaluated apply_func(const FuncRef& f, const ValueRef& arg, const Env& env);
+  void tick();
+
+  EvalConfig cfg_;
+  std::uint64_t steps_ = 0;
+};
+
+/// One-shot helpers.  (The value-level application helper is named
+/// apply_fn to avoid unqualified-call collisions with std::apply, which ADL
+/// drags in via std::shared_ptr.)
+Evaluated eval(const TermRef& m, const Env& env = {});
+Evaluated apply_fn(const FuncRef& f, const ValueRef& arg, const Env& env = {});
+
+}  // namespace nsc::lang

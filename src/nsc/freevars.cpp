@@ -1,0 +1,73 @@
+#include "nsc/freevars.hpp"
+
+namespace nsc::lang {
+
+namespace {
+
+void collect_term(const TermRef& m, std::set<std::string>& out);
+void collect_func(const FuncRef& f, std::set<std::string>& out);
+
+void collect_term(const TermRef& m, std::set<std::string>& out) {
+  if (!m) return;
+  switch (m->kind()) {
+    case TermKind::Var:
+      out.insert(m->var_name());
+      return;
+    case TermKind::Case: {
+      collect_term(m->child0(), out);
+      std::set<std::string> b1;
+      collect_term(m->branch1(), b1);
+      b1.erase(m->binder1());
+      out.insert(b1.begin(), b1.end());
+      std::set<std::string> b2;
+      collect_term(m->branch2(), b2);
+      b2.erase(m->binder2());
+      out.insert(b2.begin(), b2.end());
+      return;
+    }
+    case TermKind::Apply:
+      collect_func(m->fn(), out);
+      collect_term(m->child0(), out);
+      return;
+    default:
+      collect_term(m->child0(), out);
+      collect_term(m->child1(), out);
+      return;
+  }
+}
+
+void collect_func(const FuncRef& f, std::set<std::string>& out) {
+  if (!f) return;
+  switch (f->kind()) {
+    case FuncKind::Lambda: {
+      std::set<std::string> body;
+      collect_term(f->body(), body);
+      body.erase(f->param());
+      out.insert(body.begin(), body.end());
+      return;
+    }
+    case FuncKind::Map:
+      collect_func(f->inner(), out);
+      return;
+    case FuncKind::While:
+      collect_func(f->pred(), out);
+      collect_func(f->inner(), out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::set<std::string> free_vars(const TermRef& m) {
+  std::set<std::string> out;
+  collect_term(m, out);
+  return out;
+}
+
+std::set<std::string> free_vars(const FuncRef& f) {
+  std::set<std::string> out;
+  collect_func(f, out);
+  return out;
+}
+
+}  // namespace nsc::lang

@@ -1,0 +1,18 @@
+// Free-variable analysis for NSC terms and functions.  Used by the NSA
+// translation to trim contexts before broadcasting them with p2 (map) or
+// threading them through loop states (while): only the variables actually
+// used by a body are replicated, which is what makes the translated
+// program's work match NSC's per-use variable charging (Prop C.1).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "nsc/ast.hpp"
+
+namespace nsc::lang {
+
+std::set<std::string> free_vars(const TermRef& m);
+std::set<std::string> free_vars(const FuncRef& f);
+
+}  // namespace nsc::lang

@@ -1,0 +1,325 @@
+#include "nsc/maprec.hpp"
+
+#include <algorithm>
+
+#include "nsc/build.hpp"
+#include "nsc/prelude.hpp"
+#include "support/error.hpp"
+
+namespace nsc::lang {
+
+namespace {
+
+const TypeRef& nat_t() {
+  static const TypeRef t = Type::nat();
+  return t;
+}
+
+}  // namespace
+
+MapRec schema_g(TypeRef dom, TypeRef cod, FuncRef p, FuncRef s, FuncRef d1,
+                FuncRef d2, FuncRef c2) {
+  MapRec f;
+  f.dom = dom;
+  f.cod = cod;
+  f.p = std::move(p);
+  f.s = std::move(s);
+  f.max_arity = 2;
+  f.d = lam(
+      dom,
+      [&](TermRef x) {
+        return append(singleton(apply(d1, x)), singleton(apply(d2, x)));
+      },
+      "x");
+  f.c = lam(
+      Type::seq(cod),
+      [&](TermRef ys) {
+        return apply(c2, pair(apply(prelude::first(cod), ys),
+                              apply(prelude::last(cod), ys)));
+      },
+      "ys");
+  return f;
+}
+
+MapRec schema_h(TypeRef dom, TypeRef cod, FuncRef p, FuncRef s, FuncRef d1,
+                FuncRef c1) {
+  MapRec f;
+  f.dom = dom;
+  f.cod = cod;
+  f.p = std::move(p);
+  f.s = std::move(s);
+  f.max_arity = 1;
+  f.d = lam(dom, [&](TermRef x) { return singleton(apply(d1, x)); }, "x");
+  f.c = lam(Type::seq(cod), [&](TermRef ys) { return apply(c1, get(ys)); },
+            "ys");
+  return f;
+}
+
+FuncRef translate_tail_recursion(TypeRef dom, FuncRef p, FuncRef s,
+                                 FuncRef d1) {
+  FuncRef not_p =
+      lam(dom, [&](TermRef y) { return lnot(apply(p, y)); }, "y");
+  return lam(
+      dom,
+      [&](TermRef x) { return apply(s, apply(while_f(not_p, d1), x)); }, "x");
+}
+
+Evaluated eval_maprec(const MapRec& f, const ValueRef& x) {
+  Evaluated pr = apply_fn(f.p, x);
+  if (pr.value->as_bool()) {
+    Evaluated sr = apply_fn(f.s, x);
+    Cost cost;
+    cost.time = sat_add(2, sat_add(pr.cost.time, sr.cost.time));
+    cost.work = sat_add(sat_add(pr.cost.work, sr.cost.work),
+                        sat_add(x->size(), sr.value->size()));
+    return {std::move(sr.value), cost};
+  }
+  Evaluated dr = apply_fn(f.d, x);
+  const auto& kids = dr.value->elems();
+  if (kids.empty() || kids.size() > f.max_arity) {
+    throw EvalError("map-recursion: divide produced " +
+                    std::to_string(kids.size()) + " subproblems (arity bound " +
+                    std::to_string(f.max_arity) + ")");
+  }
+  std::uint64_t tmax = 0;
+  std::uint64_t wsum = 0;
+  std::vector<ValueRef> results;
+  results.reserve(kids.size());
+  for (const auto& kid : kids) {
+    Evaluated r = eval_maprec(f, kid);
+    tmax = std::max(tmax, r.cost.time);
+    wsum = sat_add(wsum, r.cost.work);
+    results.push_back(std::move(r.value));
+  }
+  ValueRef ys = Value::seq(std::move(results));
+  Evaluated cr = f.c_native ? f.c_native(ys) : apply_fn(f.c, ys);
+  Cost cost;
+  cost.time = sat_add(
+      3, sat_add(sat_add(pr.cost.time, dr.cost.time),
+                 sat_add(sat_add(1, tmax), cr.cost.time)));
+  cost.work = sat_add(
+      sat_add(sat_add(pr.cost.work, dr.cost.work), sat_add(wsum, cr.cost.work)),
+      sat_add(x->size(), sat_add(ys->size(), cr.value->size())));
+  return {std::move(cr.value), cost};
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.2 translation (non-staged variant)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared shape information for the translation.
+struct Shapes {
+  TypeRef s, t;
+  TypeRef item;   // ((N x N) x (B x (s + unit)))   divide-phase items
+  TypeRef jtem;   // ((N x N) x (t + unit))         combine-phase items
+  std::uint64_t arity;
+  std::uint64_t key_limit;
+};
+
+Shapes make_shapes(const MapRec& f) {
+  Shapes sh;
+  sh.s = f.dom;
+  sh.t = f.cod;
+  sh.item = Type::prod(Type::prod(nat_t(), nat_t()),
+                       Type::prod(Type::boolean(),
+                                  Type::sum(f.dom, Type::unit())));
+  sh.jtem = Type::prod(Type::prod(nat_t(), nat_t()),
+                       Type::sum(f.cod, Type::unit()));
+  // Effective arity is at least 2: unary recursions are padded with one
+  // dummy sibling so that "a complete sibling group" (length A) is
+  // distinguishable from a passthrough item (length 1) during combine.
+  sh.arity = std::max<std::uint64_t>(2, f.max_arity);
+  sh.key_limit = (std::uint64_t{1} << 62) / sh.arity;
+  return sh;
+}
+
+// Accessors for items (depth, key, done, val are positional projections).
+TermRef item_depth(TermRef it) { return proj1(proj1(std::move(it))); }
+TermRef item_key(TermRef it) { return proj2(proj1(std::move(it))); }
+TermRef item_done(TermRef it) { return proj1(proj2(std::move(it))); }
+TermRef item_val(TermRef it) { return proj2(proj2(std::move(it))); }
+
+/// expand : item -> [item]; one divide step for a single tagged item.
+FuncRef make_expand(const MapRec& f, const Shapes& sh) {
+  return lam(
+      sh.item,
+      [&](TermRef it) {
+        const std::string xv = gensym("xv");
+        const std::string uv = gensym("uv");
+
+        // Divide xv into children, tagging each with (depth+1, key*A + i)
+        // and padding with dummy items up to arity A.
+        TermRef divide_branch = let_in(
+            Type::seq(sh.s), apply(f.d, var(xv)), [&](TermRef kids) {
+              return let_in(nat_t(), length(kids), [&](TermRef m) {
+                FuncRef make_child = lam(
+                    Type::prod(nat_t(), sh.s),
+                    [&](TermRef q) {
+                      return pair(
+                          pair(add(item_depth(it), nat(1)),
+                               add(mul(item_key(it), nat(sh.arity)),
+                                   proj1(q))),
+                          pair(fls(), inj1(proj2(q), Type::unit())));
+                    },
+                    "q");
+                TermRef reals = apply(map_f(make_child),
+                                      zip(enumerate(kids), kids));
+                // Indices m .. A-1 become dummies.
+                std::vector<std::uint64_t> all_idx(sh.arity);
+                for (std::uint64_t j = 0; j < sh.arity; ++j) all_idx[j] = j;
+                FuncRef is_pad = lam(
+                    nat_t(), [&](TermRef j) { return leq(m, j); }, "j");
+                TermRef pad_idx =
+                    apply(prelude::filter(is_pad, nat_t()), nat_list(all_idx));
+                FuncRef make_dummy = lam(
+                    nat_t(),
+                    [&](TermRef j) {
+                      return pair(
+                          pair(add(item_depth(it), nat(1)),
+                               add(mul(item_key(it), nat(sh.arity)), j)),
+                          pair(tru(), inj2(unit_v(), sh.s)));
+                    },
+                    "j");
+                TermRef dummies = apply(map_f(make_dummy), pad_idx);
+                TermRef ok = land(
+                    land(leq(nat(1), m), leq(m, nat(sh.arity))),
+                    leq(item_key(it), nat(sh.key_limit)));
+                return ite(ok, append(reals, dummies),
+                           omega(Type::seq(sh.item)));
+              });
+            });
+
+        TermRef on_real = ite(
+            apply(f.p, var(xv)),
+            singleton(pair(proj1(it),
+                           pair(tru(), inj1(var(xv), Type::unit())))),
+            divide_branch);
+
+        return ite(item_done(it), singleton(it),
+                   case_of(item_val(it), xv, on_real, uv, singleton(it)));
+      },
+      "it");
+}
+
+}  // namespace
+
+FuncRef translate_maprec(const MapRec& f, const MapRecTranslateOptions& opts) {
+  if (f.max_arity > 16) {
+    throw Error(
+        "translate_maprec: the Theorem 4.2 translation requires a static "
+        "arity bound (the paper's schemas are constant-arity); unbounded "
+        "divide arity (e.g. Valiant's sqrt-way merge) is evaluated by "
+        "eval_maprec instead");
+  }
+  if (opts.staged) return translate_maprec_staged(f, opts);
+
+  const Shapes sh = make_shapes(f);
+  const TypeRef d_state = Type::prod(nat_t(), Type::seq(sh.item));
+  const TypeRef c_state = Type::prod(nat_t(), Type::seq(sh.jtem));
+
+  // -- divide phase ----------------------------------------------------
+  FuncRef not_done = lam(
+      sh.item, [&](TermRef it) { return lnot(item_done(it)); }, "it");
+  FuncRef divide_pred = lam(
+      d_state,
+      [&](TermRef st) {
+        return lt(nat(0),
+                  length(apply(prelude::filter(not_done, sh.item),
+                               proj2(st))));
+      },
+      "st");
+  FuncRef expand = make_expand(f, sh);
+  FuncRef divide_body = lam(
+      d_state,
+      [&](TermRef st) {
+        return pair(add(proj1(st), nat(1)),
+                    flatten(apply(map_f(expand), proj2(st))));
+      },
+      "st");
+
+  // -- leaf solving ------------------------------------------------------
+  FuncRef leafify = lam(
+      sh.item,
+      [&](TermRef it) {
+        const std::string xv = gensym("xv");
+        const std::string uv = gensym("uv");
+        return pair(proj1(it),
+                    case_of(item_val(it), xv,
+                            inj1(apply(f.s, var(xv)), Type::unit()), uv,
+                            inj2(unit_v(), sh.t)));
+      },
+      "it");
+
+  // -- combine phase -----------------------------------------------------
+  FuncRef combine_pred =
+      lam(c_state, [&](TermRef st) { return lt(nat(0), proj1(st)); }, "st");
+
+  FuncRef combine_body = lam(
+      c_state,
+      [&](TermRef st) {
+        return let_in(nat_t(), proj1(st), [&](TermRef L) {
+          return let_in(Type::seq(sh.jtem), proj2(st), [&](TermRef ys) {
+            FuncRef size_of = lam(
+                sh.jtem,
+                [&](TermRef jt) {
+                  TermRef at_level = eq(item_depth(jt), L);
+                  TermRef leads =
+                      eq(mod_t(item_key(jt), nat(sh.arity)), nat(0));
+                  return ite(at_level,
+                             ite(leads, nat(sh.arity), nat(0)), nat(1));
+                },
+                "jt");
+            TermRef sizes = apply(map_f(size_of), ys);
+            TermRef groups = split(ys, sizes);
+
+            FuncRef fold_group = lam(
+                Type::seq(sh.jtem),
+                [&](TermRef g) {
+                  FuncRef val_of = lam(
+                      sh.jtem, [&](TermRef jt) { return proj2(jt); }, "jt");
+                  TermRef vals = apply(map_f(val_of), g);
+                  TermRef reals =
+                      apply(prelude::sigma1(sh.t, Type::unit()), vals);
+                  TermRef head = apply(prelude::first(sh.jtem), g);
+                  TermRef parent = pair(
+                      pair(monus_t(item_depth(head), nat(1)),
+                           div_t(item_key(head), nat(sh.arity))),
+                      inj1(apply(f.c, reals), Type::unit()));
+                  return ite(
+                      eq(length(g), nat(0)), empty(sh.jtem),
+                      ite(eq(length(g), nat(1)), g, singleton(parent)));
+                },
+                "g");
+            TermRef next = flatten(apply(map_f(fold_group), groups));
+            return pair(monus_t(L, nat(1)), next);
+          });
+        });
+      },
+      "st");
+
+  // -- assembly ------------------------------------------------------------
+  return lam(
+      sh.s,
+      [&](TermRef x) {
+        TermRef root = pair(pair(nat(0), nat(0)),
+                            pair(fls(), inj1(x, Type::unit())));
+        TermRef st0 = pair(nat(0), singleton(root));
+        return let_in(
+            d_state, apply(while_f(divide_pred, divide_body), st0),
+            [&](TermRef stD) {
+              TermRef ys0 = apply(map_f(leafify), proj2(stD));
+              TermRef done = apply(while_f(combine_pred, combine_body),
+                                   pair(proj1(stD), ys0));
+              const std::string r = gensym("r");
+              const std::string u = gensym("u");
+              return case_of(proj2(get(proj2(done))), r, var(r), u,
+                             omega(sh.t));
+            },
+            "stD");
+      },
+      "x");
+}
+
+}  // namespace nsc::lang

@@ -1,0 +1,118 @@
+// Map-recursion (Definition 4.1) and its translation into NSC
+// (Theorem 4.2, the paper's first main result).
+//
+// A map-recursive definition has the shape
+//
+//     fun f(x) = if p(x) then s(x) else c(map(f)(d(x)))
+//
+// with p : s -> B, s : s -> t, d : s -> [s] (the divide step, producing at
+// most `max_arity` subproblems) and c : [t] -> t (the combine step).  The
+// section 4 schemas g (binary divide and conquer), h (unary / tail
+// recursion) and k (2-or-3-way) all fit this shape.
+//
+// The translation realizes the proof of Theorem 4.2:
+//
+//  * Divide phase: iterate  flatten . map(expand)  on a work sequence of
+//    tagged items until every item is a leaf.  Items carry (depth, path key)
+//    tags; expanding a node creates its children with keys key*A + i, padded
+//    with dummy items up to arity A so that sibling groups always have
+//    exactly A adjacent members (this padding replaces the paper's "some
+//    additional bookkeeping" with a locally decidable grouping rule and only
+//    costs a constant factor A in work).
+//  * Combine phase: apply s to every leaf in parallel, then walk levels
+//    L = D .. 1; at each level, adjacent complete sibling groups (recognized
+//    locally by depth = L and key mod A = 0) are split out and combined with
+//    c in one parallel step.
+//
+// Both phases take O(1) NSC steps per level plus the costs of p/s/d/c, so
+// the translated program preserves T up to constants.  For balanced
+// divide-and-conquer trees it also preserves W; for unbalanced trees the
+// non-staged translation re-touches early leaves at every later round (the
+// overhead Theorem 4.2 removes with the staged z_i buffers -- implemented
+// as the `staged` option, see translate notes and bench_maprec).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "nsc/ast.hpp"
+#include "nsc/eval.hpp"
+#include "support/checked.hpp"
+
+namespace nsc::lang {
+
+/// Definition 4.1.  All four pieces are closed NSC functions.
+struct MapRec {
+  TypeRef dom;  ///< s
+  TypeRef cod;  ///< t
+  FuncRef p;    ///< s -> B : "is this a leaf problem?"
+  FuncRef s;    ///< s -> t : solve a leaf directly
+  FuncRef d;    ///< s -> [s] : divide into <= max_arity subproblems
+  FuncRef c;    ///< [t] -> t : combine the children's results
+  std::uint64_t max_arity = 2;  ///< A; length(d(x)) must be in [1, A]
+
+  /// Optional native combine: when set, eval_maprec uses this instead of
+  /// applying `c`, and charges the Cost it reports.  This is how section 5
+  /// composes map-recursions (mergesort's combine *is* the map-recursive
+  /// merge): the inner recursion's reference evaluator plugs in here.
+  std::function<Evaluated(const ValueRef&)> c_native;
+};
+
+/// Binary divide-and-conquer (the paper's schema g):
+///   fun g(x) = if p(x) then s(x) else c2(g(d1(x)), g(d2(x))).
+MapRec schema_g(TypeRef dom, TypeRef cod, FuncRef p, FuncRef s, FuncRef d1,
+                FuncRef d2, FuncRef c2);
+
+/// Unary recursion (the paper's schema h):
+///   fun h(x) = if p(x) then s(x) else c1(h(d(x))).
+MapRec schema_h(TypeRef dom, TypeRef cod, FuncRef p, FuncRef s, FuncRef d1,
+                FuncRef c1);
+
+/// Tail recursion, the special case of schema h with c1 = identity; this
+/// translates directly to  \x. s(while(not . p, d1)(x))  with no tree
+/// bookkeeping at all (and no depth limit).
+FuncRef translate_tail_recursion(TypeRef dom, FuncRef p, FuncRef s,
+                                 FuncRef d1);
+
+/// Reference semantics: evaluate f(x) by direct recursion, with the
+/// Definition 3.1 costs of the recursive definition read as the derived
+/// if/map form (map's n recursive calls count in parallel time as their
+/// max).  This is the baseline the translation is compared against.
+Evaluated eval_maprec(const MapRec& f, const ValueRef& x);
+
+struct MapRecTranslateOptions {
+  /// Use the staged leaf-buffer schedule of the Theorem 4.2 proof (the z_i
+  /// buffers): finished leaves are moved out of the active sequence and
+  /// flushed through exponentially-lazier buffers, bounding the re-touch
+  /// overhead by O(v^eps * W).  When false, leaves stay in place (exact for
+  /// balanced trees, simpler, and T-preserving in all cases).
+  bool staged = false;
+  nsc::Rational eps{1, 2};
+};
+
+/// Theorem 4.2: produce an equivalent while-based NSC function.
+FuncRef translate_maprec(const MapRec& f, const MapRecTranslateOptions& opts = {});
+
+/// The staged variant of the Theorem 4.2 translation (normally reached via
+/// translate_maprec with opts.staged = true).
+///
+/// Finished leaves are *extracted* from the active sequence each divide
+/// round (so later rounds never re-touch them) together with their position
+/// in that round's sequence; one chunk is pushed per level onto a chunk
+/// stack.  Because the expansion pads every divide to exactly `max_arity`
+/// children, level L of the recursion tree is a complete A-ary level, and
+/// the combine phase can reconstruct it *positionally*: pop the level's
+/// chunk, interleave it with the parents carried up from level L+1 (an
+/// Example D.1-style O(1)-time merge using index_split), then fold each
+/// block of A adjacent items with c.  No comparison-based merging and no
+/// (depth, key) tags are needed.
+///
+/// The chunk stack is managed through a cascade of ceil(1/eps) lazy buffers
+/// (the proof's z_i): pushes go to buffer 0 and each buffer flushes into the
+/// next only every u^eps operations, which bounds the re-touch overhead of
+/// buffered chunks by O(u^eps * W) where u is the number of leaf-bearing
+/// levels (measured by a dry run, as in the paper).
+FuncRef translate_maprec_staged(const MapRec& f,
+                                const MapRecTranslateOptions& opts);
+
+}  // namespace nsc::lang

@@ -1,0 +1,522 @@
+// Staged variant of the Theorem 4.2 translation.
+//
+// Structure (see maprec.hpp for the overview):
+//
+//  * Items are bare values of type s + unit (real subproblem / padding
+//    dummy).  No (depth, key) tags are needed: the divide phase pads every
+//    expansion to exactly A = max_arity children, so level L of the
+//    recursion tree is a complete A-ary level and positions alone identify
+//    siblings.  This also removes the 64-bit path-key depth limit of the
+//    non-staged translation.
+//
+//  * Divide: each round applies p to the active items once, extracts the
+//    finished ones (solved with s on the way out) into a *chunk* together
+//    with their positions in this round's sequence, and divides the
+//    survivors.  One chunk per level is pushed onto a stack of chunks.
+//
+//  * The chunk stack is held in a cascade of tiers z_0 .. z_R (R =
+//    ceil(1/eps)), where tier z_j lives in the state of the j-th of a nest
+//    of while loops.  Because Definition 3.1 charges a while iteration with
+//    the size of its own loop state only, z_j is charged only once per
+//    iteration of loop j -- i.e. once per ~u^j divide rounds, u = v^eps
+//    (v = number of leaf-bearing levels, measured by a dry run, as in the
+//    paper).  This is exactly the paper's "z_i may only be touched v^eps
+//    times" schedule, realized with loop nesting instead of mutation.
+//
+//  * Combine: mirror image.  Loop 0 pops the newest chunk, re-interleaves
+//    it with the parents carried up from the previous level using the
+//    positional Example D.1-style merge (index_split + weave, O(1) time),
+//    and folds each block of A adjacent items with c.  Outer loop j refills
+//    z_{j-1} with the newest u^j chunks of z_j after draining the inner
+//    loops.
+#include <functional>
+#include <vector>
+
+#include "nsc/build.hpp"
+#include "nsc/maprec.hpp"
+#include "nsc/prelude.hpp"
+#include "support/error.hpp"
+
+namespace nsc::lang {
+
+namespace {
+
+const TypeRef& nat_t() {
+  static const TypeRef t = Type::nat();
+  return t;
+}
+
+struct StagedShapes {
+  TypeRef s, t;
+  TypeRef sval;     // s + unit
+  TypeRef tval;     // t + unit
+  TypeRef pitem;    // N x tval  (position, solved value)
+  TypeRef chunk;    // [pitem]
+  TypeRef stack;    // [[pitem]]
+  std::uint64_t arity;
+  std::size_t tiers;  // number of buffer tiers z_0 .. z_{tiers-1}
+};
+
+StagedShapes make_staged_shapes(const MapRec& f, nsc::Rational eps) {
+  StagedShapes sh;
+  sh.s = f.dom;
+  sh.t = f.cod;
+  sh.sval = Type::sum(f.dom, Type::unit());
+  sh.tval = Type::sum(f.cod, Type::unit());
+  sh.pitem = Type::prod(nat_t(), sh.tval);
+  sh.chunk = Type::seq(sh.pitem);
+  sh.stack = Type::seq(sh.chunk);
+  // At least 2 (unary recursions get a dummy sibling) so that the root
+  // level -- the only level of length 1 -- is the only unfoldable one.
+  sh.arity = f.max_arity < 2 ? 2 : f.max_arity;
+  std::size_t r = static_cast<std::size_t>(nsc::stage_count(eps));
+  if (r < 1) r = 1;
+  if (r > 8) r = 8;  // eps below 1/8 changes only constants here
+  sh.tiers = r + 1;
+  return sh;
+}
+
+/// is_finished : sval -> B -- dummies are finished; reals ask p.
+FuncRef make_is_finished(const MapRec& f, const StagedShapes& sh) {
+  return lam(
+      sh.sval,
+      [&](TermRef v) {
+        const std::string xv = gensym("xv");
+        const std::string uv = gensym("uv");
+        return case_of(v, xv, apply(f.p, var(xv)), uv, tru());
+      },
+      "v");
+}
+
+/// solve : sval -> tval -- apply s to reals, keep dummies.
+FuncRef make_solve(const MapRec& f, const StagedShapes& sh) {
+  return lam(
+      sh.sval,
+      [&](TermRef v) {
+        const std::string xv = gensym("xv");
+        const std::string uv = gensym("uv");
+        return case_of(v, xv, inj1(apply(f.s, var(xv)), Type::unit()), uv,
+                       inj2(unit_v(), sh.t));
+      },
+      "v");
+}
+
+/// expand : sval -> [sval] -- divide a surviving (real, non-leaf) item into
+/// its children, padded with dummies to exactly A items.
+FuncRef make_expand(const MapRec& f, const StagedShapes& sh) {
+  return lam(
+      sh.sval,
+      [&](TermRef v) {
+        const std::string xv = gensym("xv");
+        const std::string uv = gensym("uv");
+        TermRef divide = let_in(
+            Type::seq(sh.s), apply(f.d, var(xv)), [&](TermRef kids) {
+              return let_in(nat_t(), length(kids), [&](TermRef m) {
+                FuncRef wrap = lam(
+                    sh.s,
+                    [&](TermRef k) { return inj1(k, Type::unit()); }, "k");
+                TermRef reals = apply(map_f(wrap), kids);
+                std::vector<std::uint64_t> all_idx(sh.arity);
+                for (std::uint64_t j = 0; j < sh.arity; ++j) all_idx[j] = j;
+                FuncRef is_pad =
+                    lam(nat_t(), [&](TermRef j) { return leq(m, j); }, "j");
+                FuncRef mk_dummy = lam(
+                    nat_t(),
+                    [&](TermRef) { return inj2(unit_v(), sh.s); }, "j");
+                TermRef dummies =
+                    apply(map_f(mk_dummy),
+                          apply(prelude::filter(is_pad, nat_t()),
+                                nat_list(all_idx)));
+                TermRef ok = land(leq(nat(1), m), leq(m, nat(sh.arity)));
+                return ite(ok, append(reals, dummies),
+                           omega(Type::seq(sh.sval)));
+              });
+            });
+        return case_of(v, xv, divide, uv, omega(Type::seq(sh.sval)));
+      },
+      "v");
+}
+
+/// interleave(w : [tval], chunk : [pitem]) -> [tval]: positional merge.
+/// Chunk item i carries its position p_i within the target sequence; the
+/// cut points in w are q_i = p_i - i (Example D.1 / index_split weave).
+TermRef interleave(const StagedShapes& sh, TermRef w, TermRef chunk) {
+  return let_in(
+      sh.chunk, std::move(chunk),
+      [&, w](TermRef ch) {
+        FuncRef pos_of =
+            lam(sh.pitem, [](TermRef q) { return proj1(q); }, "q");
+        TermRef P = apply(map_f(pos_of), ch);
+        FuncRef cut = lam(
+            Type::prod(nat_t(), nat_t()),
+            [](TermRef q) { return monus_t(proj2(q), proj1(q)); }, "q");
+        TermRef Q = apply(map_f(cut), zip(enumerate(ch), P));
+        return let_in(
+            Type::seq(Type::seq(sh.tval)),
+            apply(prelude::index_split(sh.tval), pair(w, Q)),
+            [&](TermRef blocks) {
+              FuncRef weave = lam(
+                  Type::prod(Type::seq(sh.tval), sh.pitem),
+                  [&](TermRef q) {
+                    return append(proj1(q), singleton(proj2(proj2(q))));
+                  },
+                  "q");
+              TermRef body = flatten(apply(
+                  map_f(weave),
+                  zip(apply(prelude::remove_last(Type::seq(sh.tval)), blocks),
+                      ch)));
+              return append(body,
+                            apply(prelude::last(Type::seq(sh.tval)), blocks));
+            },
+            "blocks");
+      },
+      "ch");
+}
+
+/// fold_level(wf : [tval]) -> [tval]: fold each block of A adjacent items
+/// with c (dummies dropped by sigma1).  Only called when length(wf) > 1.
+TermRef fold_level(const MapRec& f, const StagedShapes& sh, TermRef wf) {
+  return let_in(
+      Type::seq(sh.tval), std::move(wf),
+      [&](TermRef w) {
+        FuncRef at_start = lam(
+            nat_t(),
+            [&](TermRef i) {
+              return eq(mod_t(i, nat(sh.arity)), nat(0));
+            },
+            "i");
+        TermRef starts =
+            apply(prelude::filter(at_start, nat_t()), enumerate(w));
+        FuncRef const_a =
+            lam(nat_t(), [&](TermRef) { return nat(sh.arity); }, "i");
+        TermRef sizes = apply(map_f(const_a), starts);
+        TermRef groups = split(w, sizes);
+        FuncRef fold = lam(
+            Type::seq(sh.tval),
+            [&](TermRef g) {
+              TermRef reals =
+                  apply(prelude::sigma1(sh.t, Type::unit()), g);
+              return inj1(apply(f.c, reals), Type::unit());
+            },
+            "g");
+        return apply(map_f(fold), groups);
+      },
+      "w");
+}
+
+/// u^(j+1) as a term over the captured threshold variable u.
+TermRef upow(TermRef u, std::size_t exp) {
+  TermRef acc = u;
+  for (std::size_t i = 1; i < exp; ++i) acc = mul(acc, u);
+  return acc;
+}
+
+/// Divide state types: st_0 = [sval] x stack; st_j = stack x st_{j-1}.
+std::vector<TypeRef> divide_state_types(const StagedShapes& sh) {
+  std::vector<TypeRef> ts(sh.tiers);
+  ts[0] = Type::prod(Type::seq(sh.sval), sh.stack);
+  for (std::size_t j = 1; j < sh.tiers; ++j) {
+    ts[j] = Type::prod(sh.stack, ts[j - 1]);
+  }
+  return ts;
+}
+
+/// Combine state types: cst_0 = [tval] x stack; cst_j = stack x cst_{j-1}.
+std::vector<TypeRef> combine_state_types(const StagedShapes& sh) {
+  std::vector<TypeRef> ts(sh.tiers);
+  ts[0] = Type::prod(Type::seq(sh.tval), sh.stack);
+  for (std::size_t j = 1; j < sh.tiers; ++j) {
+    ts[j] = Type::prod(sh.stack, ts[j - 1]);
+  }
+  return ts;
+}
+
+/// Project the innermost core (st_0 / cst_0) out of a tier-j state term.
+TermRef core_of(TermRef st, std::size_t j) {
+  TermRef cur = std::move(st);
+  for (std::size_t i = 0; i < j; ++i) cur = proj2(cur);
+  return cur;
+}
+
+/// active (or w) component of a tier-j state term.
+TermRef head_of(TermRef st, std::size_t j) { return proj1(core_of(std::move(st), j)); }
+
+/// "Some tier z_0..z_j of this state is non-empty" predicate term.
+TermRef any_stack_nonempty(TermRef st, std::size_t j) {
+  // z_j is proj1 at each level except level 0 where it's proj2 of the core.
+  TermRef cond = lt(nat(0), length(proj2(core_of(st, j))));  // z_0
+  TermRef cur = st;
+  for (std::size_t lvl = j; lvl >= 1; --lvl) {
+    cond = lor(lt(nat(0), length(proj1(cur))), cond);  // z_lvl
+    cur = proj2(cur);
+  }
+  return cond;
+}
+
+}  // namespace
+
+FuncRef translate_maprec_staged(const MapRec& f,
+                                const MapRecTranslateOptions& opts) {
+  const StagedShapes sh = make_staged_shapes(f, opts.eps);
+  const std::vector<TypeRef> dst = divide_state_types(sh);
+  const std::vector<TypeRef> cst = combine_state_types(sh);
+
+  FuncRef is_finished = make_is_finished(f, sh);
+  FuncRef solve = make_solve(f, sh);
+  FuncRef expand = make_expand(f, sh);
+
+  const TypeRef marked_t = Type::prod(sh.sval, Type::boolean());
+  const TypeRef tagged_t = Type::prod(nat_t(), marked_t);
+
+  // One divide round over (active, z_0); shared by the dry run (which
+  // discards chunks) and the real loop.
+  auto divide_round = [&](TermRef active,
+                          const std::function<TermRef(TermRef, TermRef)>&
+                              finish) {
+    // finish(children, chunk) assembles the new state.
+    return let_in(
+        Type::seq(sh.sval), std::move(active), [&](TermRef act) {
+          return let_in(
+              Type::seq(tagged_t),
+              zip(enumerate(act), zip(act, apply(map_f(is_finished), act))),
+              [&](TermRef tagged) {
+                FuncRef flag_of = lam(
+                    tagged_t,
+                    [](TermRef q) { return proj2(proj2(q)); }, "q");
+                FuncRef not_flag = lam(
+                    tagged_t,
+                    [](TermRef q) { return lnot(proj2(proj2(q))); }, "q");
+                FuncRef to_pitem = lam(
+                    tagged_t,
+                    [&](TermRef q) {
+                      return pair(proj1(q),
+                                  apply(solve, proj1(proj2(q))));
+                    },
+                    "q");
+                FuncRef to_sval = lam(
+                    tagged_t,
+                    [](TermRef q) { return proj1(proj2(q)); }, "q");
+                TermRef chunk = apply(
+                    map_f(to_pitem),
+                    apply(prelude::filter(flag_of, tagged_t), tagged));
+                TermRef survivors = apply(
+                    map_f(to_sval),
+                    apply(prelude::filter(not_flag, tagged_t), tagged));
+                TermRef children =
+                    flatten(apply(map_f(expand), survivors));
+                return finish(children, chunk);
+              },
+              "tagged");
+        },
+        "act");
+  };
+
+  // -- dry run: count leaf-bearing levels v ------------------------------
+  const TypeRef dry_t = Type::prod(Type::seq(sh.sval), nat_t());
+  FuncRef dry_pred = lam(
+      dry_t, [&](TermRef st) { return lt(nat(0), length(proj1(st))); }, "st");
+  FuncRef dry_body = lam(
+      dry_t,
+      [&](TermRef st) {
+        return divide_round(proj1(st), [&](TermRef children, TermRef chunk) {
+          TermRef bump = ite(lt(nat(0), length(chunk)), nat(1), nat(0));
+          return pair(children, add(proj2(st), bump));
+        });
+      },
+      "st");
+
+  // -- u = 2^ceil(eps * log2 v), computed by a doubling loop --------------
+  const TypeRef dbl_t = Type::prod(nat_t(), nat_t());
+  FuncRef dbl_pred = lam(
+      dbl_t, [](TermRef st) { return lt(nat(0), proj1(st)); }, "st");
+  FuncRef dbl_body = lam(
+      dbl_t,
+      [](TermRef st) {
+        return pair(monus_t(proj1(st), nat(1)), mul(proj2(st), nat(2)));
+      },
+      "st");
+
+  return lam(
+      sh.s,
+      [&](TermRef x) {
+        TermRef active0 = singleton(inj1(x, Type::unit()));
+        TermRef v_term = proj2(apply(while_f(dry_pred, dry_body),
+                                     pair(active0, nat(0))));
+        return let_in(nat_t(), v_term, [&](TermRef v) {
+          TermRef exp = div_t(
+              add(mul(nat(opts.eps.num), log2_t(v)), nat(opts.eps.den - 1)),
+              nat(opts.eps.den));
+          TermRef u_raw =
+              proj2(apply(while_f(dbl_pred, dbl_body), pair(exp, nat(1))));
+          return let_in(nat_t(), ite(lt(u_raw, nat(2)), nat(2), u_raw),
+                        [&](TermRef u) {
+            // -- divide loop nest (captures u) --------------------------
+            // Loop 0: run rounds until quota (|z_0| >= u) or active empty.
+            FuncRef d_pred0 = lam(
+                dst[0],
+                [&](TermRef st) {
+                  return land(lt(nat(0), length(proj1(st))),
+                              lt(length(proj2(st)), u));
+                },
+                "st");
+            FuncRef d_body0 = lam(
+                dst[0],
+                [&](TermRef st) {
+                  return divide_round(
+                      proj1(st), [&](TermRef children, TermRef chunk) {
+                        return pair(children,
+                                    append(proj2(st), singleton(chunk)));
+                      });
+                },
+                "st");
+            FuncRef d_loop = while_f(d_pred0, d_body0);
+
+            // Loop j: drain loop j-1, then flush z_{j-1} into z_j; stop
+            // when |z_j| reaches u^{j+1} or the active set is empty.
+            for (std::size_t j = 1; j < sh.tiers; ++j) {
+              FuncRef inner = d_loop;
+              const bool top = (j == sh.tiers - 1);
+              FuncRef pred = lam(
+                  dst[j],
+                  [&](TermRef st) {
+                    TermRef nonempty = lt(nat(0), length(head_of(st, j)));
+                    if (top) return nonempty;
+                    return land(nonempty,
+                                lt(length(proj1(st)), upow(u, j + 1)));
+                  },
+                  "st");
+              FuncRef body = lam(
+                  dst[j],
+                  [&](TermRef st) {
+                    return let_in(
+                        dst[j - 1], apply(inner, proj2(st)),
+                        [&](TermRef drained) {
+                          // z_{j-1} is proj2 of the core for j-1 == 0,
+                          // else proj1.
+                          TermRef zlow = (j - 1 == 0) ? proj2(drained)
+                                                      : proj1(drained);
+                          TermRef znew = append(proj1(st), zlow);
+                          TermRef cleared =
+                              (j - 1 == 0)
+                                  ? pair(proj1(drained), empty(sh.chunk))
+                                  : pair(empty(sh.chunk), proj2(drained));
+                          return pair(znew, cleared);
+                        },
+                        "dr");
+                  },
+                  "st");
+              d_loop = while_f(pred, body);
+            }
+
+            // Initial divide state: active = [in1 x], all tiers empty.
+            TermRef d_init = pair(active0, empty(sh.chunk));
+            for (std::size_t j = 1; j < sh.tiers; ++j) {
+              d_init = pair(empty(sh.chunk), d_init);
+            }
+
+            return let_in(dst[sh.tiers - 1], apply(d_loop, d_init),
+                          [&](TermRef dfin) {
+              // -- combine loop nest -----------------------------------
+              FuncRef c_pred0 = lam(
+                  cst[0],
+                  [&](TermRef st) {
+                    return lt(nat(0), length(proj2(st)));
+                  },
+                  "st");
+              FuncRef c_body0 = lam(
+                  cst[0],
+                  [&](TermRef st) {
+                    return let_in(
+                        sh.chunk,
+                        apply(prelude::last(sh.chunk), proj2(st)),
+                        [&](TermRef chunk) {
+                          TermRef rest = apply(
+                              prelude::remove_last(sh.chunk), proj2(st));
+                          return let_in(
+                              Type::seq(sh.tval),
+                              interleave(sh, proj1(st), chunk),
+                              [&](TermRef wf) {
+                                TermRef w2 =
+                                    ite(eq(length(wf), nat(1)), wf,
+                                        fold_level(f, sh, wf));
+                                return pair(w2, rest);
+                              },
+                              "wf");
+                        },
+                        "chunk");
+                  },
+                  "st");
+              FuncRef c_loop = while_f(c_pred0, c_body0);
+
+              for (std::size_t j = 1; j < sh.tiers; ++j) {
+                FuncRef inner = c_loop;
+                FuncRef pred = lam(
+                    cst[j],
+                    [&](TermRef st) { return any_stack_nonempty(st, j); },
+                    "st");
+                FuncRef body = lam(
+                    cst[j],
+                    [&](TermRef st) {
+                      return let_in(
+                          cst[j - 1], apply(inner, proj2(st)),
+                          [&](TermRef drained) {
+                            // Pull the newest min(u^j, |z_j|) chunks of
+                            // z_j down into z_{j-1}.
+                            return let_in(
+                                nat_t(), length(proj1(st)), [&](TermRef len) {
+                                  TermRef k0 = upow(u, j);
+                                  TermRef k =
+                                      ite(leq(k0, len), k0, len);
+                                  TermRef sizes = append(
+                                      singleton(monus_t(len, k)),
+                                      singleton(k));
+                                  return let_in(
+                                      Type::seq(sh.stack),
+                                      split(proj1(st), sizes),
+                                      [&](TermRef parts) {
+                                        TermRef older = apply(
+                                            prelude::first(sh.stack), parts);
+                                        TermRef newer = apply(
+                                            prelude::last(sh.stack), parts);
+                                        TermRef refilled =
+                                            (j - 1 == 0)
+                                                ? pair(proj1(drained), newer)
+                                                : pair(newer, proj2(drained));
+                                        return pair(older, refilled);
+                                      },
+                                      "parts");
+                                });
+                          },
+                          "dr");
+                    },
+                    "st");
+                c_loop = while_f(pred, body);
+              }
+
+              // Rewrap the final divide state into the initial combine
+              // state: same tiers, active replaced by w = [].
+              std::function<TermRef(TermRef, std::size_t)> rewrap =
+                  [&](TermRef st, std::size_t j) -> TermRef {
+                if (j == 0) {
+                  return pair(empty(sh.tval), proj2(st));
+                }
+                return pair(proj1(st), rewrap(proj2(st), j - 1));
+              };
+              TermRef c_init = rewrap(dfin, sh.tiers - 1);
+
+              TermRef cfin = apply(c_loop, c_init);
+              TermRef w = head_of(cfin, sh.tiers - 1);
+              const std::string r = gensym("r");
+              const std::string uu = gensym("u");
+              return case_of(get(w), r, var(r), uu, omega(sh.t));
+            },
+                          "dfin");
+          },
+                        "u");
+        },
+                      "v");
+      },
+      "x");
+}
+
+}  // namespace nsc::lang

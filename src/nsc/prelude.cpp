@@ -1,0 +1,434 @@
+#include "nsc/prelude.hpp"
+
+#include "object/type.hpp"
+
+namespace nsc::lang::prelude {
+
+namespace {
+
+const TypeRef& nat_t() {
+  static const TypeRef t = Type::nat();
+  return t;
+}
+
+/// map(\q:(N x N). pi1 q - pi2 q) -- Figure 3's map(-).
+FuncRef map_monus() {
+  return map_f(lam(Type::prod(nat_t(), nat_t()),
+                   [](TermRef q) { return monus_t(proj1(q), proj2(q)); },
+                   "q"));
+}
+
+}  // namespace
+
+FuncRef identity(TypeRef t) {
+  return lam(std::move(t), [](TermRef x) { return x; }, "id");
+}
+
+FuncRef compose(FuncRef f, FuncRef g, TypeRef g_dom) {
+  return lam(
+      std::move(g_dom),
+      [&](TermRef x) { return apply(f, apply(g, std::move(x))); }, "c");
+}
+
+FuncRef p2(TypeRef s, TypeRef t) {
+  // let x = pi1 z in map(\v. (x, v))(pi2 z): binding x (not the whole pair)
+  // makes each parallel branch re-read only the broadcast element, which is
+  // the intended p2 cost of |y| * size(x).
+  return lam(
+      Type::prod(s, Type::seq(t)),
+      [&](TermRef z) {
+        return let_in(
+            s, proj1(z),
+            [&](TermRef x) {
+              FuncRef attach =
+                  lam(t, [&](TermRef v) { return pair(x, std::move(v)); },
+                      "v");
+              return apply(map_f(attach), proj2(z));
+            },
+            "bx");
+      },
+      "z");
+}
+
+FuncRef bm_route(TypeRef s, TypeRef t) {
+  // Pi1(flatten(map(p2)(zip(x, split(u, d)))))   [section 3]
+  const TypeRef dom =
+      Type::prod(Type::prod(Type::seq(s), Type::seq(nat_t())), Type::seq(t));
+  return lam(
+      dom,
+      [&](TermRef w) {
+        TermRef u = proj1(proj1(w));
+        TermRef d = proj2(proj1(w));
+        TermRef x = proj2(w);
+        TermRef zipped = zip(x, split(u, d));       // [t x [s]]
+        TermRef routed = flatten(apply(map_f(p2(t, s)), zipped));  // [t x s]
+        FuncRef pi1_f = lam(Type::prod(t, s),
+                            [](TermRef q) { return proj1(q); }, "q");
+        return apply(map_f(pi1_f), routed);
+      },
+      "w");
+}
+
+FuncRef sigma1(TypeRef s, TypeRef t) {
+  const TypeRef sum_t = Type::sum(s, t);
+  return lam(
+      Type::seq(sum_t),
+      [&](TermRef x) {
+        const std::string u = gensym("u");
+        const std::string a = gensym("a");
+        const std::string b = gensym("b");
+        FuncRef f = lambda(
+            u, sum_t, case_of(var(u), a, singleton(var(a)), b, empty(s)));
+        return flatten(apply(map_f(f), x));
+      },
+      "x");
+}
+
+FuncRef sigma2(TypeRef s, TypeRef t) {
+  const TypeRef sum_t = Type::sum(s, t);
+  return lam(
+      Type::seq(sum_t),
+      [&](TermRef x) {
+        const std::string u = gensym("u");
+        const std::string a = gensym("a");
+        const std::string b = gensym("b");
+        FuncRef f = lambda(
+            u, sum_t, case_of(var(u), a, empty(t), b, singleton(var(b))));
+        return flatten(apply(map_f(f), x));
+      },
+      "x");
+}
+
+FuncRef filter(FuncRef p, TypeRef t) {
+  return lam(
+      Type::seq(t),
+      [&](TermRef x) {
+        FuncRef keep = lam(
+            t,
+            [&](TermRef u) {
+              return ite(apply(p, u), singleton(u), empty(t));
+            },
+            "u");
+        return flatten(apply(map_f(keep), x));
+      },
+      "x");
+}
+
+FuncRef first(TypeRef t) {
+  return lam(
+      Type::seq(t),
+      [&](TermRef x) {
+        FuncRef head_count = lam(
+            nat_t(),
+            [](TermRef i) { return ite(eq(i, nat(0)), nat(1), nat(0)); },
+            "i");
+        TermRef counts = apply(map_f(head_count), enumerate(x));
+        TermRef bound = singleton(unit_v());
+        return get(apply(bm_route(Type::unit(), t),
+                         pair(pair(bound, counts), x)));
+      },
+      "x");
+}
+
+FuncRef tail(TypeRef t) {
+  return lam(
+      Type::seq(t),
+      [&](TermRef x) {
+        FuncRef not_head = lam(
+            nat_t(),
+            [](TermRef i) { return ite(eq(i, nat(0)), nat(0), nat(1)); },
+            "i");
+        FuncRef bound_unit = lam(
+            nat_t(),
+            [](TermRef i) {
+              return ite(eq(i, nat(0)), empty(Type::unit()),
+                         singleton(unit_v()));
+            },
+            "i");
+        TermRef counts = apply(map_f(not_head), enumerate(x));
+        TermRef bound = flatten(apply(map_f(bound_unit), enumerate(x)));
+        return apply(bm_route(Type::unit(), t), pair(pair(bound, counts), x));
+      },
+      "x");
+}
+
+FuncRef last(TypeRef t) {
+  return lam(
+      Type::seq(t),
+      [&](TermRef x) {
+        return let_in(
+            nat_t(), length(x),
+            [&](TermRef n) {
+              FuncRef last_count = lam(
+                  nat_t(),
+                  [&](TermRef i) {
+                    return ite(eq(add(i, nat(1)), n), nat(1), nat(0));
+                  },
+                  "i");
+              TermRef counts = apply(map_f(last_count), enumerate(x));
+              return get(apply(bm_route(Type::unit(), t),
+                               pair(pair(singleton(unit_v()), counts), x)));
+            },
+            "n");
+      },
+      "x");
+}
+
+FuncRef remove_last(TypeRef t) {
+  return lam(
+      Type::seq(t),
+      [&](TermRef x) {
+        return let_in(
+            nat_t(), length(x),
+            [&](TermRef n) {
+              FuncRef not_last = lam(
+                  nat_t(),
+                  [&](TermRef i) {
+                    return ite(eq(add(i, nat(1)), n), nat(0), nat(1));
+                  },
+                  "i");
+              FuncRef bound_unit = lam(
+                  nat_t(),
+                  [&](TermRef i) {
+                    return ite(eq(add(i, nat(1)), n), empty(Type::unit()),
+                               singleton(unit_v()));
+                  },
+                  "i");
+              TermRef counts = apply(map_f(not_last), enumerate(x));
+              TermRef bound = flatten(apply(map_f(bound_unit), enumerate(x)));
+              return apply(bm_route(Type::unit(), t),
+                           pair(pair(bound, counts), x));
+            },
+            "n");
+      },
+      "x");
+}
+
+FuncRef index(TypeRef t) {
+  // Figure 3, verbatim (with lets for sharing).
+  const TypeRef dom = Type::prod(Type::seq(t), Type::seq(nat_t()));
+  return lam(
+      dom,
+      [&](TermRef z) {
+        return let_in(Type::seq(t), proj1(z), [&](TermRef C) {
+          return let_in(Type::seq(nat_t()), proj2(z), [&](TermRef I) {
+            return let_in(nat_t(), length(C), [&](TermRef n) {
+              return let_in(nat_t(), length(I), [&](TermRef k) {
+                TermRef zero_to_k = append(enumerate(I), singleton(k));
+                TermRef delta_I = apply(
+                    map_monus(),
+                    zip(append(I, singleton(n)),
+                        append(singleton(nat(0)), I)));
+                TermRef P0 = apply(bm_route(t, nat_t()),
+                                   pair(pair(C, delta_I), zero_to_k));
+                return let_in(Type::seq(nat_t()), P0, [&](TermRef P) {
+                  TermRef delta_P = apply(
+                      map_monus(),
+                      zip(P, apply(remove_last(nat_t()),
+                                   append(singleton(nat(0)), P))));
+                  return apply(bm_route(nat_t(), t),
+                               pair(pair(I, delta_P), C));
+                });
+              });
+            });
+          });
+        });
+      },
+      "z");
+}
+
+FuncRef index_split(TypeRef t) {
+  const TypeRef dom = Type::prod(Type::seq(t), Type::seq(nat_t()));
+  return lam(
+      dom,
+      [&](TermRef z) {
+        return let_in(Type::seq(t), proj1(z), [&](TermRef C) {
+          return let_in(Type::seq(nat_t()), proj2(z), [&](TermRef I) {
+            TermRef n = length(C);
+            TermRef delta_I = apply(
+                map_monus(),
+                zip(append(I, singleton(n)), append(singleton(nat(0)), I)));
+            return split(C, delta_I);
+          });
+        });
+      },
+      "z");
+}
+
+TermRef sqrt_block(TermRef n) {
+  // max(1, n >> ((log2 n + 1) / 2)); within a factor 2 of sqrt(n).
+  TermRef shifted = rsh(n, div_t(add(log2_t(n), nat(1)), nat(2)));
+  return ite(eq(shifted, nat(0)), nat(1), shifted);
+}
+
+FuncRef sqrt_positions(TypeRef t) {
+  return lam(
+      Type::seq(t),
+      [&](TermRef C) {
+        return let_in(
+            nat_t(), length(C),
+            [&](TermRef n) {
+              return let_in(
+                  nat_t(), sqrt_block(n),
+                  [&](TermRef b) {
+                    FuncRef on_block = lam(
+                        nat_t(),
+                        [&](TermRef i) { return eq(mod_t(i, b), nat(0)); },
+                        "i");
+                    TermRef I =
+                        apply(filter(on_block, nat_t()), enumerate(C));
+                    return apply(index(t), pair(C, I));
+                  },
+                  "b");
+            },
+            "n");
+      },
+      "C");
+}
+
+FuncRef sqrt_split(TypeRef t) {
+  return lam(
+      Type::seq(t),
+      [&](TermRef C) {
+        TermRef I = apply(sqrt_positions(nat_t()), enumerate(C));
+        return apply(index_split(t), pair(C, I));
+      },
+      "C");
+}
+
+FuncRef rank_one() {
+  const TypeRef dom = Type::prod(nat_t(), Type::seq(nat_t()));
+  return lam(
+      dom,
+      [&](TermRef z) {
+        // Bind the pivot a so that each parallel comparison re-reads a unit-
+        // size value, not the whole (a, B) pair: W = O(|B|).
+        return let_in(
+            nat_t(), proj1(z),
+            [&](TermRef a) {
+              FuncRef le =
+                  lam(nat_t(), [&](TermRef b) { return leq(b, a); }, "b");
+              return length(apply(filter(le, nat_t()), proj2(z)));
+            },
+            "a");
+      },
+      "z");
+}
+
+FuncRef direct_rank() {
+  const TypeRef dom = Type::prod(Type::seq(nat_t()), Type::seq(nat_t()));
+  return lam(
+      dom,
+      [&](TermRef z) {
+        // B is re-read by each of the |A| parallel rank_one's: the intended
+        // broadcast cost W = O(|A| * |B|) of Figure 2's direct_rank.
+        return let_in(
+            Type::seq(nat_t()), proj2(z),
+            [&](TermRef B) {
+              FuncRef rank = lam(
+                  nat_t(),
+                  [&](TermRef a) { return apply(rank_one(), pair(a, B)); },
+                  "a");
+              return apply(map_f(rank), proj1(z));
+            },
+            "B");
+      },
+      "z");
+}
+
+FuncRef direct_merge() {
+  const TypeRef nseq = Type::seq(nat_t());
+  const TypeRef dom = Type::prod(nseq, nseq);
+  return lam(
+      dom,
+      [&](TermRef z) {
+        return let_in(nseq, proj1(z), [&](TermRef A) {
+          return let_in(nseq, proj2(z), [&](TermRef B) {
+            return let_in(
+                nseq, apply(direct_rank(), pair(A, B)), [&](TermRef R) {
+                  return let_in(
+                      Type::seq(nseq), apply(index_split(nat_t()), pair(B, R)),
+                      [&](TermRef BB) {
+                        FuncRef weave = lam(
+                            Type::prod(nat_t(), nseq),
+                            [&](TermRef q) {
+                              return append(singleton(proj1(q)), proj2(q));
+                            },
+                            "q");
+                        TermRef rest = flatten(apply(
+                            map_f(weave),
+                            zip(A, apply(tail(nseq), BB))));
+                        return append(apply(first(nseq), BB), rest);
+                      });
+                });
+          });
+        });
+      },
+      "z");
+}
+
+namespace {
+
+/// Shared skeleton for log-depth pairwise reduction over [N].
+/// combine(g) must reduce a group of length 1 or 2 to a single N.
+FuncRef halving_reduce(const std::function<TermRef(TermRef)>& combine_group,
+                       TermRef base) {
+  const TypeRef nseq = Type::seq(nat_t());
+  FuncRef pred =
+      lam(nseq, [](TermRef y) { return lt(nat(1), length(y)); }, "y");
+  FuncRef step = lam(
+      nseq,
+      [&](TermRef y) {
+        return let_in(
+            nat_t(), length(y),
+            [&](TermRef n) {
+              FuncRef is_even = lam(
+                  nat_t(),
+                  [](TermRef i) { return eq(mod_t(i, nat(2)), nat(0)); },
+                  "i");
+              TermRef evens = apply(filter(is_even, nat_t()), enumerate(y));
+              FuncRef group_size = lam(
+                  nat_t(),
+                  [&](TermRef i) {
+                    return ite(eq(add(i, nat(1)), n), nat(1), nat(2));
+                  },
+                  "i");
+              TermRef sizes = apply(map_f(group_size), evens);
+              TermRef groups = split(y, sizes);
+              FuncRef red = lam(nseq, combine_group, "g");
+              return apply(map_f(red), groups);
+            },
+            "n");
+      },
+      "y");
+  return lam(
+      nseq,
+      [&](TermRef x) {
+        return ite(eq(length(x), nat(0)), base,
+                   get(apply(while_f(pred, step), x)));
+      },
+      "x");
+}
+
+}  // namespace
+
+FuncRef sum_nats() {
+  return halving_reduce(
+      [&](TermRef g) {
+        return ite(eq(length(g), nat(1)), get(g),
+                   add(apply(first(nat_t()), g), apply(last(nat_t()), g)));
+      },
+      nat(0));
+}
+
+FuncRef max_nats() {
+  return halving_reduce(
+      [&](TermRef g) {
+        TermRef a = apply(first(nat_t()), g);
+        TermRef b = apply(last(nat_t()), g);
+        return ite(eq(length(g), nat(1)), get(g), ite(leq(a, b), b, a));
+      },
+      nat(0));
+}
+
+}  // namespace nsc::lang::prelude

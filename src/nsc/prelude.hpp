@@ -1,0 +1,91 @@
+// Derived NSC functions from section 3 and Figures 2-3 of the paper.
+// Everything here is *pure NSC source*: the builders below return plain
+// ASTs composed from the primitives of appendix A, so their costs are
+// whatever Definition 3.1 assigns to the expanded programs -- no C++
+// shortcuts.
+//
+// Claimed complexities (validated by bench_primitives / tests):
+//   p2 (broadcast)    T = O(1), W = O(|x| * |y|-ish)   [section 3]
+//   bm_route          T = O(1), W = O(output + input)  [section 3]
+//   sigma1/sigma2     T = O(1), W = O(n)
+//   first/tail/last   T = O(1), W = O(n)
+//   index(C, I)       T = O(1), W = O(n + k)           [Figure 3]
+//   index_split(C, I) T = O(1), W = O(n + k)           [Figure 3]
+//   filter(P)         T = O(1 + T_P), W = O(n + sum W_P)
+#pragma once
+
+#include "nsc/ast.hpp"
+#include "nsc/build.hpp"
+
+namespace nsc::lang::prelude {
+
+/// \x:t. x
+FuncRef identity(TypeRef t);
+
+/// compose(F, G, s) = \x:s. F(G(x))  where G : s -> _.
+FuncRef compose(FuncRef f, FuncRef g, TypeRef g_dom);
+
+/// p2 : s x [t] -> [s x t],  p2(x, y) = [(x, y0), ..., (x, y_{n-1})].
+FuncRef p2(TypeRef s, TypeRef t);
+
+/// bm_route : ([s] x [N]) x [t] -> [t]  (section 3's derived routing):
+/// element x_i of the data sequence is replicated d_i times; the "bound"
+/// sequence u must satisfy length(u) = sum(d), enforcing that the output
+/// size is pre-allocated.  Defined as
+///   Pi1(flatten(map(p2)(zip(x, split(u, d))))).
+FuncRef bm_route(TypeRef s, TypeRef t);
+
+/// sigma1 : [s + t] -> [s], sigma2 : [s + t] -> [t] (section 3 selections).
+FuncRef sigma1(TypeRef s, TypeRef t);
+FuncRef sigma2(TypeRef s, TypeRef t);
+
+/// filter(P) : [t] -> [t] = flatten . map(\u. if P(u) then [u] else []).
+FuncRef filter(FuncRef p, TypeRef t);
+
+/// first/last : [t] -> t; tail/remove_last : [t] -> [t] (section 3).
+/// first/last error (Omega) on the empty sequence, like the paper's split-
+/// based definitions.
+FuncRef first(TypeRef t);
+FuncRef tail(TypeRef t);
+FuncRef last(TypeRef t);
+FuncRef remove_last(TypeRef t);
+
+/// index : [t] x [N] -> [t] (Figure 3).  index(C, I) = [C_{i0}, ...] for a
+/// sorted index sequence I; T = O(1), W = O(n + k).
+FuncRef index(TypeRef t);
+
+/// index_split : [t] x [N] -> [[t]] (Figure 3): splits C *at* the sorted
+/// positions I, yielding k+1 blocks.
+FuncRef index_split(TypeRef t);
+
+/// Power-of-two approximate square root of a term (used for sqrt-blocking):
+/// max(1, n >> ((log2 n + 1) / 2)), computable within Sigma.
+/// Any Theta(sqrt n) block size preserves the section 5 bounds.
+TermRef sqrt_block(TermRef n);
+
+/// sqrt_positions : [t] -> [t]: the elements at positions 0, b, 2b, ...
+/// where b = sqrt_block(length) (Figure 2).
+FuncRef sqrt_positions(TypeRef t);
+
+/// sqrt_split : [t] -> [[t]]: split into blocks of size b (Figure 2; the
+/// leading block is empty because position 0 is a split point).
+FuncRef sqrt_split(TypeRef t);
+
+/// rank_one : N x [N] -> N = length(filter(\b. b <= a)(B)) (Figure 2).
+FuncRef rank_one();
+
+/// direct_rank : [N] x [N] -> [N] = map(\a. rank_one(a, B))(A) (Figure 2).
+FuncRef direct_rank();
+
+/// direct_merge : [N] x [N] -> [N] (Figure 2): merge by ranking every
+/// element of A in B.  Requires both inputs sorted.
+FuncRef direct_merge();
+
+/// Sum of a sequence of naturals via log-depth pairwise halving:
+/// T = O(log n), W = O(n).  Used by tests and by the NC experiment.
+FuncRef sum_nats();
+
+/// Maximum of a sequence of naturals, same shape as sum_nats.
+FuncRef max_nats();
+
+}  // namespace nsc::lang::prelude

@@ -1,0 +1,166 @@
+#include "nsc/typecheck.hpp"
+
+#include "support/error.hpp"
+
+namespace nsc::lang {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const Term& at) {
+  throw TypeError(what + " in `" + at.show() + "`");
+}
+
+TypeRef expect_seq(const TypeRef& t, const Term& at, const char* what) {
+  if (!t->is(TypeKind::Seq)) {
+    fail(std::string(what) + ": expected a sequence, got " + t->show(), at);
+  }
+  return t->elem();
+}
+
+void expect_nat(const TypeRef& t, const Term& at, const char* what) {
+  if (!t->is(TypeKind::Nat)) {
+    fail(std::string(what) + ": expected N, got " + t->show(), at);
+  }
+}
+
+}  // namespace
+
+TypeRef check_term(const TermRef& m, const TypeEnv& env) {
+  switch (m->kind()) {
+    case TermKind::Var: {
+      auto it = env.find(m->var_name());
+      if (it == env.end()) fail("unbound variable " + m->var_name(), *m);
+      return it->second;
+    }
+    case TermKind::Omega:
+      return m->annotation();
+    case TermKind::NatConst:
+      return Type::nat();
+    case TermKind::Arith: {
+      expect_nat(check_term(m->child0(), env), *m, "arith lhs");
+      expect_nat(check_term(m->child1(), env), *m, "arith rhs");
+      return Type::nat();
+    }
+    case TermKind::Eq: {
+      expect_nat(check_term(m->child0(), env), *m, "= lhs");
+      expect_nat(check_term(m->child1(), env), *m, "= rhs");
+      return Type::boolean();
+    }
+    case TermKind::UnitVal:
+      return Type::unit();
+    case TermKind::MkPair:
+      return Type::prod(check_term(m->child0(), env),
+                        check_term(m->child1(), env));
+    case TermKind::Proj1: {
+      TypeRef t = check_term(m->child0(), env);
+      if (!t->is(TypeKind::Prod)) fail("pi1 of non-product " + t->show(), *m);
+      return t->left();
+    }
+    case TermKind::Proj2: {
+      TypeRef t = check_term(m->child0(), env);
+      if (!t->is(TypeKind::Prod)) fail("pi2 of non-product " + t->show(), *m);
+      return t->right();
+    }
+    case TermKind::Inj1:
+      return Type::sum(check_term(m->child0(), env), m->annotation());
+    case TermKind::Inj2:
+      return Type::sum(m->annotation(), check_term(m->child0(), env));
+    case TermKind::Case: {
+      TypeRef t = check_term(m->child0(), env);
+      if (!t->is(TypeKind::Sum)) fail("case of non-sum " + t->show(), *m);
+      TypeEnv env1 = env;
+      env1[m->binder1()] = t->left();
+      TypeRef t1 = check_term(m->branch1(), env1);
+      TypeEnv env2 = env;
+      env2[m->binder2()] = t->right();
+      TypeRef t2 = check_term(m->branch2(), env2);
+      if (!Type::equal(t1, t2)) {
+        fail("case branches disagree: " + t1->show() + " vs " + t2->show(),
+             *m);
+      }
+      return t1;
+    }
+    case TermKind::Apply: {
+      auto [dom, cod] = check_func(m->fn(), env);
+      TypeRef arg = check_term(m->child0(), env);
+      if (!Type::equal(dom, arg)) {
+        fail("application: expected " + dom->show() + ", got " + arg->show(),
+             *m);
+      }
+      return cod;
+    }
+    case TermKind::Empty:
+      return Type::seq(m->annotation());
+    case TermKind::Singleton:
+      return Type::seq(check_term(m->child0(), env));
+    case TermKind::Append: {
+      TypeRef a = check_term(m->child0(), env);
+      TypeRef b = check_term(m->child1(), env);
+      expect_seq(a, *m, "@ lhs");
+      if (!Type::equal(a, b)) {
+        fail("@: mismatched " + a->show() + " vs " + b->show(), *m);
+      }
+      return a;
+    }
+    case TermKind::Flatten: {
+      TypeRef t = check_term(m->child0(), env);
+      TypeRef inner = expect_seq(t, *m, "flatten");
+      expect_seq(inner, *m, "flatten (inner)");
+      return inner;
+    }
+    case TermKind::Length:
+      expect_seq(check_term(m->child0(), env), *m, "length");
+      return Type::nat();
+    case TermKind::Get:
+      return expect_seq(check_term(m->child0(), env), *m, "get");
+    case TermKind::Zip: {
+      TypeRef a = check_term(m->child0(), env);
+      TypeRef b = check_term(m->child1(), env);
+      return Type::seq(Type::prod(expect_seq(a, *m, "zip lhs"),
+                                  expect_seq(b, *m, "zip rhs")));
+    }
+    case TermKind::Enumerate:
+      expect_seq(check_term(m->child0(), env), *m, "enumerate");
+      return Type::seq(Type::nat());
+    case TermKind::Split: {
+      TypeRef a = check_term(m->child0(), env);
+      TypeRef b = check_term(m->child1(), env);
+      expect_seq(a, *m, "split data");
+      TypeRef be = expect_seq(b, *m, "split sizes");
+      expect_nat(be, *m, "split sizes element");
+      return Type::seq(a);
+    }
+  }
+  throw TypeError("unknown term kind");
+}
+
+std::pair<TypeRef, TypeRef> check_func(const FuncRef& f, const TypeEnv& env) {
+  switch (f->kind()) {
+    case FuncKind::Lambda: {
+      TypeEnv inner = env;
+      inner[f->param()] = f->param_type();
+      TypeRef cod = check_term(f->body(), inner);
+      return {f->param_type(), cod};
+    }
+    case FuncKind::Map: {
+      auto [dom, cod] = check_func(f->inner(), env);
+      return {Type::seq(dom), Type::seq(cod)};
+    }
+    case FuncKind::While: {
+      auto [pdom, pcod] = check_func(f->pred(), env);
+      auto [fdom, fcod] = check_func(f->inner(), env);
+      if (!pcod->is_boolean()) {
+        throw TypeError("while predicate must return B, got " + pcod->show());
+      }
+      if (!Type::equal(pdom, fdom) || !Type::equal(fdom, fcod)) {
+        throw TypeError("while: predicate " + pdom->show() + " and body " +
+                        fdom->show() + " -> " + fcod->show() +
+                        " must agree on one type t");
+      }
+      return {fdom, fcod};
+    }
+  }
+  throw TypeError("unknown function kind");
+}
+
+}  // namespace nsc::lang

@@ -1,0 +1,29 @@
+// Static type system of NSC (paper appendix A).
+//
+// Implements the judgment  Gamma |- M : t  for terms and
+// Gamma |- F : s -> t  for functions, where Gamma is a type context
+// {x1 : s1, ..., xn : sn}.  The checker is total: it either returns the
+// type or throws TypeError with a path through the term.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "nsc/ast.hpp"
+
+namespace nsc::lang {
+
+/// A type context Gamma.
+using TypeEnv = std::map<std::string, TypeRef>;
+
+/// Gamma |- M : t.  Returns t or throws TypeError.
+TypeRef check_term(const TermRef& m, const TypeEnv& env = {});
+
+/// Gamma |- F : s -> t.  Returns {s, t} or throws TypeError.
+/// The domain s is read off the lambda binder / inferred for map and while
+/// from their bodies.
+std::pair<TypeRef, TypeRef> check_func(const FuncRef& f,
+                                       const TypeEnv& env = {});
+
+}  // namespace nsc::lang

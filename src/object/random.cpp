@@ -1,0 +1,31 @@
+#include "object/random.hpp"
+
+namespace nsc {
+
+ValueRef random_value(const Type& t, SplitMix64& rng,
+                      const RandomValueConfig& cfg) {
+  switch (t.kind()) {
+    case TypeKind::Unit:
+      return Value::unit();
+    case TypeKind::Nat:
+      return Value::nat(rng.below(cfg.nat_bound));
+    case TypeKind::Prod:
+      return Value::pair(random_value(*t.left(), rng, cfg),
+                         random_value(*t.right(), rng, cfg));
+    case TypeKind::Sum:
+      if (rng.coin()) return Value::in1(random_value(*t.left(), rng, cfg));
+      return Value::in2(random_value(*t.right(), rng, cfg));
+    case TypeKind::Seq: {
+      const std::size_t n = rng.below(cfg.max_seq_len + 1);
+      std::vector<ValueRef> elems;
+      elems.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        elems.push_back(random_value(*t.elem(), rng, cfg));
+      }
+      return Value::seq(std::move(elems));
+    }
+  }
+  return Value::unit();
+}
+
+}  // namespace nsc

@@ -1,0 +1,23 @@
+// Random S-object generation for property-based tests: given a Type and a
+// size budget, produce a value that conforms to the type.  Deterministic in
+// the PRNG seed.
+#pragma once
+
+#include "object/type.hpp"
+#include "object/value.hpp"
+#include "support/prng.hpp"
+
+namespace nsc {
+
+struct RandomValueConfig {
+  /// Maximum length of generated sequences at each level.
+  std::size_t max_seq_len = 6;
+  /// Upper bound (exclusive) on generated naturals.
+  std::uint64_t nat_bound = 100;
+};
+
+/// Generate a random value of type `t`.
+ValueRef random_value(const Type& t, SplitMix64& rng,
+                      const RandomValueConfig& cfg = {});
+
+}  // namespace nsc

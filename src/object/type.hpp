@@ -1,0 +1,65 @@
+// The paper's type grammar (section 3):
+//
+//   t ::= unit | N | t x t | t + t | [t]
+//
+// with the boolean type defined as B = unit + unit.  The same Type objects
+// describe NSC terms, NSA/SA functions and BVRAM register tuples; the SA
+// layer additionally distinguishes the *scalar* and *flat* sub-grammars
+// (appendix D), exposed here as predicates.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace nsc {
+
+enum class TypeKind { Unit, Nat, Prod, Sum, Seq };
+
+class Type;
+using TypeRef = std::shared_ptr<const Type>;
+
+class Type {
+ public:
+  // -- constructors -------------------------------------------------------
+  static TypeRef unit();
+  static TypeRef nat();
+  static TypeRef prod(TypeRef left, TypeRef right);
+  static TypeRef sum(TypeRef left, TypeRef right);
+  static TypeRef seq(TypeRef elem);
+  /// B = unit + unit (section 3).
+  static TypeRef boolean();
+
+  // -- observers ----------------------------------------------------------
+  TypeKind kind() const { return kind_; }
+  bool is(TypeKind k) const { return kind_ == k; }
+
+  /// Left/right components of a product or sum (throws otherwise).
+  const TypeRef& left() const;
+  const TypeRef& right() const;
+  /// Element type of a sequence (throws otherwise).
+  const TypeRef& elem() const;
+
+  /// Structural equality.
+  static bool equal(const Type& a, const Type& b);
+  static bool equal(const TypeRef& a, const TypeRef& b);
+
+  /// SA scalar types (appendix D): s ::= unit | N | s x s | s + s.
+  bool is_scalar() const;
+  /// SA flat types (appendix D): t ::= unit | [s] | t x t | t + t
+  /// with s scalar.
+  bool is_flat() const;
+  /// True iff this type is B = unit + unit.
+  bool is_boolean() const;
+
+  std::string show() const;
+
+ protected:
+  Type(TypeKind kind, TypeRef a, TypeRef b);
+
+ private:
+  TypeKind kind_;
+  TypeRef a_;  // left / elem
+  TypeRef b_;  // right
+};
+
+}  // namespace nsc

@@ -1,0 +1,85 @@
+// S-objects (section 3):
+//
+//   C ::= () | n | (C, C) | in1(C) | in2(C) | [C, ..., C]
+//
+// with the unit-size complexity measure of Definition 3.1:
+//
+//   size(()) = size(n) = 1
+//   size((C, D)) = 1 + size(C) + size(D)
+//   size(in_i(C)) = 1 + size(C)
+//   size([C_0, ..., C_{n-1}]) = 1 + sum_i size(C_i)
+//
+// Values are immutable and shared (structural sharing keeps the evaluators
+// fast); `size()` is cached at construction so that the cost accounting --
+// which charges SIZE on every rule instance -- is O(1) per charge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "object/type.hpp"
+
+namespace nsc {
+
+enum class ValueKind { Unit, Nat, Pair, In1, In2, Seq };
+
+class Value;
+using ValueRef = std::shared_ptr<const Value>;
+
+class Value {
+ public:
+  // -- constructors -------------------------------------------------------
+  static ValueRef unit();
+  static ValueRef nat(std::uint64_t n);
+  static ValueRef pair(ValueRef first, ValueRef second);
+  static ValueRef in1(ValueRef v);
+  static ValueRef in2(ValueRef v);
+  static ValueRef seq(std::vector<ValueRef> elems);
+  static ValueRef empty_seq();
+  /// true = in1(()), false = in2(()) (section 3).
+  static ValueRef boolean(bool b);
+  /// [nat(n0), nat(n1), ...] convenience.
+  static ValueRef nat_seq(const std::vector<std::uint64_t>& ns);
+
+  // -- observers ----------------------------------------------------------
+  ValueKind kind() const { return kind_; }
+  bool is(ValueKind k) const { return kind_ == k; }
+
+  std::uint64_t as_nat() const;
+  const ValueRef& first() const;    // of a pair
+  const ValueRef& second() const;   // of a pair
+  const ValueRef& injected() const; // of in1/in2
+  const std::vector<ValueRef>& elems() const;  // of a seq
+  std::size_t length() const;                  // of a seq
+  /// true iff this is in1(()); throws unless the value is a boolean.
+  bool as_bool() const;
+  /// Extract [n0, n1, ...] from a sequence of nats.
+  std::vector<std::uint64_t> as_nat_vector() const;
+
+  /// Definition 3.1 unit-size.
+  std::uint64_t size() const { return size_; }
+
+  static bool equal(const Value& a, const Value& b);
+  static bool equal(const ValueRef& a, const ValueRef& b);
+
+  /// True iff the value inhabits the type.
+  static bool conforms(const Value& v, const Type& t);
+
+  std::string show() const;
+
+ protected:
+  Value(ValueKind kind, std::uint64_t nat, ValueRef a, ValueRef b,
+        std::vector<ValueRef> elems, std::uint64_t size);
+
+ private:
+  ValueKind kind_;
+  std::uint64_t nat_ = 0;
+  ValueRef a_;
+  ValueRef b_;
+  std::vector<ValueRef> elems_;
+  std::uint64_t size_;
+};
+
+}  // namespace nsc

@@ -1,0 +1,76 @@
+#include "pram/pram.hpp"
+
+#include <unordered_set>
+
+#include "support/checked.hpp"
+
+namespace nsc::pram {
+
+CrewPram::CrewPram(std::size_t memory_words, std::size_t processors)
+    : mem_(memory_words, 0), procs_(processors) {
+  if (processors == 0) throw Error("CREW PRAM needs at least one processor");
+}
+
+std::uint64_t& CrewPram::mem(std::size_t i) { return mem_.at(i); }
+std::uint64_t CrewPram::mem(std::size_t i) const { return mem_.at(i); }
+
+void CrewPram::step(const std::vector<ProcOp>& ops) {
+  if (ops.size() > procs_) {
+    throw Error("more ops than processors in one step");
+  }
+  // Gather writes first (lockstep semantics: all reads before all writes),
+  // detecting write conflicts.
+  std::unordered_set<std::size_t> written;
+  std::vector<std::pair<std::size_t, std::uint64_t>> writes;
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case ProcOpKind::Nop:
+        break;
+      case ProcOpKind::CopyAdd: {
+        const std::uint64_t a = mem_.at(op.a);
+        const std::uint64_t b =
+            op.b == std::size_t(-1) ? 0 : mem_.at(op.b);
+        if (!written.insert(op.dst).second) {
+          throw Error("CREW violation: concurrent write to cell " +
+                      std::to_string(op.dst));
+        }
+        writes.emplace_back(op.dst, sat_add(a, b));
+        break;
+      }
+      case ProcOpKind::Scan: {
+        // One scan primitive call; cells in range count as written.
+        for (std::size_t i = op.range_begin; i < op.range_end; ++i) {
+          if (!written.insert(i).second) {
+            throw Error("CREW violation: scan overlaps another write");
+          }
+        }
+        std::uint64_t acc = 0;
+        for (std::size_t i = op.range_begin; i < op.range_end; ++i) {
+          const std::uint64_t v = mem_.at(i);
+          writes.emplace_back(i, acc);
+          acc = sat_add(acc, v);
+        }
+        break;
+      }
+    }
+  }
+  for (const auto& [dst, v] : writes) mem_.at(dst) = v;
+  ++steps_;
+}
+
+std::uint64_t scheduled_time(const std::vector<bvram::TraceEntry>& trace,
+                             std::size_t p) {
+  if (p == 0) throw Error("scheduled_time: p must be positive");
+  std::uint64_t total = 0;
+  for (const auto& e : trace) {
+    total = sat_add(total, 1 + (e.work + p - 1) / p);
+  }
+  return total;
+}
+
+std::uint64_t brent_bound(std::uint64_t time, std::uint64_t work,
+                          std::size_t p) {
+  return sat_add(time, work / p);
+}
+
+}  // namespace nsc::pram

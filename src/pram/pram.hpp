@@ -1,0 +1,72 @@
+// CREW PRAM with scan primitives and Brent-style work-time scheduling
+// (Proposition 3.2): any NSC function of time T and work W runs on a
+// p-processor CREW PRAM with scans in O(T + W/p) steps.
+//
+// Two pieces:
+//  * a small *genuine* CREW PRAM core (shared memory, lockstep processor
+//    steps, concurrent reads allowed, concurrent writes detected as errors,
+//    unit-cost scan over a memory range), used by tests to validate the
+//    machine model itself; and
+//  * the scheduler: given the per-instruction work trace of a BVRAM run
+//    (which has the same T/W as the NSC source by Theorem 7.1 / Remark
+//    7.3), each vector instruction of work w is simulated by ceil(w/p)
+//    lockstep PRAM steps (elementwise ops directly; routing and scans via
+//    the scan primitive), giving  sum_i (1 + ceil(w_i / p)) = O(T + W/p).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bvram/machine.hpp"
+#include "support/error.hpp"
+
+namespace nsc::pram {
+
+// -- the CREW core -----------------------------------------------------------
+
+enum class ProcOpKind { Nop, CopyAdd, Scan };
+
+/// One processor's action in a lockstep step: out[dst] = mem[a] + mem[b]
+/// (CopyAdd with b == dst sentinel -1 meaning 0), or a scan over a range.
+struct ProcOp {
+  ProcOpKind kind = ProcOpKind::Nop;
+  std::size_t dst = 0;
+  std::size_t a = 0;
+  std::size_t b = std::size_t(-1);  // -1: treat as 0 (pure copy)
+  std::size_t range_begin = 0, range_end = 0;  // Scan: [begin, end)
+};
+
+class CrewPram {
+ public:
+  explicit CrewPram(std::size_t memory_words, std::size_t processors);
+
+  std::uint64_t& mem(std::size_t i);
+  std::uint64_t mem(std::size_t i) const;
+  std::size_t processors() const { return procs_; }
+  std::uint64_t steps() const { return steps_; }
+
+  /// Execute one lockstep step: each entry is one processor's op (at most
+  /// `processors()` of them).  Concurrent reads are fine; two writes to
+  /// the same cell in one step throw (CREW violation).  A Scan op counts
+  /// as one step (the "with scan primitives" model) and exclusively
+  /// prefix-sums the range in place.
+  void step(const std::vector<ProcOp>& ops);
+
+ private:
+  std::vector<std::uint64_t> mem_;
+  std::size_t procs_;
+  std::uint64_t steps_ = 0;
+};
+
+// -- Brent scheduling of BVRAM traces ----------------------------------------
+
+/// Simulated CREW-with-scan parallel time for a BVRAM trace on p
+/// processors: sum over instructions of (1 + ceil(work / p)).
+std::uint64_t scheduled_time(const std::vector<bvram::TraceEntry>& trace,
+                             std::size_t p);
+
+/// The Prop 3.2 bound for comparison: c1 * T + c2 * W / p with c1=c2=1.
+std::uint64_t brent_bound(std::uint64_t time, std::uint64_t work,
+                          std::size_t p);
+
+}  // namespace nsc::pram

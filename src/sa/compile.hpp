@@ -1,0 +1,65 @@
+// The flattening compiler (Theorem 7.1): NSA -> BVRAM.
+//
+// This realizes section 7's pipeline with the SEQ(t) segment-descriptor
+// encoding (sa/layout.hpp) as the register discipline.  Each NSA combinator
+// is emitted either
+//   * at depth 0 ("scalar world"): values are register tuples, sums carry a
+//     [1]/[] tag register, and control flow uses real jumps; or
+//   * lifted ("vector world", the Map Lemma 7.2): one element per vector
+//     slot, sums carry 0/1 flag vectors with packed sides, case becomes
+//     pack / both-branches / Example-D.1 combine, and while becomes an
+//     active-set loop (pack the unfinished elements, step them, merge
+//     back).  map(g) simply recurses one segment-descriptor level deeper --
+//     the descriptor registers of outer levels pass through untouched,
+//     which is precisely why flattening works.
+//
+// Entering map from either world switches to the lifted emitter; nested
+// maps lift recursively to any depth.  Scalar operations collapse: a
+// k-deep mapped arithmetic op is a single vector instruction regardless of
+// k.  The segment bookkeeping (per-segment sums, packing, interleaving,
+// gathers) is emitted from a small catalog of routines built only from
+// BVRAM primitives: bm-route/sbm-route, select, scan-plus, enumerate and
+// elementwise arithmetic -- each O(1) instructions, i.e. O(1) parallel
+// time and work linear in the registers touched, as Lemma 7.2 requires.
+//
+// The lifted while below is the *naive* schedule (every iteration touches
+// finished elements once during pack/merge).  The staged V0/V1/V2 schedule
+// that gives Lemma 7.2's O(W^(1+eps)) bound is implemented and measured
+// separately at the machine level (bench/bench_seqwhile.cpp), since it is a
+// scheduling change only -- the code shape and register count are fixed.
+#pragma once
+
+#include "bvram/machine.hpp"
+#include "nsa/ast.hpp"
+#include "object/value.hpp"
+#include "sa/layout.hpp"
+#include "support/cost.hpp"
+#include "support/error.hpp"
+
+namespace nsc::sa {
+
+class CompileError : public Error {
+ public:
+  explicit CompileError(const std::string& what)
+      : Error("compile error: " + what) {}
+};
+
+/// Compile an NSA function f : s -> t into a BVRAM program whose inputs
+/// are REP(s) and outputs REP(t).
+bvram::Program compile_nsa(const nsa::NsaRef& f);
+
+/// Full pipeline: closed NSC function -> NSA (variable elimination) ->
+/// BVRAM (flattening).
+bvram::Program compile_nsc(const lang::FuncRef& f);
+
+struct CompiledRun {
+  ValueRef value;
+  Cost cost;  ///< the BVRAM's T (instructions) and W (register lengths)
+};
+
+/// Encode the argument, run the program, decode the result.
+CompiledRun run_compiled(const bvram::Program& program, const TypeRef& dom,
+                         const TypeRef& cod, const ValueRef& arg,
+                         const bvram::RunConfig& cfg = {});
+
+}  // namespace nsc::sa

@@ -1,0 +1,111 @@
+// Small integer helpers used throughout the cost accounting and the
+// machine models.  Cost counters saturate instead of wrapping so that a
+// pathological benchmark cannot silently overflow `uint64_t`.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace nsc {
+
+/// Saturating addition for cost counters.
+constexpr std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return s < a ? ~std::uint64_t{0} : s;
+}
+
+/// Saturating multiplication for cost counters.
+constexpr std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const std::uint64_t p = a * b;
+  return p / a != b ? ~std::uint64_t{0} : p;
+}
+
+/// The paper's monus: `m - n` when `m >= n`, else 0 (section 2).
+constexpr std::uint64_t monus(std::uint64_t m, std::uint64_t n) {
+  return m >= n ? m - n : 0;
+}
+
+/// floor(log2(n)) for n >= 1.  By convention (matching the BVRAM `log2`
+/// arithmetic operation) log2(0) is defined as 0.
+constexpr std::uint64_t ilog2(std::uint64_t n) {
+  std::uint64_t r = 0;
+  while (n >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(n)) for n >= 1; 0 for n <= 1.
+constexpr std::uint64_t ceil_log2(std::uint64_t n) {
+  if (n <= 1) return 0;
+  return ilog2(n - 1) + 1;
+}
+
+/// Smallest power of two >= n (n >= 1).
+constexpr std::uint64_t ceil_pow2(std::uint64_t n) {
+  return std::uint64_t{1} << ceil_log2(n < 1 ? 1 : n);
+}
+
+/// Integer power with saturation.
+constexpr std::uint64_t ipow(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t r = 1;
+  while (exp--) r = sat_mul(r, base);
+  return r;
+}
+
+/// A rational epsilon = num/den, used everywhere the paper says
+/// "for every eps > 0": staged-buffer thresholds (Lemma 7.2, Theorem 4.2)
+/// and radix-sort bases.  Rational so that machine-level code can compute
+/// thresholds with integer arithmetic only.
+struct Rational {
+  std::uint64_t num = 1;
+  std::uint64_t den = 2;
+
+  constexpr double as_double() const {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+};
+
+/// 2^ceil((num/den) * log2(n)) -- an integer-arithmetic stand-in for
+/// ceil(n^eps) that over-approximates by at most a factor of 2, which is
+/// absorbed by every O() bound in the paper.  Defined as 1 for n <= 1.
+constexpr std::uint64_t pow_eps(std::uint64_t n, Rational eps) {
+  if (n <= 1) return 1;
+  const std::uint64_t lg = ceil_log2(n);
+  // ceil(lg * num / den)
+  const std::uint64_t e = (sat_mul(lg, eps.num) + eps.den - 1) / eps.den;
+  if (e >= 64) return ~std::uint64_t{0};
+  return std::uint64_t{1} << e;
+}
+
+/// Number of stages r = ceil(den/num) = ceil(1/eps) used by the staged
+/// while-loop schedule (Lemma 7.2) and the z_i buffers (Theorem 4.2).
+constexpr std::uint64_t stage_count(Rational eps) {
+  return (eps.den + eps.num - 1) / eps.num;
+}
+
+/// floor(sqrt(n)) rounded to the nearest power of two from above, computable
+/// with the paper's arithmetic set {+, -, *, /, right-shift, log2}:
+/// 2^ceil(log2(n)/2).  Used by the NSC mergesort's sqrt-blocking, where any
+/// Theta(sqrt n) block size preserves the complexity bounds.
+constexpr std::uint64_t sqrt_pow2(std::uint64_t n) {
+  if (n <= 1) return 1;
+  const std::uint64_t lg = ceil_log2(n);
+  return std::uint64_t{1} << ((lg + 1) / 2);
+}
+
+/// Exact floor(sqrt(n)); used by tests to sanity-check sqrt_pow2's range.
+constexpr std::uint64_t isqrt(std::uint64_t n) {
+  if (n < 2) return n;
+  std::uint64_t lo = 1, hi = std::uint64_t{1} << (ilog2(n) / 2 + 1);
+  while (lo + 1 < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (mid <= n / mid) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace nsc

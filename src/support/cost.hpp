@@ -1,0 +1,32 @@
+// The work/time cost pair used by every layer (Definition 3.1 for NSC/NSA,
+// the appendix-D accounting for SA, and section 2's instruction counting for
+// the BVRAM).  Counters saturate rather than overflow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/checked.hpp"
+
+namespace nsc {
+
+struct Cost {
+  std::uint64_t time = 0;  ///< parallel time T
+  std::uint64_t work = 0;  ///< work W
+
+  Cost& operator+=(const Cost& o) {
+    time = sat_add(time, o.time);
+    work = sat_add(work, o.work);
+    return *this;
+  }
+
+  friend Cost operator+(Cost a, const Cost& b) { return a += b; }
+
+  bool operator==(const Cost&) const = default;
+
+  std::string show() const {
+    return "T=" + std::to_string(time) + " W=" + std::to_string(work);
+  }
+};
+
+}  // namespace nsc

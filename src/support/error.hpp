@@ -1,0 +1,51 @@
+// Error taxonomy shared by every layer of the nscc pipeline.
+//
+// The paper's calculi have a single error value Omega that any evaluation may
+// produce (ill-formed `zip`, `split` with mismatched sums, `get` on a
+// non-singleton, arithmetic on the wrong shape...).  We realize Omega as a
+// C++ exception so that it propagates through every evaluator exactly like
+// the natural-semantics rules would propagate an error derivation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nsc {
+
+/// Base class for all nscc errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Static (compile-time) type error: a term or function failed to typecheck.
+class TypeError : public Error {
+ public:
+  explicit TypeError(const std::string& what) : Error("type error: " + what) {}
+};
+
+/// Dynamic evaluation error: the paper's Omega.  Raised by partial
+/// primitives (zip length mismatch, split sum mismatch, get of non-singleton,
+/// division by zero, ...), and by the explicit `Omega` term.
+class EvalError : public Error {
+ public:
+  explicit EvalError(const std::string& what) : Error("omega: " + what) {}
+};
+
+/// Machine-level error: a BVRAM / butterfly / PRAM program performed an
+/// illegal operation (bad register, mismatched lengths, jump out of range).
+class MachineError : public Error {
+ public:
+  explicit MachineError(const std::string& what)
+      : Error("machine error: " + what) {}
+};
+
+/// Resource-limit error: an evaluation exceeded its fuel (step budget).
+/// Distinct from EvalError so tests can distinguish divergence from Omega.
+class FuelExhausted : public Error {
+ public:
+  explicit FuelExhausted(const std::string& what)
+      : Error("fuel exhausted: " + what) {}
+};
+
+}  // namespace nsc

@@ -1,0 +1,102 @@
+#include "support/parallel.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nsc {
+namespace {
+
+class Pool {
+ public:
+  Pool() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t n = hw > 1 ? hw : 1;
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { run(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void run() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+}  // namespace
+
+std::size_t parallel_workers() { return pool().size(); }
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain) {
+  if (n == 0) return;
+  const std::size_t workers = pool().size();
+  if (workers <= 1 || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks > workers) chunks = workers;
+  const std::size_t step = (n + chunks - 1) / chunks;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t pending = chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * step;
+    const std::size_t end = begin + step < n ? begin + step : n;
+    pool().submit([&, begin, end] {
+      fn(begin, end);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--pending == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+}  // namespace nsc

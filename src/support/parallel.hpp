@@ -1,0 +1,23 @@
+// Minimal data-parallel execution helper for the "real hardware" backend of
+// the BVRAM interpreter (experiment E10).  Deliberately tiny: a static
+// thread pool plus a blocking parallel_for, following the structured
+// fork-join idiom of the OpenMP examples (no detached work, no futures
+// escaping the call).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace nsc {
+
+/// Number of worker threads the pool was built with (hardware concurrency).
+std::size_t parallel_workers();
+
+/// Invoke fn(begin..end) over disjoint chunks of [0, n) on the pool and wait
+/// for completion.  Falls back to a serial call when n is small (the
+/// per-chunk closure cost would dominate) or when the pool has one worker.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain = 4096);
+
+}  // namespace nsc

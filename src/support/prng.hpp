@@ -1,0 +1,48 @@
+// Deterministic PRNG for workload generation and property tests.
+// SplitMix64: tiny, fast, and good enough for test-data generation; fully
+// reproducible across platforms (unlike std::mt19937 distributions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nsc {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound == 0 yields 0.
+  std::uint64_t below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  bool coin(double p = 0.5) {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  /// n uniform draws below `bound`.
+  std::vector<std::uint64_t> vec(std::size_t n, std::uint64_t bound) {
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) x = below(bound);
+    return v;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace nsc

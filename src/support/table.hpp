@@ -1,0 +1,33 @@
+// Console table printer used by the benchmark harness to emit the
+// paper-vs-measured series (EXPERIMENTS.md rows) in a uniform format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nsc {
+
+/// Accumulates rows of strings and prints them column-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Render to a string (header, rule, rows).
+  std::string str() const;
+
+  /// Print to stdout.
+  void print() const;
+
+  static std::string num(std::uint64_t v);
+  static std::string fixed(double v, int digits = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nsc

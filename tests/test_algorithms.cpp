@@ -1,0 +1,193 @@
+// Tests for the section 5 algorithms: Valiant's merge and mergesort
+// (Figures 1-3) evaluated by the reference map-recursion semantics, plus
+// the quicksort schema-g example.  Includes randomized correctness and the
+// T = O(log n log log n) shape check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algorithms/valiant.hpp"
+#include "nsc/maprec.hpp"
+#include "pram/pram.hpp"
+#include "support/prng.hpp"
+
+namespace nsc::alg {
+namespace {
+
+using nsc::SplitMix64;
+using nsc::Value;
+
+ValueRef vpair(const std::vector<std::uint64_t>& a,
+               const std::vector<std::uint64_t>& b) {
+  return Value::pair(Value::nat_seq(a), Value::nat_seq(b));
+}
+
+TEST(ValiantMerge, SmallCases) {
+  EXPECT_EQ(eval_valiant_merge(vpair({}, {})).value->as_nat_vector(),
+            (std::vector<std::uint64_t>{}));
+  EXPECT_EQ(eval_valiant_merge(vpair({1}, {})).value->as_nat_vector(),
+            (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(eval_valiant_merge(vpair({}, {2, 3})).value->as_nat_vector(),
+            (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_EQ(eval_valiant_merge(vpair({2, 4, 6}, {1, 3, 5, 7}))
+                .value->as_nat_vector(),
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ValiantMerge, TriggersRecursiveCase) {
+  // |A| > 2 forces the sqrt-sampling divide.
+  std::vector<std::uint64_t> a{1, 4, 7, 9, 12, 15, 18, 21, 30};
+  std::vector<std::uint64_t> b{0, 2, 5, 8, 10, 11, 13, 20, 22, 25, 31, 40};
+  std::vector<std::uint64_t> want;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(want));
+  EXPECT_EQ(eval_valiant_merge(vpair(a, b)).value->as_nat_vector(), want);
+}
+
+TEST(ValiantMerge, Randomized) {
+  SplitMix64 rng(414);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto a = rng.vec(rng.below(40), 200);
+    auto b = rng.vec(rng.below(40), 200);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<std::uint64_t> want;
+    std::merge(a.begin(), a.end(), b.begin(), b.end(),
+               std::back_inserter(want));
+    EXPECT_EQ(eval_valiant_merge(vpair(a, b)).value->as_nat_vector(), want)
+        << "trial " << trial;
+  }
+}
+
+TEST(ValiantMerge, DuplicateHeavy) {
+  std::vector<std::uint64_t> a{3, 3, 3, 3, 3, 3};
+  std::vector<std::uint64_t> b{3, 3, 3};
+  auto got = eval_valiant_merge(vpair(a, b)).value->as_nat_vector();
+  EXPECT_EQ(got, (std::vector<std::uint64_t>(9, 3)));
+}
+
+TEST(ValiantMerge, UnboundedArityRejectsTranslation) {
+  EXPECT_THROW(lang::translate_maprec(valiant_merge()), Error);
+}
+
+TEST(Mergesort, SortsRandom) {
+  SplitMix64 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto v = rng.vec(rng.below(60), 1000);
+    auto want = v;
+    std::sort(want.begin(), want.end());
+    auto got = eval_valiant_mergesort(Value::nat_seq(v)).value;
+    EXPECT_EQ(got->as_nat_vector(), want) << "trial " << trial;
+  }
+}
+
+TEST(Mergesort, EdgeCases) {
+  EXPECT_EQ(eval_valiant_mergesort(Value::nat_seq({})).value->length(), 0u);
+  EXPECT_EQ(eval_valiant_mergesort(Value::nat_seq({5})).value->as_nat_vector(),
+            (std::vector<std::uint64_t>{5}));
+  EXPECT_EQ(
+      eval_valiant_mergesort(Value::nat_seq({2, 1})).value->as_nat_vector(),
+      (std::vector<std::uint64_t>{1, 2}));
+  // Already sorted / reverse sorted.
+  EXPECT_EQ(eval_valiant_mergesort(Value::nat_seq({1, 2, 3, 4, 5, 6, 7, 8}))
+                .value->as_nat_vector(),
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(eval_valiant_mergesort(Value::nat_seq({8, 7, 6, 5, 4, 3, 2, 1}))
+                .value->as_nat_vector(),
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Mergesort, TimeIsPolylog) {
+  // T = O(log n log log n): time should grow far slower than n.
+  SplitMix64 rng(7);
+  auto t_of = [&](std::size_t n) {
+    auto v = rng.vec(n, 1u << 20);
+    return eval_valiant_mergesort(Value::nat_seq(v)).cost;
+  };
+  auto c128 = t_of(128);
+  auto c1024 = t_of(1024);
+  // 8x the data: time should grow by well under 3x (polylog), work by
+  // roughly 8x-13x (n log n).
+  EXPECT_LT(c1024.time, c128.time * 3);
+  EXPECT_GT(c1024.work, c128.work * 6);
+}
+
+TEST(Quicksort, SortsAndTranslates) {
+  auto q = quicksort();
+  SplitMix64 rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto v = rng.vec(rng.below(20), 40);  // duplicates likely
+    auto want = v;
+    std::sort(want.begin(), want.end());
+    auto got = lang::eval_maprec(q, Value::nat_seq(v)).value;
+    EXPECT_EQ(got->as_nat_vector(), want) << "trial " << trial;
+  }
+  // Bounded arity: the Theorem 4.2 translation applies.
+  auto translated = lang::translate_maprec(q);
+  auto got = lang::apply_fn(translated, Value::nat_seq({5, 3, 8, 3, 1}));
+  EXPECT_EQ(got.value->as_nat_vector(),
+            (std::vector<std::uint64_t>{1, 3, 3, 5, 8}));
+}
+
+// ---------------------------------------------------------------------------
+// CREW PRAM (Prop 3.2)
+// ---------------------------------------------------------------------------
+
+TEST(Pram, ConcurrentReadsAllowed) {
+  pram::CrewPram m(8, 4);
+  m.mem(0) = 7;
+  std::vector<pram::ProcOp> ops(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ops[i] = {pram::ProcOpKind::CopyAdd, 1 + i, 0, std::size_t(-1), 0, 0};
+  }
+  m.step(ops);
+  for (std::size_t i = 1; i <= 4; ++i) EXPECT_EQ(m.mem(i), 7u);
+  EXPECT_EQ(m.steps(), 1u);
+}
+
+TEST(Pram, ConcurrentWritesDetected) {
+  pram::CrewPram m(4, 2);
+  std::vector<pram::ProcOp> ops(2);
+  ops[0] = {pram::ProcOpKind::CopyAdd, 3, 0, std::size_t(-1), 0, 0};
+  ops[1] = {pram::ProcOpKind::CopyAdd, 3, 1, std::size_t(-1), 0, 0};
+  EXPECT_THROW(m.step(ops), Error);
+}
+
+TEST(Pram, ScanPrimitiveIsOneStep) {
+  pram::CrewPram m(8, 2);
+  for (std::size_t i = 0; i < 5; ++i) m.mem(i) = i + 1;  // 1..5
+  pram::ProcOp scan;
+  scan.kind = pram::ProcOpKind::Scan;
+  scan.range_begin = 0;
+  scan.range_end = 5;
+  m.step({scan});
+  EXPECT_EQ(m.steps(), 1u);
+  EXPECT_EQ(m.mem(0), 0u);
+  EXPECT_EQ(m.mem(4), 10u);  // 1+2+3+4
+}
+
+TEST(Pram, TooManyOpsRejected) {
+  pram::CrewPram m(4, 1);
+  std::vector<pram::ProcOp> ops(2);
+  EXPECT_THROW(m.step(ops), Error);
+}
+
+TEST(Pram, ScheduledTimeMatchesBrent) {
+  std::vector<bvram::TraceEntry> trace;
+  for (int i = 0; i < 50; ++i) {
+    trace.push_back({bvram::Op::Arith, 1000, 1000});
+  }
+  // T = 50, W = 50'000.
+  for (std::size_t p : {1u, 4u, 64u, 1024u}) {
+    auto sched = pram::scheduled_time(trace, p);
+    auto bound = pram::brent_bound(50, 50000, p);
+    EXPECT_GE(sched, bound / 4) << p;
+    EXPECT_LE(sched, bound * 4 + 100) << p;
+  }
+  // More processors never slows it down.
+  EXPECT_GE(pram::scheduled_time(trace, 1), pram::scheduled_time(trace, 16));
+  EXPECT_GE(pram::scheduled_time(trace, 16),
+            pram::scheduled_time(trace, 1024));
+}
+
+}  // namespace
+}  // namespace nsc::alg

@@ -1,0 +1,143 @@
+// Tests for Proposition 2.1: BVRAM instructions on a butterfly network with
+// oblivious greedy routing, in O(log n) steps, congestion-free for
+// monotone routes.
+#include <gtest/gtest.h>
+
+#include "butterfly/butterfly.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace nsc::net {
+namespace {
+
+TEST(Butterfly, Geometry) {
+  Butterfly b(4);
+  EXPECT_EQ(b.rows(), 16u);
+  EXPECT_EQ(b.nodes(), 5u * 16u);  // (q+1) * 2^q = "n log n" nodes
+}
+
+TEST(Butterfly, IdentityRouteIsFree) {
+  Butterfly b(5);
+  std::vector<std::uint32_t> rows{0, 1, 2, 3, 4};
+  auto s = b.monotone_route(rows, rows);
+  EXPECT_TRUE(s.oblivious_ok);
+  EXPECT_LE(s.max_edge_load, 1u);
+  EXPECT_EQ(s.steps, 5u);
+}
+
+TEST(Butterfly, CompactionRouteHasConstantCongestion) {
+  // The select/pack pattern: scattered sources to a prefix of rows.
+  Butterfly b(6);
+  std::vector<std::uint32_t> src{3, 9, 17, 18, 40, 51, 63};
+  std::vector<std::uint32_t> dst{0, 1, 2, 3, 4, 5, 6};
+  auto s = b.monotone_route(src, dst);
+  EXPECT_TRUE(s.oblivious_ok);
+  EXPECT_LE(s.max_edge_load, 2u);
+  EXPECT_LE(s.steps, 12u);  // q * max_load = O(log n)
+}
+
+TEST(Butterfly, SpreadRouteIsCongestionFree) {
+  // The bm-route pattern: a prefix spread out monotonically.
+  Butterfly b(6);
+  std::vector<std::uint32_t> src{0, 1, 2, 3};
+  std::vector<std::uint32_t> dst{5, 20, 21, 60};
+  auto s = b.monotone_route(src, dst);
+  EXPECT_TRUE(s.oblivious_ok);
+  EXPECT_LE(s.max_edge_load, 2u);
+}
+
+TEST(Butterfly, RandomMonotoneRoutesHaveConstantCongestion) {
+  SplitMix64 rng(11);
+  Butterfly b(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.below(200);
+    // Random sorted, duplicate-free src and dst.
+    auto mk = [&](std::size_t k) {
+      std::vector<std::uint32_t> v;
+      std::uint32_t at = static_cast<std::uint32_t>(rng.below(3));
+      while (v.size() < k && at < b.rows()) {
+        v.push_back(at);
+        at += 1 + static_cast<std::uint32_t>(rng.below(3));
+      }
+      return v;
+    };
+    auto src = mk(n);
+    auto dst = mk(src.size());
+    if (dst.size() < src.size()) src.resize(dst.size());
+    auto s = b.monotone_route(src, dst);
+    EXPECT_TRUE(s.oblivious_ok) << "trial " << trial;
+    EXPECT_LE(s.max_edge_load, 2u) << "trial " << trial;
+    EXPECT_LE(s.steps, 2u * b.q()) << "trial " << trial;
+  }
+}
+
+TEST(Butterfly, NonMonotoneRouteRejected) {
+  Butterfly b(4);
+  EXPECT_THROW(b.monotone_route({0, 1}, {5, 3}), Error);
+  EXPECT_THROW(b.monotone_route({2, 1}, {3, 5}), Error);
+}
+
+TEST(Butterfly, RowOverflowRejected) {
+  Butterfly b(3);
+  EXPECT_THROW(b.monotone_route({0}, {8}), Error);
+}
+
+TEST(Butterfly, ReplicateStepsAreTwoQ) {
+  Butterfly b(7);
+  auto s = b.replicate({4, 3, 5}, {2, 0, 3});
+  EXPECT_EQ(s.steps, 14u);  // one wave: 2q
+  EXPECT_EQ(s.packets, 4u * 2 + 3u * 0 + 5u * 3);
+  EXPECT_EQ(s.max_edge_load, 1u);
+}
+
+TEST(Butterfly, ReplicateGroupsWhenWide) {
+  Butterfly b(3);  // 8 rows
+  auto s = b.replicate({8}, {8});  // 64 padded outputs on 8 rows: 8 waves
+  EXPECT_EQ(s.steps, 8u * 6u);
+}
+
+TEST(Butterfly, ScanIsTwoSweeps) {
+  Butterfly b(9);
+  EXPECT_EQ(b.scan(512).steps, 18u);
+  EXPECT_EQ(b.scan(0).steps, 18u);
+}
+
+TEST(ButterflySteps, LocalOpsDontCommunicate) {
+  bvram::TraceEntry arith{bvram::Op::Arith, 64, 32};
+  EXPECT_EQ(butterfly_steps(arith, 6), 1u);  // 64 <= 2^6
+  bvram::TraceEntry big{bvram::Op::Arith, 1 << 10, 1 << 10};
+  EXPECT_EQ(butterfly_steps(big, 6), 16u);  // grouped: W / 2^q waves
+}
+
+TEST(ButterflySteps, RoutingOpsAreLogN) {
+  bvram::TraceEntry route{bvram::Op::BmRoute, 60, 30};
+  EXPECT_EQ(butterfly_steps(route, 6), 6u);
+  bvram::TraceEntry scan{bvram::Op::ScanPlus, 60, 60};
+  EXPECT_EQ(butterfly_steps(scan, 6), 12u);
+  bvram::TraceEntry sel{bvram::Op::Select, 60, 60};
+  EXPECT_EQ(butterfly_steps(sel, 6), 18u);
+}
+
+TEST(ButterflySteps, GroupedModeScalesAsWOverP) {
+  // Prop 2.1 extension: W elements on 2^q rows -> O((W / 2^q) log n) steps.
+  bvram::TraceEntry route{bvram::Op::BmRoute, 1 << 12, 1 << 12};
+  const auto steps_q6 = butterfly_steps(route, 6);
+  const auto steps_q8 = butterfly_steps(route, 8);
+  EXPECT_EQ(steps_q6, (std::uint64_t{1} << 6) * 6);
+  EXPECT_EQ(steps_q8, (std::uint64_t{1} << 4) * 8);
+  EXPECT_GT(steps_q6, steps_q8);  // more processors, fewer steps
+}
+
+TEST(ButterflySteps, TraceAccumulates) {
+  std::vector<bvram::TraceEntry> trace{
+      {bvram::Op::Arith, 10, 10},
+      {bvram::Op::Append, 20, 10},
+      {bvram::Op::Halt, 1, 0},
+  };
+  EXPECT_EQ(butterfly_steps_for_trace(trace, 5),
+            butterfly_steps(trace[0], 5) + butterfly_steps(trace[1], 5) +
+                butterfly_steps(trace[2], 5));
+}
+
+}  // namespace
+}  // namespace nsc::net

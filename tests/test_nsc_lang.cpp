@@ -1,0 +1,279 @@
+// Tests for the NSC core language: typechecker (appendix A) and the
+// natural-semantics evaluator with Definition 3.1 cost accounting
+// (appendix B).
+#include <gtest/gtest.h>
+
+#include "nsc/build.hpp"
+#include "nsc/eval.hpp"
+#include "nsc/typecheck.hpp"
+#include "support/error.hpp"
+
+namespace nsc::lang {
+namespace {
+
+using nsc::Type;
+using nsc::TypeError;
+using nsc::Value;
+
+TEST(TypeCheck, Constants) {
+  EXPECT_TRUE(Type::equal(check_term(nat(5)), Type::nat()));
+  EXPECT_TRUE(Type::equal(check_term(unit_v()), Type::unit()));
+  EXPECT_TRUE(Type::equal(check_term(tru()), Type::boolean()));
+  EXPECT_TRUE(Type::equal(check_term(omega(Type::nat())), Type::nat()));
+}
+
+TEST(TypeCheck, UnboundVariableRejected) {
+  EXPECT_THROW(check_term(var("x")), TypeError);
+  TypeEnv env{{"x", Type::nat()}};
+  EXPECT_TRUE(Type::equal(check_term(var("x"), env), Type::nat()));
+}
+
+TEST(TypeCheck, ArithRequiresNat) {
+  EXPECT_TRUE(Type::equal(check_term(add(nat(1), nat(2))), Type::nat()));
+  EXPECT_THROW(check_term(add(nat(1), unit_v())), TypeError);
+  EXPECT_THROW(check_term(eq(unit_v(), nat(1))), TypeError);
+}
+
+TEST(TypeCheck, ProductsAndSums) {
+  auto p = pair(nat(1), tru());
+  EXPECT_EQ(check_term(p)->show(), "(N x B)");
+  EXPECT_TRUE(Type::equal(check_term(proj1(p)), Type::nat()));
+  EXPECT_TRUE(Type::equal(check_term(proj2(p)), Type::boolean()));
+  EXPECT_THROW(check_term(proj1(nat(3))), TypeError);
+
+  auto s = inj1(nat(1), Type::unit());
+  EXPECT_EQ(check_term(s)->show(), "(N + unit)");
+}
+
+TEST(TypeCheck, CaseBranchesMustAgree) {
+  auto scrut = inj1(nat(1), Type::unit());
+  auto good = case_of(scrut, "a", var("a"), "b", nat(0));
+  EXPECT_TRUE(Type::equal(check_term(good), Type::nat()));
+  auto bad = case_of(scrut, "a", var("a"), "b", unit_v());
+  EXPECT_THROW(check_term(bad), TypeError);
+}
+
+TEST(TypeCheck, SequenceOps) {
+  auto xs = nat_list({1, 2, 3});
+  EXPECT_EQ(check_term(xs)->show(), "[N]");
+  EXPECT_TRUE(Type::equal(check_term(length(xs)), Type::nat()));
+  EXPECT_EQ(check_term(zip(xs, xs))->show(), "[(N x N)]");
+  EXPECT_EQ(check_term(split(xs, xs))->show(), "[[N]]");
+  EXPECT_EQ(check_term(flatten(split(xs, xs)))->show(), "[N]");
+  EXPECT_THROW(check_term(flatten(xs)), TypeError);  // not nested
+  EXPECT_THROW(check_term(append(xs, singleton(unit_v()))), TypeError);
+}
+
+TEST(TypeCheck, Functions) {
+  auto f = lambda("x", Type::nat(), add(var("x"), nat(1)));
+  auto [dom, cod] = check_func(f);
+  EXPECT_TRUE(Type::equal(dom, Type::nat()));
+  EXPECT_TRUE(Type::equal(cod, Type::nat()));
+
+  auto m = map_f(f);
+  auto [mdom, mcod] = check_func(m);
+  EXPECT_EQ(mdom->show(), "[N]");
+  EXPECT_EQ(mcod->show(), "[N]");
+
+  auto p = lambda("x", Type::nat(), lt(var("x"), nat(10)));
+  auto w = while_f(p, f);
+  auto [wdom, wcod] = check_func(w);
+  EXPECT_TRUE(Type::equal(wdom, wcod));
+
+  // while with non-boolean predicate is rejected.
+  auto notp = lambda("x", Type::nat(), var("x"));
+  EXPECT_THROW(check_func(while_f(notp, f)), TypeError);
+  // while with mismatched body type is rejected.
+  auto tounit = lambda("x", Type::nat(), unit_v());
+  EXPECT_THROW(check_func(while_f(p, tounit)), TypeError);
+}
+
+TEST(TypeCheck, NoHigherOrderByConstruction) {
+  // Function types are not types: apply expects dom match.
+  auto f = lambda("x", Type::nat(), var("x"));
+  EXPECT_THROW(check_term(apply(f, unit_v())), TypeError);
+}
+
+// --------------------------------------------------------------------------
+// Evaluation
+// --------------------------------------------------------------------------
+
+ValueRef ev(const TermRef& m) { return eval(m).value; }
+
+TEST(Eval, Arithmetic) {
+  EXPECT_EQ(ev(add(nat(2), nat(3)))->as_nat(), 5u);
+  EXPECT_EQ(ev(monus_t(nat(2), nat(3)))->as_nat(), 0u);  // monus
+  EXPECT_EQ(ev(monus_t(nat(7), nat(3)))->as_nat(), 4u);
+  EXPECT_EQ(ev(mul(nat(4), nat(5)))->as_nat(), 20u);
+  EXPECT_EQ(ev(div_t(nat(17), nat(5)))->as_nat(), 3u);
+  EXPECT_EQ(ev(rsh(nat(40), nat(3)))->as_nat(), 5u);
+  EXPECT_EQ(ev(log2_t(nat(1024)))->as_nat(), 10u);
+  EXPECT_THROW(ev(div_t(nat(1), nat(0))), EvalError);
+}
+
+TEST(Eval, Comparisons) {
+  EXPECT_TRUE(ev(leq(nat(3), nat(3)))->as_bool());
+  EXPECT_FALSE(ev(leq(nat(4), nat(3)))->as_bool());
+  EXPECT_TRUE(ev(lt(nat(2), nat(3)))->as_bool());
+  EXPECT_FALSE(ev(lt(nat(3), nat(3)))->as_bool());
+  EXPECT_TRUE(ev(neq(nat(1), nat(2)))->as_bool());
+  EXPECT_EQ(ev(mod_t(nat(17), nat(5)))->as_nat(), 2u);
+}
+
+TEST(Eval, PairsAndCase) {
+  EXPECT_EQ(ev(proj1(pair(nat(1), nat(2))))->as_nat(), 1u);
+  EXPECT_EQ(ev(proj2(pair(nat(1), nat(2))))->as_nat(), 2u);
+  auto c = case_of(inj2(nat(9), Type::nat()), "a", var("a"), "b",
+                   add(var("b"), nat(1)));
+  EXPECT_EQ(ev(c)->as_nat(), 10u);
+  EXPECT_EQ(ev(ite(tru(), nat(1), nat(2)))->as_nat(), 1u);
+  EXPECT_EQ(ev(ite(fls(), nat(1), nat(2)))->as_nat(), 2u);
+}
+
+TEST(Eval, BooleanConnectives) {
+  EXPECT_TRUE(ev(land(tru(), tru()))->as_bool());
+  EXPECT_FALSE(ev(land(tru(), fls()))->as_bool());
+  EXPECT_TRUE(ev(lor(fls(), tru()))->as_bool());
+  EXPECT_FALSE(ev(lnot(tru()))->as_bool());
+}
+
+TEST(Eval, SequencePrimitives) {
+  auto xs = nat_list({3, 1, 4, 1, 5});
+  EXPECT_EQ(ev(length(xs))->as_nat(), 5u);
+  EXPECT_EQ(ev(append(nat_list({1}), nat_list({2, 3})))->as_nat_vector(),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(ev(enumerate(xs))->as_nat_vector(),
+            (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(ev(get(singleton(nat(42))))->as_nat(), 42u);
+  EXPECT_THROW(ev(get(nat_list({1, 2}))), EvalError);
+  EXPECT_THROW(ev(get(empty(Type::nat()))), EvalError);
+}
+
+TEST(Eval, FlattenMatchesPaper) {
+  // flatten([x0..]) = x0 @ x1 @ ...
+  auto nested = split(nat_list({1, 2, 3, 4}), nat_list({2, 0, 2}));
+  EXPECT_EQ(ev(flatten(nested))->as_nat_vector(),
+            (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(Eval, SplitExample) {
+  // split([a,b,c,d,e,f], [3,0,1,0,2]) = [[a,b,c],[],[d],[],[e,f]] (section 3)
+  auto r = ev(split(nat_list({10, 11, 12, 13, 14, 15}),
+                    nat_list({3, 0, 1, 0, 2})));
+  ASSERT_EQ(r->length(), 5u);
+  EXPECT_EQ(r->elems()[0]->as_nat_vector(),
+            (std::vector<std::uint64_t>{10, 11, 12}));
+  EXPECT_EQ(r->elems()[1]->length(), 0u);
+  EXPECT_EQ(r->elems()[2]->as_nat_vector(), (std::vector<std::uint64_t>{13}));
+  EXPECT_EQ(r->elems()[4]->as_nat_vector(),
+            (std::vector<std::uint64_t>{14, 15}));
+}
+
+TEST(Eval, SplitErrors) {
+  EXPECT_THROW(ev(split(nat_list({1, 2}), nat_list({1}))), EvalError);
+  EXPECT_THROW(ev(split(nat_list({1, 2}), nat_list({3}))), EvalError);
+}
+
+TEST(Eval, ZipErrorsOnLengthMismatch) {
+  EXPECT_THROW(ev(zip(nat_list({1}), nat_list({1, 2}))), EvalError);
+}
+
+TEST(Eval, OmegaRaises) { EXPECT_THROW(ev(omega(Type::nat())), EvalError); }
+
+TEST(Eval, MapAppliesInParallel) {
+  auto inc = lambda("x", Type::nat(), add(var("x"), nat(1)));
+  auto r = eval(apply(map_f(inc), nat_list({1, 2, 3})));
+  EXPECT_EQ(r.value->as_nat_vector(), (std::vector<std::uint64_t>{2, 3, 4}));
+}
+
+TEST(Eval, MapTimeIsMaxNotSum) {
+  // Body with data-dependent time: a while loop counting down.
+  auto p = lambda("x", Type::nat(), lt(nat(0), var("x")));
+  auto f = lambda("x", Type::nat(), monus_t(var("x"), nat(1)));
+  auto body = lambda("x", Type::nat(), apply(while_f(p, f), var("x")));
+  // One slow element among fast ones: T(map) ~ T(slow), not the sum.
+  auto slow = eval(apply(map_f(body), nat_list({64})));
+  auto mixed = eval(apply(map_f(body), nat_list({64, 1, 1, 1, 1, 1, 1, 1})));
+  EXPECT_LT(mixed.cost.time, slow.cost.time * 2);
+  // Work, by contrast, accumulates across elements.
+  auto one = eval(apply(map_f(body), nat_list({64})));
+  auto eight = eval(apply(map_f(body),
+                          nat_list({64, 64, 64, 64, 64, 64, 64, 64})));
+  EXPECT_GT(eight.cost.work, one.cost.work * 4);
+}
+
+TEST(Eval, WhileRunsToFixpoint) {
+  auto p = lambda("x", Type::nat(), lt(var("x"), nat(100)));
+  auto f = lambda("x", Type::nat(), mul(var("x"), nat(2)));
+  EXPECT_EQ(eval(apply(while_f(p, f), nat(3))).value->as_nat(), 192u);
+  // Zero iterations when the predicate is initially false.
+  EXPECT_EQ(eval(apply(while_f(p, f), nat(100))).value->as_nat(), 100u);
+}
+
+TEST(Eval, WhileTimeScalesWithIterations) {
+  auto p = lambda("x", Type::nat(), lt(nat(0), var("x")));
+  auto f = lambda("x", Type::nat(), monus_t(var("x"), nat(1)));
+  auto w = while_f(p, f);
+  auto t10 = eval(apply(w, nat(10))).cost.time;
+  auto t100 = eval(apply(w, nat(100))).cost.time;
+  EXPECT_GT(t100, t10 * 5);
+  EXPECT_LT(t100, t10 * 20);
+}
+
+TEST(Eval, FuelExhaustionIsDetected) {
+  auto p = lambda("x", Type::nat(), tru());
+  auto f = lambda("x", Type::nat(), var("x"));
+  Evaluator ev_limited({/*max_steps=*/1000});
+  EXPECT_THROW(ev_limited.apply(while_f(p, f), Value::nat(0)),
+               nsc::FuelExhausted);
+}
+
+TEST(Eval, LetBindsOnce) {
+  auto m = let_in(Type::nat(), add(nat(2), nat(3)),
+                  [](TermRef x) { return mul(x, x); });
+  EXPECT_EQ(ev(m)->as_nat(), 25u);
+  EXPECT_TRUE(Type::equal(check_term(m), Type::nat()));
+}
+
+TEST(Eval, EnvShadowing) {
+  // (\x. (\x. x+1)(10) + x)(1) = 12
+  auto inner = lambda("x", Type::nat(), add(var("x"), nat(1)));
+  auto outer =
+      lambda("x", Type::nat(), add(apply(inner, nat(10)), var("x")));
+  EXPECT_EQ(apply_fn(outer, Value::nat(1)).value->as_nat(), 12u);
+}
+
+TEST(Eval, FreeVariablesInMapBody) {
+  // map(\v. (y, v))(xs) with y free: the broadcast pattern behind p2.
+  auto body = lambda("v", Type::nat(), pair(var("y"), var("v")));
+  Env env = Env{}.extend("y", Value::nat(7));
+  auto r = Evaluator().eval(apply(map_f(body), nat_list({1, 2})), env);
+  ASSERT_EQ(r.value->length(), 2u);
+  EXPECT_EQ(r.value->elems()[0]->first()->as_nat(), 7u);
+}
+
+TEST(Eval, CostsArePositive) {
+  auto r = eval(add(nat(1), nat(2)));
+  EXPECT_GE(r.cost.time, 1u);
+  EXPECT_GE(r.cost.work, 1u);
+}
+
+TEST(Eval, WorkScalesWithDataSize) {
+  auto dup = lambda("x", Type::seq(Type::nat()),
+                    append(var("x"), var("x")));
+  auto small = apply_fn(dup, Value::nat_seq(std::vector<std::uint64_t>(10, 1)));
+  auto large = apply_fn(dup, Value::nat_seq(std::vector<std::uint64_t>(1000, 1)));
+  EXPECT_GT(large.cost.work, small.cost.work * 50);
+  // Parallel time is size-independent for one append.
+  EXPECT_EQ(large.cost.time, small.cost.time);
+}
+
+TEST(Show, TermsRoundTripReadably) {
+  auto m = ite(leq(nat(1), nat(2)), nat_list({1}), empty(Type::nat()));
+  EXPECT_NE(m->show().find("case"), std::string::npos);
+  auto f = map_f(lambda("x", Type::nat(), var("x")));
+  EXPECT_NE(f->show().find("map"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nsc::lang

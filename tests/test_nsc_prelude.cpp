@@ -1,0 +1,326 @@
+// Tests for the derived NSC functions of section 3 and Figures 2-3,
+// including the paper's own worked examples and the claimed complexity
+// shapes (index: T = O(1), W = O(n + k); bm_route: T = O(1)).
+#include <gtest/gtest.h>
+
+#include "nsc/build.hpp"
+#include "nsc/eval.hpp"
+#include "nsc/prelude.hpp"
+#include "nsc/typecheck.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace nsc::lang {
+namespace {
+
+using nsc::SplitMix64;
+using nsc::Type;
+using nsc::Value;
+
+const TypeRef N = Type::nat();
+const TypeRef NSeq = Type::seq(Type::nat());
+
+Evaluated run(const FuncRef& f, const ValueRef& arg) { return apply_fn(f, arg); }
+
+std::vector<std::uint64_t> nats(const ValueRef& v) {
+  return v->as_nat_vector();
+}
+
+TEST(Prelude, Identity) {
+  auto f = prelude::identity(N);
+  EXPECT_EQ(run(f, Value::nat(9)).value->as_nat(), 9u);
+  check_func(f);
+}
+
+TEST(Prelude, Compose) {
+  auto inc = lambda("x", N, add(var("x"), nat(1)));
+  auto dbl = lambda("x", N, mul(var("x"), nat(2)));
+  auto f = prelude::compose(inc, dbl, N);  // inc(dbl(x))
+  EXPECT_EQ(run(f, Value::nat(5)).value->as_nat(), 11u);
+}
+
+TEST(Prelude, P2Broadcast) {
+  // p2(x, [y0..]) = [(x, y0), ...]  (section 3)
+  auto f = prelude::p2(N, N);
+  auto r = run(f, Value::pair(Value::nat(7), Value::nat_seq({1, 2, 3}))).value;
+  ASSERT_EQ(r->length(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r->elems()[i]->first()->as_nat(), 7u);
+    EXPECT_EQ(r->elems()[i]->second()->as_nat(), i + 1);
+  }
+  check_func(f);
+}
+
+TEST(Prelude, BmRoutePaperExample) {
+  // bm_route(([u0,u1,u2,u3,u4], [3,0,2]), [a,b,c]) = [a,a,a,c,c] (section 3)
+  auto f = prelude::bm_route(N, N);
+  auto arg = Value::pair(
+      Value::pair(Value::nat_seq({90, 91, 92, 93, 94}),
+                  Value::nat_seq({3, 0, 2})),
+      Value::nat_seq({100, 101, 102}));
+  EXPECT_EQ(nats(run(f, arg).value),
+            (std::vector<std::uint64_t>{100, 100, 100, 102, 102}));
+  check_func(f);
+}
+
+TEST(Prelude, BmRouteBoundMismatchIsOmega) {
+  auto f = prelude::bm_route(N, N);
+  // Bound has length 2 but counts sum to 3: split fails (Omega).
+  auto arg = Value::pair(
+      Value::pair(Value::nat_seq({0, 0}), Value::nat_seq({3})),
+      Value::nat_seq({5}));
+  EXPECT_THROW(run(f, arg), EvalError);
+}
+
+TEST(Prelude, BmRouteConstantTime) {
+  auto f = prelude::bm_route(N, N);
+  auto mk = [](std::size_t n) {
+    std::vector<std::uint64_t> u(n, 0), d(n, 1), x(n, 3);
+    return Value::pair(Value::pair(Value::nat_seq(u), Value::nat_seq(d)),
+                       Value::nat_seq(x));
+  };
+  auto t1 = run(f, mk(16)).cost;
+  auto t2 = run(f, mk(1024)).cost;
+  EXPECT_EQ(t1.time, t2.time);                 // T = O(1)
+  EXPECT_GT(t2.work, t1.work * 16);            // W scales with data
+}
+
+TEST(Prelude, Sigma1Sigma2PaperExample) {
+  // x = [in1 a, in2 b, in2 c, in2 d, in1 e, in1 f]:
+  // sigma1 = [a, e, f], sigma2 = [b, c, d]  (section 3)
+  auto x = Value::seq({Value::in1(Value::nat(1)), Value::in2(Value::nat(2)),
+                       Value::in2(Value::nat(3)), Value::in2(Value::nat(4)),
+                       Value::in1(Value::nat(5)), Value::in1(Value::nat(6))});
+  EXPECT_EQ(nats(run(prelude::sigma1(N, N), x).value),
+            (std::vector<std::uint64_t>{1, 5, 6}));
+  EXPECT_EQ(nats(run(prelude::sigma2(N, N), x).value),
+            (std::vector<std::uint64_t>{2, 3, 4}));
+}
+
+TEST(Prelude, FilterKeepsOrder) {
+  auto even = lambda("x", N, eq(mod_t(var("x"), nat(2)), nat(0)));
+  auto f = prelude::filter(even, N);
+  EXPECT_EQ(nats(run(f, Value::nat_seq({5, 2, 7, 4, 6, 1})).value),
+            (std::vector<std::uint64_t>{2, 4, 6}));
+  EXPECT_EQ(nats(run(f, Value::nat_seq({})).value),
+            (std::vector<std::uint64_t>{}));
+}
+
+TEST(Prelude, FirstTailLastRemoveLast) {
+  auto xs = Value::nat_seq({4, 5, 6, 7});
+  EXPECT_EQ(run(prelude::first(N), xs).value->as_nat(), 4u);
+  EXPECT_EQ(nats(run(prelude::tail(N), xs).value),
+            (std::vector<std::uint64_t>{5, 6, 7}));
+  EXPECT_EQ(run(prelude::last(N), xs).value->as_nat(), 7u);
+  EXPECT_EQ(nats(run(prelude::remove_last(N), xs).value),
+            (std::vector<std::uint64_t>{4, 5, 6}));
+}
+
+TEST(Prelude, FirstOfSingleton) {
+  auto xs = Value::nat_seq({9});
+  EXPECT_EQ(run(prelude::first(N), xs).value->as_nat(), 9u);
+  EXPECT_EQ(run(prelude::last(N), xs).value->as_nat(), 9u);
+  EXPECT_EQ(run(prelude::tail(N), xs).value->length(), 0u);
+  EXPECT_EQ(run(prelude::remove_last(N), xs).value->length(), 0u);
+}
+
+TEST(Prelude, FirstOfEmptyIsOmega) {
+  // "If x is empty, split will produce an error" (section 3).
+  EXPECT_THROW(run(prelude::first(N), Value::empty_seq()), EvalError);
+  EXPECT_THROW(run(prelude::last(N), Value::empty_seq()), EvalError);
+}
+
+TEST(Prelude, TailOfEmptyIsEmpty) {
+  EXPECT_EQ(run(prelude::tail(N), Value::empty_seq()).value->length(), 0u);
+  EXPECT_EQ(run(prelude::remove_last(N), Value::empty_seq()).value->length(),
+            0u);
+}
+
+TEST(Prelude, IndexSelectsSortedPositions) {
+  // index(C, I) = [C_{i0}, ...] (Figure 3).
+  auto f = prelude::index(N);
+  auto C = Value::nat_seq({10, 11, 12, 13, 14, 15});
+  EXPECT_EQ(nats(run(f, Value::pair(C, Value::nat_seq({0, 2, 5}))).value),
+            (std::vector<std::uint64_t>{10, 12, 15}));
+  EXPECT_EQ(nats(run(f, Value::pair(C, Value::nat_seq({}))).value),
+            (std::vector<std::uint64_t>{}));
+  // Duplicate indices replicate, still constant time.
+  EXPECT_EQ(nats(run(f, Value::pair(C, Value::nat_seq({1, 1, 4}))).value),
+            (std::vector<std::uint64_t>{11, 11, 14}));
+}
+
+TEST(Prelude, IndexComplexityShape) {
+  // T = O(1) and W = O(n + k): time equal across sizes, work ~linear.
+  auto f = prelude::index(N);
+  auto mk = [](std::size_t n) {
+    std::vector<std::uint64_t> c(n);
+    for (std::size_t i = 0; i < n; ++i) c[i] = i;
+    std::vector<std::uint64_t> idx{0, n / 2, n - 1};
+    return Value::pair(Value::nat_seq(c), Value::nat_seq(idx));
+  };
+  auto small = run(f, mk(64)).cost;
+  auto large = run(f, mk(4096)).cost;
+  EXPECT_EQ(small.time, large.time);
+  EXPECT_GT(large.work, small.work * 32);
+  EXPECT_LT(large.work, small.work * 128);
+}
+
+TEST(Prelude, IndexSplitBlocks) {
+  auto f = prelude::index_split(N);
+  auto C = Value::nat_seq({10, 11, 12, 13, 14, 15});
+  auto r = run(f, Value::pair(C, Value::nat_seq({2, 4}))).value;
+  // Split *at* positions 2 and 4: [10,11 | 12,13 | 14,15].
+  ASSERT_EQ(r->length(), 3u);
+  EXPECT_EQ(nats(r->elems()[0]), (std::vector<std::uint64_t>{10, 11}));
+  EXPECT_EQ(nats(r->elems()[1]), (std::vector<std::uint64_t>{12, 13}));
+  EXPECT_EQ(nats(r->elems()[2]), (std::vector<std::uint64_t>{14, 15}));
+}
+
+TEST(Prelude, IndexSplitAtZeroMakesLeadingEmptyBlock) {
+  auto f = prelude::index_split(N);
+  auto r = run(f, Value::pair(Value::nat_seq({1, 2}), Value::nat_seq({0})))
+               .value;
+  ASSERT_EQ(r->length(), 2u);
+  EXPECT_EQ(r->elems()[0]->length(), 0u);
+  EXPECT_EQ(nats(r->elems()[1]), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(Prelude, SqrtBlockWithinFactorTwo) {
+  for (std::uint64_t n : {1ull, 4ull, 9ull, 100ull, 1000ull, 4096ull}) {
+    auto b = eval(prelude::sqrt_block(nat(n))).value->as_nat();
+    EXPECT_GE(b, 1u);
+    EXPECT_GE(2 * b + 1, nsc::isqrt(n)) << n;
+    EXPECT_LE(b, 2 * nsc::isqrt(n) + 1) << n;
+  }
+}
+
+TEST(Prelude, SqrtPositionsSamplesEveryBlock) {
+  auto f = prelude::sqrt_positions(N);
+  std::vector<std::uint64_t> c(16);
+  for (std::size_t i = 0; i < 16; ++i) c[i] = 100 + i;
+  auto r = nats(run(f, Value::nat_seq(c)).value);
+  // Block size for n=16 is 4: positions 0, 4, 8, 12.
+  EXPECT_EQ(r, (std::vector<std::uint64_t>{100, 104, 108, 112}));
+}
+
+TEST(Prelude, SqrtSplitReassembles) {
+  auto f = prelude::sqrt_split(N);
+  std::vector<std::uint64_t> c{9, 8, 7, 6, 5, 4, 3, 2, 1};
+  auto r = run(f, Value::nat_seq(c)).value;
+  std::vector<std::uint64_t> flat;
+  for (const auto& blk : r->elems()) {
+    for (auto v : blk->as_nat_vector()) flat.push_back(v);
+  }
+  EXPECT_EQ(flat, c);
+  EXPECT_GT(r->length(), 1u);
+}
+
+TEST(Prelude, RankOne) {
+  auto f = prelude::rank_one();
+  auto B = Value::nat_seq({1, 3, 5, 7});
+  EXPECT_EQ(run(f, Value::pair(Value::nat(0), B)).value->as_nat(), 0u);
+  EXPECT_EQ(run(f, Value::pair(Value::nat(3), B)).value->as_nat(), 2u);
+  EXPECT_EQ(run(f, Value::pair(Value::nat(9), B)).value->as_nat(), 4u);
+}
+
+TEST(Prelude, DirectRank) {
+  auto f = prelude::direct_rank();
+  auto r = run(f, Value::pair(Value::nat_seq({0, 4, 8}),
+                              Value::nat_seq({1, 3, 5, 7})))
+               .value;
+  EXPECT_EQ(nats(r), (std::vector<std::uint64_t>{0, 2, 4}));
+}
+
+TEST(Prelude, DirectMergeMergesSorted) {
+  auto f = prelude::direct_merge();
+  auto r = run(f, Value::pair(Value::nat_seq({2, 4, 6}),
+                              Value::nat_seq({1, 3, 5, 7})))
+               .value;
+  EXPECT_EQ(nats(r), (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Prelude, DirectMergeEdgeCases) {
+  auto f = prelude::direct_merge();
+  EXPECT_EQ(nats(run(f, Value::pair(Value::nat_seq({}),
+                                    Value::nat_seq({1, 2})))
+                     .value),
+            (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(nats(run(f, Value::pair(Value::nat_seq({1, 2}),
+                                    Value::nat_seq({})))
+                     .value),
+            (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(nats(run(f, Value::pair(Value::nat_seq({}), Value::nat_seq({})))
+                     .value),
+            (std::vector<std::uint64_t>{}));
+}
+
+TEST(Prelude, DirectMergeRandomized) {
+  SplitMix64 rng(77);
+  auto f = prelude::direct_merge();
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = rng.vec(rng.below(12), 50);
+    auto b = rng.vec(rng.below(12), 50);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<std::uint64_t> want;
+    std::merge(a.begin(), a.end(), b.begin(), b.end(),
+               std::back_inserter(want));
+    auto got = nats(
+        run(f, Value::pair(Value::nat_seq(a), Value::nat_seq(b))).value);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(Prelude, SumNats) {
+  auto f = prelude::sum_nats();
+  EXPECT_EQ(run(f, Value::nat_seq({})).value->as_nat(), 0u);
+  EXPECT_EQ(run(f, Value::nat_seq({5})).value->as_nat(), 5u);
+  EXPECT_EQ(run(f, Value::nat_seq({1, 2, 3, 4, 5})).value->as_nat(), 15u);
+  EXPECT_EQ(run(f, Value::nat_seq({7, 7, 7, 7, 7, 7, 7, 7})).value->as_nat(),
+            56u);
+}
+
+TEST(Prelude, SumNatsLogTime) {
+  auto f = prelude::sum_nats();
+  auto t64 = run(f, Value::nat_seq(std::vector<std::uint64_t>(64, 1))).cost;
+  auto t4096 =
+      run(f, Value::nat_seq(std::vector<std::uint64_t>(4096, 1))).cost;
+  // T = O(log n): doubling log n doubles rounds, so time ratio ~2, not 64.
+  EXPECT_LT(t4096.time, t64.time * 3);
+  EXPECT_GT(t4096.work, t64.work * 32);  // W = O(n)
+}
+
+TEST(Prelude, MaxNats) {
+  auto f = prelude::max_nats();
+  EXPECT_EQ(run(f, Value::nat_seq({})).value->as_nat(), 0u);
+  EXPECT_EQ(run(f, Value::nat_seq({3, 9, 2, 9, 1})).value->as_nat(), 9u);
+  SplitMix64 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto v = rng.vec(1 + rng.below(20), 1000);
+    auto want = *std::max_element(v.begin(), v.end());
+    EXPECT_EQ(run(f, Value::nat_seq(v)).value->as_nat(), want);
+  }
+}
+
+TEST(Prelude, AllTypecheck) {
+  check_func(prelude::p2(N, Type::boolean()));
+  check_func(prelude::bm_route(Type::unit(), N));
+  check_func(prelude::sigma1(N, Type::unit()));
+  check_func(prelude::sigma2(N, Type::unit()));
+  check_func(prelude::first(NSeq));
+  check_func(prelude::tail(NSeq));
+  check_func(prelude::last(N));
+  check_func(prelude::remove_last(N));
+  check_func(prelude::index(NSeq));
+  check_func(prelude::index_split(N));
+  check_func(prelude::sqrt_positions(N));
+  check_func(prelude::sqrt_split(N));
+  check_func(prelude::rank_one());
+  check_func(prelude::direct_rank());
+  check_func(prelude::direct_merge());
+  check_func(prelude::sum_nats());
+  check_func(prelude::max_nats());
+}
+
+}  // namespace
+}  // namespace nsc::lang

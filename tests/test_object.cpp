@@ -1,0 +1,130 @@
+// Unit tests for the object model: the type grammar, S-objects, the
+// Definition 3.1 size measure, conformance, and random generation.
+#include <gtest/gtest.h>
+
+#include "object/random.hpp"
+#include "object/type.hpp"
+#include "object/value.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace nsc {
+namespace {
+
+TEST(Type, Show) {
+  EXPECT_EQ(Type::unit()->show(), "unit");
+  EXPECT_EQ(Type::nat()->show(), "N");
+  EXPECT_EQ(Type::boolean()->show(), "B");
+  EXPECT_EQ(Type::seq(Type::nat())->show(), "[N]");
+  EXPECT_EQ(Type::prod(Type::nat(), Type::unit())->show(), "(N x unit)");
+  EXPECT_EQ(Type::sum(Type::nat(), Type::nat())->show(), "(N + N)");
+}
+
+TEST(Type, StructuralEquality) {
+  auto a = Type::seq(Type::prod(Type::nat(), Type::boolean()));
+  auto b = Type::seq(Type::prod(Type::nat(), Type::boolean()));
+  EXPECT_TRUE(Type::equal(a, b));
+  EXPECT_FALSE(Type::equal(a, Type::seq(Type::nat())));
+}
+
+TEST(Type, ScalarPredicate) {
+  EXPECT_TRUE(Type::unit()->is_scalar());
+  EXPECT_TRUE(Type::nat()->is_scalar());
+  EXPECT_TRUE(Type::boolean()->is_scalar());
+  EXPECT_TRUE(Type::prod(Type::nat(), Type::boolean())->is_scalar());
+  EXPECT_FALSE(Type::seq(Type::nat())->is_scalar());
+  EXPECT_FALSE(Type::prod(Type::seq(Type::nat()), Type::nat())->is_scalar());
+}
+
+TEST(Type, FlatPredicate) {
+  // Appendix D: t ::= unit | [s] | t x t | t + t with s scalar.
+  EXPECT_TRUE(Type::unit()->is_flat());
+  EXPECT_FALSE(Type::nat()->is_flat());
+  EXPECT_TRUE(Type::seq(Type::nat())->is_flat());
+  EXPECT_TRUE(Type::seq(Type::sum(Type::nat(), Type::unit()))->is_flat());
+  EXPECT_TRUE(
+      Type::prod(Type::seq(Type::nat()), Type::seq(Type::nat()))->is_flat());
+  EXPECT_FALSE(Type::seq(Type::seq(Type::nat()))->is_flat());
+}
+
+TEST(Type, AccessorsThrowOnWrongKind) {
+  EXPECT_THROW(Type::nat()->left(), TypeError);
+  EXPECT_THROW(Type::nat()->elem(), TypeError);
+  EXPECT_THROW(Type::prod(Type::nat(), Type::nat())->elem(), TypeError);
+}
+
+TEST(Value, SizesMatchDefinition31) {
+  // size(()) = size(n) = 1
+  EXPECT_EQ(Value::unit()->size(), 1u);
+  EXPECT_EQ(Value::nat(123456)->size(), 1u);
+  // size((C, D)) = 1 + size(C) + size(D)
+  EXPECT_EQ(Value::pair(Value::nat(1), Value::nat(2))->size(), 3u);
+  // size(in_i(C)) = 1 + size(C)
+  EXPECT_EQ(Value::in1(Value::unit())->size(), 2u);
+  EXPECT_EQ(Value::in2(Value::nat(9))->size(), 2u);
+  // size([C...]) = 1 + sum size(C_i)
+  EXPECT_EQ(Value::empty_seq()->size(), 1u);
+  EXPECT_EQ(Value::nat_seq({1, 2, 3})->size(), 4u);
+  auto nested = Value::seq({Value::nat_seq({1, 2}), Value::nat_seq({})});
+  EXPECT_EQ(nested->size(), 1u + 3u + 1u);
+}
+
+TEST(Value, BooleanEncoding) {
+  EXPECT_TRUE(Value::boolean(true)->as_bool());
+  EXPECT_FALSE(Value::boolean(false)->as_bool());
+  EXPECT_EQ(Value::boolean(true)->show(), "true");
+  EXPECT_EQ(Value::boolean(false)->show(), "false");
+  EXPECT_THROW(Value::nat(0)->as_bool(), EvalError);
+}
+
+TEST(Value, Equality) {
+  auto a = Value::seq({Value::pair(Value::nat(1), Value::unit())});
+  auto b = Value::seq({Value::pair(Value::nat(1), Value::unit())});
+  auto c = Value::seq({Value::pair(Value::nat(2), Value::unit())});
+  EXPECT_TRUE(Value::equal(a, b));
+  EXPECT_FALSE(Value::equal(a, c));
+  EXPECT_FALSE(Value::equal(a, Value::empty_seq()));
+}
+
+TEST(Value, AccessorsThrow) {
+  EXPECT_THROW(Value::unit()->as_nat(), EvalError);
+  EXPECT_THROW(Value::nat(1)->first(), EvalError);
+  EXPECT_THROW(Value::nat(1)->elems(), EvalError);
+  EXPECT_THROW(Value::unit()->injected(), EvalError);
+}
+
+TEST(Value, NatVectorRoundTrip) {
+  std::vector<std::uint64_t> ns{5, 0, 7};
+  EXPECT_EQ(Value::nat_seq(ns)->as_nat_vector(), ns);
+  EXPECT_THROW(Value::seq({Value::unit()})->as_nat_vector(), EvalError);
+}
+
+TEST(Value, Conformance) {
+  auto t = Type::seq(Type::sum(Type::nat(), Type::unit()));
+  auto good = Value::seq({Value::in1(Value::nat(3)), Value::in2(Value::unit())});
+  auto bad = Value::seq({Value::in1(Value::unit())});
+  EXPECT_TRUE(Value::conforms(*good, *t));
+  EXPECT_FALSE(Value::conforms(*bad, *t));
+  EXPECT_TRUE(Value::conforms(*Value::boolean(true), *Type::boolean()));
+}
+
+TEST(RandomValue, ConformsToType) {
+  SplitMix64 rng(123);
+  auto t = Type::seq(Type::prod(
+      Type::sum(Type::nat(), Type::seq(Type::nat())), Type::boolean()));
+  for (int i = 0; i < 50; ++i) {
+    auto v = random_value(*t, rng);
+    EXPECT_TRUE(Value::conforms(*v, *t));
+  }
+}
+
+TEST(RandomValue, Deterministic) {
+  SplitMix64 a(5), b(5);
+  auto t = Type::seq(Type::nat());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(Value::equal(random_value(*t, a), random_value(*t, b)));
+  }
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,151 @@
+// Unit tests for the support library: checked arithmetic, epsilon helpers,
+// PRNG determinism, parallel_for, and the table printer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "support/checked.hpp"
+#include "support/error.hpp"
+#include "support/cost.hpp"
+#include "support/parallel.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+
+namespace nsc {
+namespace {
+
+TEST(Checked, SatAddSaturates) {
+  EXPECT_EQ(sat_add(1, 2), 3u);
+  EXPECT_EQ(sat_add(~std::uint64_t{0}, 1), ~std::uint64_t{0});
+  EXPECT_EQ(sat_add(~std::uint64_t{0} - 1, 5), ~std::uint64_t{0});
+}
+
+TEST(Checked, SatMulSaturates) {
+  EXPECT_EQ(sat_mul(3, 4), 12u);
+  EXPECT_EQ(sat_mul(0, ~std::uint64_t{0}), 0u);
+  EXPECT_EQ(sat_mul(std::uint64_t{1} << 33, std::uint64_t{1} << 33),
+            ~std::uint64_t{0});
+}
+
+TEST(Checked, Monus) {
+  EXPECT_EQ(monus(5, 3), 2u);
+  EXPECT_EQ(monus(3, 5), 0u);
+  EXPECT_EQ(monus(0, 0), 0u);
+}
+
+TEST(Checked, Ilog2) {
+  EXPECT_EQ(ilog2(0), 0u);
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(1024), 10u);
+  EXPECT_EQ(ilog2(1025), 10u);
+}
+
+TEST(Checked, CeilLog2AndPow2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(1024), 1024u);
+  EXPECT_EQ(ceil_pow2(1025), 2048u);
+}
+
+TEST(Checked, PowEpsMonotoneAndBounded) {
+  const Rational half{1, 2};
+  for (std::uint64_t n : {2ull, 16ull, 256ull, 65536ull}) {
+    const std::uint64_t p = pow_eps(n, half);
+    // 2^ceil(log2(n)/2) is within a factor 2 of sqrt(n).
+    EXPECT_GE(p, isqrt(n));
+    EXPECT_LE(p, 2 * isqrt(n) + 2);
+  }
+  EXPECT_EQ(pow_eps(0, half), 1u);
+  EXPECT_EQ(pow_eps(1, half), 1u);
+}
+
+TEST(Checked, StageCount) {
+  EXPECT_EQ(stage_count({1, 2}), 2u);
+  EXPECT_EQ(stage_count({1, 3}), 3u);
+  EXPECT_EQ(stage_count({2, 3}), 2u);
+  EXPECT_EQ(stage_count({1, 1}), 1u);
+}
+
+TEST(Checked, SqrtPow2IsThetaSqrt) {
+  for (std::uint64_t n = 1; n < 5000; n = n * 3 + 1) {
+    const std::uint64_t s = sqrt_pow2(n);
+    EXPECT_GE(s * 2, isqrt(n)) << n;
+    EXPECT_LE(s, 2 * isqrt(n) + 2) << n;
+  }
+}
+
+TEST(Checked, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(99), 9u);
+  EXPECT_EQ(isqrt(100), 10u);
+}
+
+TEST(Cost, Accumulates) {
+  Cost a{2, 10};
+  Cost b{3, 7};
+  a += b;
+  EXPECT_EQ(a.time, 5u);
+  EXPECT_EQ(a.work, 17u);
+  EXPECT_EQ((Cost{1, 1} + Cost{2, 2}), (Cost{3, 3}));
+}
+
+TEST(Prng, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, BelowRespectsBound) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Prng, VecShape) {
+  SplitMix64 rng(9);
+  auto v = rng.vec(32, 5);
+  EXPECT_EQ(v.size(), 32u);
+  for (auto x : v) EXPECT_LT(x, 5u);
+}
+
+TEST(Parallel, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  }, 64);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRange) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, WorkersAtLeastOne) { EXPECT_GE(parallel_workers(), 1u); }
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"a", "bb"});
+  t.row({"1", "2"});
+  t.row({"333", "4"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_THROW(t.row({"only-one"}), Error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(42), "42");
+  EXPECT_EQ(Table::fixed(1.5, 2), "1.50");
+}
+
+}  // namespace
+}  // namespace nsc
