@@ -411,23 +411,41 @@ Assembler::Label Assembler::fresh_label() {
 }
 
 void Assembler::bind(Label l) {
-  label_addr_.at(l) = static_cast<std::ptrdiff_t>(code_.size());
+  check_label(l);
+  if (label_addr_[l] >= 0) {
+    throw MachineError("label L" + std::to_string(l) + " bound twice");
+  }
+  label_addr_[l] = static_cast<std::ptrdiff_t>(code_.size());
 }
 
 void Assembler::jump(Label l) {
+  check_label(l);
   fixups_.emplace_back(code_.size(), l);
   code_.push_back({Op::Goto, ArithOp::Add, 0, 0, 0, 0, 0, 0});
 }
 
 void Assembler::jump_if_empty(std::uint32_t reg, Label l) {
+  check_label(l);
   fixups_.emplace_back(code_.size(), l);
   code_.push_back({Op::GotoIfEmpty, ArithOp::Add, 0, reg, 0, 0, 0, 0});
 }
 
+void Assembler::check_label(Label l) const {
+  if (l >= label_addr_.size()) {
+    throw MachineError("unknown label L" + std::to_string(l) +
+                       " (only " + std::to_string(label_addr_.size()) +
+                       " labels allocated)");
+  }
+}
+
 Program Assembler::finish(std::size_t num_inputs, std::size_t num_outputs) {
   for (const auto& [at, label] : fixups_) {
-    const std::ptrdiff_t addr = label_addr_.at(label);
-    if (addr < 0) throw MachineError("unbound label in program");
+    const std::ptrdiff_t addr = label_addr_[label];
+    if (addr < 0) {
+      throw MachineError("unbound label L" + std::to_string(label) +
+                         " referenced by instruction " + std::to_string(at) +
+                         " `" + code_[at].show() + "`");
+    }
     code_[at].target = static_cast<std::size_t>(addr);
   }
   Program p;

@@ -73,6 +73,10 @@ const char* op_name(Op op);
 
 /// One instruction.  Register operands are indices into the machine's
 /// register file; `target` is an instruction index for jumps.
+///
+/// Note: `SbmRoute` carries its fourth register operand (the segment
+/// lengths) in `imm`; use `srcs()`/`map_srcs()` below rather than reading
+/// the fields positionally.
 struct Instr {
   Op op = Op::Halt;
   ArithOp aop = ArithOp::Add;
@@ -84,6 +88,80 @@ struct Instr {
   std::size_t target = 0;
 
   std::string show() const;
+
+  // -- accessors for the CFG / dataflow passes in src/opt/ ----------------
+
+  /// How many source registers each op reads.  They occupy the fields
+  /// a, b, c, then (for SbmRoute only) imm, in that order -- this is the
+  /// single authoritative operand-shape table; srcs() and map_srcs()
+  /// below both derive from it.
+  static constexpr std::size_t src_count(Op op) {
+    switch (op) {
+      case Op::Move:
+      case Op::Length:
+      case Op::Enumerate:
+      case Op::Select:
+      case Op::ScanPlus:
+      case Op::GotoIfEmpty:
+        return 1;
+      case Op::Arith:
+      case Op::Append:
+        return 2;
+      case Op::BmRoute:
+        return 3;
+      case Op::SbmRoute:
+        return 4;
+      case Op::LoadEmpty:
+      case Op::LoadConst:
+      case Op::Goto:
+      case Op::Halt:
+        return 0;
+    }
+    return 0;
+  }
+
+  /// The registers this instruction reads (0..4 of them).
+  struct Srcs {
+    std::uint32_t regs[4] = {0, 0, 0, 0};
+    std::size_t n = 0;
+    const std::uint32_t* begin() const { return regs; }
+    const std::uint32_t* end() const { return regs + n; }
+  };
+  Srcs srcs() const {
+    Srcs s;
+    s.n = src_count(op);
+    const std::uint32_t fields[4] = {a, b, c,
+                                     static_cast<std::uint32_t>(imm)};
+    for (std::size_t i = 0; i < s.n; ++i) s.regs[i] = fields[i];
+    return s;
+  }
+
+  /// Whether this instruction writes `dst`.
+  bool has_dst() const {
+    return op != Op::Goto && op != Op::GotoIfEmpty && op != Op::Halt;
+  }
+
+  /// Whether this instruction transfers control (reads `target`).
+  bool is_jump() const { return op == Op::Goto || op == Op::GotoIfEmpty; }
+
+  /// Whether execution can raise a MachineError/EvalError even when every
+  /// register operand is in range: Arith (length mismatch, division by
+  /// zero) and the routing instructions (bound/segment certificates).
+  /// Such instructions must survive dead-code elimination.
+  bool can_trap() const {
+    return op == Op::Arith || op == Op::BmRoute || op == Op::SbmRoute;
+  }
+
+  /// Apply `f : reg -> reg` to every source-register operand in place
+  /// (dst and jump targets are untouched).
+  template <typename F>
+  void map_srcs(F&& f) {
+    const std::size_t n = src_count(op);
+    if (n >= 1) a = f(a);
+    if (n >= 2) b = f(b);
+    if (n >= 3) c = f(c);
+    if (n >= 4) imm = f(static_cast<std::uint32_t>(imm));
+  }
 };
 
 /// A program plus its machine shape (register count, I/O arity).
@@ -157,10 +235,13 @@ class Assembler {
   void jump_if_empty(std::uint32_t reg, Label l);
 
   /// Finish: resolves labels; `num_inputs`/`num_outputs` describe the I/O
-  /// convention of the finished program.
+  /// convention of the finished program.  Throws MachineError if any jump
+  /// references a label that was never bound.
   Program finish(std::size_t num_inputs, std::size_t num_outputs);
 
  private:
+  void check_label(Label l) const;
+
   std::vector<Instr> code_;
   std::vector<std::ptrdiff_t> label_addr_;     // -1 = unbound
   std::vector<std::pair<std::size_t, Label>> fixups_;

@@ -1,0 +1,112 @@
+#include "opt/cfg.hpp"
+
+#include <algorithm>
+
+namespace nsc::opt {
+
+using bvram::Instr;
+using bvram::Op;
+using bvram::Program;
+
+Cfg Cfg::build(const Program& p) {
+  const std::size_t n = p.code.size();
+  Cfg cfg;
+  if (n == 0) return cfg;
+
+  // Leaders: instruction 0, every jump target, every instruction after a
+  // control-flow instruction.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instr& in = p.code[i];
+    if (in.is_jump()) {
+      if (in.target < n) leader[in.target] = true;
+      if (i + 1 < n) leader[i + 1] = true;
+    } else if (in.op == Op::Halt && i + 1 < n) {
+      leader[i + 1] = true;
+    }
+  }
+
+  cfg.block_of.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (leader[i]) {
+      cfg.blocks.push_back(Block{i, i, {}, {}, false});
+    }
+    cfg.block_of[i] = cfg.blocks.size() - 1;
+    cfg.blocks.back().end = i + 1;
+  }
+
+  auto link = [&](std::size_t from, std::size_t to_instr) {
+    if (to_instr >= n) {
+      cfg.blocks[from].falls_to_exit = true;
+      return;
+    }
+    cfg.blocks[from].succs.push_back(cfg.block_of[to_instr]);
+  };
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const Instr& last = p.code[cfg.blocks[b].end - 1];
+    switch (last.op) {
+      case Op::Goto:
+        link(b, last.target);
+        break;
+      case Op::GotoIfEmpty:
+        link(b, last.target);
+        link(b, cfg.blocks[b].end);
+        break;
+      case Op::Halt:
+        cfg.blocks[b].falls_to_exit = true;
+        break;
+      default:
+        link(b, cfg.blocks[b].end);
+        break;
+    }
+    auto& succs = cfg.blocks[b].succs;
+    std::sort(succs.begin(), succs.end());
+    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+  }
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    for (std::size_t s : cfg.blocks[b].succs) cfg.blocks[s].preds.push_back(b);
+  }
+  return cfg;
+}
+
+std::vector<bool> Cfg::reachable() const {
+  std::vector<bool> seen(blocks.size(), false);
+  if (blocks.empty()) return seen;
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const std::size_t b = stack.back();
+    stack.pop_back();
+    for (std::size_t s : blocks[b].succs) {
+      if (!seen[s]) {
+        seen[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return seen;
+}
+
+bool erase_unkept(Program& p, const std::vector<bool>& keep) {
+  const std::size_t n = p.code.size();
+  // new_pos[i] = number of kept instructions before i; new_pos[n] = total.
+  std::vector<std::size_t> new_pos(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    new_pos[i + 1] = new_pos[i] + (keep[i] ? 1 : 0);
+  }
+  if (new_pos[n] == n) return false;
+
+  std::vector<Instr> out;
+  out.reserve(new_pos[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    Instr in = p.code[i];
+    if (in.is_jump()) in.target = new_pos[std::min(in.target, n)];
+    out.push_back(in);
+  }
+  p.code = std::move(out);
+  return true;
+}
+
+}  // namespace nsc::opt

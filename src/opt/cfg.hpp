@@ -1,0 +1,112 @@
+// Basic-block control-flow graph over a bvram::Program, shared by the
+// dataflow passes.  Control flow in the BVRAM is Goto / GotoIfEmpty /
+// Halt; "instruction index == code.size()" is a legal jump destination
+// meaning "exit", which the CFG models as the virtual exit block.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bvram/machine.hpp"
+
+namespace nsc::opt {
+
+struct Block {
+  std::size_t begin = 0;  ///< first instruction index
+  std::size_t end = 0;    ///< one past the last instruction
+  std::vector<std::size_t> succs;  ///< successor block ids (no exit entry)
+  std::vector<std::size_t> preds;
+  bool falls_to_exit = false;  ///< control can leave the program here
+};
+
+struct Cfg {
+  std::vector<Block> blocks;           // blocks[0] is the entry block
+  std::vector<std::size_t> block_of;   // instruction index -> block id
+
+  static Cfg build(const bvram::Program& p);
+
+  /// Block ids reachable from the entry block.
+  std::vector<bool> reachable() const;
+};
+
+/// Drop the instructions with keep[i] == false, remapping every jump
+/// target (a target pointing at a dropped instruction moves to the next
+/// kept one; code.size() stays the exit).  Returns true if anything was
+/// dropped.
+bool erase_unkept(bvram::Program& p, const std::vector<bool>& keep);
+
+/// Generic forward dataflow fixpoint over the CFG, shared by copy-prop
+/// and the peephole constant analysis.  Block out-states start at TOP
+/// ("uncomputed", the identity of the meet), so must-problems converge
+/// to their maximal fixpoint on loops.
+///
+/// `Domain` provides:
+///   State entry() const;                        // in-state of block 0
+///   State unreached() const;                    // all-bottom fallback
+///   void meet_into(State&, const State&) const;
+///   void transfer(const bvram::Instr&, State&) const;
+template <typename State, typename Domain>
+class ForwardDataflow {
+ public:
+  ForwardDataflow(const bvram::Program& p, const Cfg& cfg, const Domain& dom)
+      : cfg_(cfg),
+        dom_(dom),
+        out_(cfg.blocks.size()),
+        have_out_(cfg.blocks.size(), false) {
+    if (cfg.blocks.empty()) return;
+    std::vector<bool> queued(cfg.blocks.size(), false);
+    std::vector<std::size_t> worklist{0};
+    queued[0] = true;
+    while (!worklist.empty()) {
+      const std::size_t b = worklist.back();
+      worklist.pop_back();
+      queued[b] = false;
+      State s = in_state_of(b);
+      for (std::size_t i = cfg.blocks[b].begin; i < cfg.blocks[b].end; ++i) {
+        dom_.transfer(p.code[i], s);
+      }
+      if (!have_out_[b] || s != out_[b]) {
+        out_[b] = std::move(s);
+        have_out_[b] = true;
+        for (std::size_t succ : cfg.blocks[b].succs) {
+          if (!queued[succ]) {
+            queued[succ] = true;
+            worklist.push_back(succ);
+          }
+        }
+      }
+    }
+  }
+
+  /// Meet of the computed predecessor out-states (TOP preds skipped).
+  /// Block 0 additionally meets the implicit program-entry edge: a loop
+  /// headed at instruction 0 re-enters block 0 from its back edge, so
+  /// entry facts alone would be unsound there.
+  State in_state_of(std::size_t b) const {
+    State s{};
+    bool first = true;
+    if (b == 0) {
+      s = dom_.entry();
+      first = false;
+    }
+    for (std::size_t pred : cfg_.blocks[b].preds) {
+      if (!have_out_[pred]) continue;  // TOP: identity for the meet
+      if (first) {
+        s = out_[pred];
+        first = false;
+      } else {
+        dom_.meet_into(s, out_[pred]);
+      }
+    }
+    if (first) s = dom_.unreached();  // only TOP preds (unreached block)
+    return s;
+  }
+
+ private:
+  const Cfg& cfg_;
+  const Domain& dom_;
+  std::vector<State> out_;
+  std::vector<bool> have_out_;
+};
+
+}  // namespace nsc::opt

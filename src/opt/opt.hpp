@@ -1,0 +1,113 @@
+// BVRAM optimizer: a pass framework over bvram::Program.
+//
+// The flattening compiler (sa/compile.cpp, Theorem 7.1) emits each NSA
+// combinator from a fixed catalog, so compiled programs carry pure
+// overhead in the paper's T/W cost model: redundant Moves (the catalog
+// routines stage everything through fresh registers), re-computed
+// Lengths/Enumerates of the same register, constant chains, and
+// registers that are written but never read.  The passes here remove
+// that overhead while preserving the observable semantics *including
+// traps*: an instruction that can raise a machine error (Arith length
+// mismatch / division by zero, the routing certificates) is never
+// deleted, and every rewrite is chosen so that the executed T and W
+// never increase on any input.
+//
+// Pass suite:
+//   verify      structural well-formedness (register bounds incl. the
+//               SbmRoute imm operand, jump targets, I/O arity) -- run
+//               before and between passes, so an ill-formed program is a
+//               compiler bug caught at compile time, not run time.
+//   copy-prop   global copy propagation over the CFG (forward must-
+//               dataflow); uses of a copied register are rewritten to
+//               the original, which turns the compiler's staging moves
+//               into dead code and exposes move coalescing.
+//   peephole    constant folding (LoadConst/LoadEmpty algebra over a
+//               per-register {unknown, empty, [n]} lattice, seeded with
+//               "non-input registers start empty"), branch
+//               simplification, and local common-subexpression
+//               elimination per basic block (redundant Length /
+//               Enumerate / ScanPlus / Arith recomputations become
+//               Moves).
+//   dce         unreachable-code elimination plus liveness-based dead
+//               code elimination on the fixed register file.
+//   reg-compact dead-register elimination: renumber the register file so
+//               unused registers disappear (the I/O convention pins
+//               V_0 .. V_{max(in,out)-1}).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bvram/machine.hpp"
+
+namespace nsc::opt {
+
+/// How hard the pipeline works.  O0 = naive emission untouched (for tests
+/// that assert exact instruction sequences); O1 = one round of local
+/// cleanup (peephole + DCE); O2 = full suite to fixpoint + register
+/// compaction (the default in sa::compile_nsa / compile_nsc).
+enum class OptLevel { O0, O1, O2 };
+
+/// Structural verifier: register bounds (including SbmRoute's segment
+/// operand carried in `imm`), jump targets, and I/O arity.  Throws
+/// MachineError on the first violation.
+void verify(const bvram::Program& p);
+
+/// A rewrite over a whole program.  Passes may delete and replace
+/// instructions (jump targets are kept consistent) but must preserve the
+/// program's observable behavior: outputs, traps, and an executed T and W
+/// no larger than before, on every input.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  /// Rewrite `p` in place; returns true if anything changed.
+  virtual bool run(bvram::Program& p) = 0;
+};
+
+std::unique_ptr<Pass> make_copy_prop();
+std::unique_ptr<Pass> make_peephole();
+std::unique_ptr<Pass> make_dce();
+std::unique_ptr<Pass> make_reg_compact();
+
+struct PassStats {
+  std::string name;
+  std::size_t applications = 0;    ///< runs that changed the program
+  std::size_t instrs_removed = 0;  ///< net instruction-count reduction
+};
+
+struct PipelineStats {
+  std::size_t instrs_before = 0;
+  std::size_t instrs_after = 0;
+  std::size_t regs_before = 0;
+  std::size_t regs_after = 0;
+  std::size_t rounds = 0;
+  std::vector<PassStats> passes;
+
+  std::string show() const;
+};
+
+/// Runs a pass list to a fixpoint (bounded by `max_rounds`), verifying
+/// between passes, and collects per-pass instruction-count stats.
+class PassManager {
+ public:
+  /// `verify_between`: re-run the structural verifier after every pass
+  /// (cheap, and turns a miscompiling pass into an immediate error).
+  explicit PassManager(bool verify_between = true)
+      : verify_between_(verify_between) {}
+
+  void add(std::unique_ptr<Pass> pass);
+
+  PipelineStats run(bvram::Program& p, std::size_t max_rounds = 8);
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+  bool verify_between_ = true;
+};
+
+/// Verify + run the standard pipeline for `level` on `p` in place.
+PipelineStats optimize(bvram::Program& p, OptLevel level = OptLevel::O2);
+
+}  // namespace nsc::opt

@@ -1,0 +1,74 @@
+#include <sstream>
+#include <utility>
+
+#include "opt/opt.hpp"
+
+namespace nsc::opt {
+
+void PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+PipelineStats PassManager::run(bvram::Program& p, std::size_t max_rounds) {
+  PipelineStats stats;
+  stats.instrs_before = p.code.size();
+  stats.regs_before = p.num_regs;
+  for (const auto& pass : passes_) {
+    stats.passes.push_back(PassStats{pass->name(), 0, 0});
+  }
+
+  verify(p);
+  bool changed = true;
+  while (changed && stats.rounds < max_rounds) {
+    changed = false;
+    ++stats.rounds;
+    for (std::size_t i = 0; i < passes_.size(); ++i) {
+      const std::size_t before = p.code.size();
+      if (!passes_[i]->run(p)) continue;
+      if (verify_between_) verify(p);
+      stats.passes[i].applications += 1;
+      stats.passes[i].instrs_removed += before - p.code.size();
+      changed = true;
+    }
+  }
+
+  stats.instrs_after = p.code.size();
+  stats.regs_after = p.num_regs;
+  return stats;
+}
+
+std::string PipelineStats::show() const {
+  std::ostringstream out;
+  out << "instrs " << instrs_before << " -> " << instrs_after << ", regs "
+      << regs_before << " -> " << regs_after << " (" << rounds << " rounds";
+  for (const auto& ps : passes) {
+    if (ps.applications == 0) continue;
+    out << "; " << ps.name << " x" << ps.applications << " -"
+        << ps.instrs_removed;
+  }
+  out << ")";
+  return out.str();
+}
+
+PipelineStats optimize(bvram::Program& p, OptLevel level) {
+  if (level == OptLevel::O0) {
+    verify(p);
+    PipelineStats stats;
+    stats.instrs_before = stats.instrs_after = p.code.size();
+    stats.regs_before = stats.regs_after = p.num_regs;
+    return stats;
+  }
+  PassManager pm;
+  if (level == OptLevel::O1) {
+    pm.add(make_peephole());
+    pm.add(make_dce());
+    return pm.run(p, /*max_rounds=*/1);
+  }
+  pm.add(make_copy_prop());
+  pm.add(make_peephole());
+  pm.add(make_dce());
+  pm.add(make_reg_compact());
+  return pm.run(p);
+}
+
+}  // namespace nsc::opt

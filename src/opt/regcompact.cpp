@@ -1,0 +1,54 @@
+// Dead-register elimination: renumber the register file so registers
+// that no instruction touches disappear from the machine shape.  The
+// I/O convention pins V_0 .. V_{max(num_inputs, num_outputs)-1} in
+// place (inputs arrive there, outputs are read from there) whether or
+// not they are otherwise used.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "opt/opt.hpp"
+
+namespace nsc::opt {
+namespace {
+
+using bvram::Program;
+
+class RegCompact final : public Pass {
+ public:
+  const char* name() const override { return "reg-compact"; }
+
+  bool run(Program& p) override {
+    const std::size_t pinned = std::max(p.num_inputs, p.num_outputs);
+    if (p.num_regs <= pinned) return false;
+    std::vector<bool> used(p.num_regs, false);
+    for (const auto& in : p.code) {
+      if (in.has_dst()) used[in.dst] = true;
+      for (std::uint32_t r : in.srcs()) used[r] = true;
+    }
+    std::vector<std::uint32_t> map(p.num_regs);
+    std::uint32_t next = 0;
+    for (std::size_t r = 0; r < p.num_regs; ++r) {
+      if (r < pinned || used[r]) {
+        map[r] = next++;
+      } else {
+        map[r] = 0xffffffff;  // never referenced; no operand maps here
+      }
+    }
+    if (next == p.num_regs) return false;  // no gaps: identity
+    for (auto& in : p.code) {
+      if (in.has_dst()) in.dst = map[in.dst];
+      in.map_srcs([&](std::uint32_t r) { return map[r]; });
+    }
+    p.num_regs = next;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_reg_compact() {
+  return std::make_unique<RegCompact>();
+}
+
+}  // namespace nsc::opt

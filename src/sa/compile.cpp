@@ -827,13 +827,15 @@ class Compiler {
 
 }  // namespace
 
-bvram::Program compile_nsa(const nsa::NsaRef& f) {
+bvram::Program compile_nsa(const nsa::NsaRef& f, opt::OptLevel opt) {
   Compiler c;
-  return c.compile(f);
+  bvram::Program p = c.compile(f);
+  opt::optimize(p, opt);
+  return p;
 }
 
-bvram::Program compile_nsc(const lang::FuncRef& f) {
-  return compile_nsa(nsa::from_closed_func(f));
+bvram::Program compile_nsc(const lang::FuncRef& f, opt::OptLevel opt) {
+  return compile_nsa(nsa::from_closed_func(f), opt);
 }
 
 CompiledRun run_compiled(const bvram::Program& program, const TypeRef& dom,

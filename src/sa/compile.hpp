@@ -32,6 +32,7 @@
 #include "bvram/machine.hpp"
 #include "nsa/ast.hpp"
 #include "object/value.hpp"
+#include "opt/opt.hpp"
 #include "sa/layout.hpp"
 #include "support/cost.hpp"
 #include "support/error.hpp"
@@ -45,12 +46,16 @@ class CompileError : public Error {
 };
 
 /// Compile an NSA function f : s -> t into a BVRAM program whose inputs
-/// are REP(s) and outputs REP(t).
-bvram::Program compile_nsa(const nsa::NsaRef& f);
+/// are REP(s) and outputs REP(t).  The emitted program is verified and
+/// optimized by the src/opt/ pass pipeline; pass OptLevel::O0 to get the
+/// naive catalog emission (exact instruction sequences, for tests).
+bvram::Program compile_nsa(const nsa::NsaRef& f,
+                           opt::OptLevel opt = opt::OptLevel::O2);
 
 /// Full pipeline: closed NSC function -> NSA (variable elimination) ->
-/// BVRAM (flattening).
-bvram::Program compile_nsc(const lang::FuncRef& f);
+/// BVRAM (flattening) -> optimizer.
+bvram::Program compile_nsc(const lang::FuncRef& f,
+                           opt::OptLevel opt = opt::OptLevel::O2);
 
 struct CompiledRun {
   ValueRef value;

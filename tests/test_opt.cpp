@@ -1,0 +1,555 @@
+// The src/opt/ optimizer: verifier, pass unit tests, and the
+// differential harness -- every corpus program is compiled at O0 / O1 /
+// O2 and run on random well-typed inputs; outputs must agree exactly
+// (including traps) and the optimized T and W must not exceed the naive
+// ones.
+#include <gtest/gtest.h>
+
+#include "nsc/build.hpp"
+#include "nsc/eval.hpp"
+#include "nsc/maprec.hpp"
+#include "nsc/prelude.hpp"
+#include "nsc/typecheck.hpp"
+#include "object/random.hpp"
+#include "opt/opt.hpp"
+#include "sa/compile.hpp"
+#include "support/prng.hpp"
+
+namespace nsc::opt {
+namespace {
+
+namespace L = nsc::lang;
+namespace P = nsc::lang::prelude;
+using bvram::Assembler;
+using bvram::Op;
+using bvram::Program;
+using lang::ArithOp;
+using nsc::SplitMix64;
+using nsc::Type;
+using nsc::Value;
+
+const TypeRef N = Type::nat();
+const TypeRef NSeq = Type::seq(Type::nat());
+
+// ---------------------------------------------------------------------------
+// verifier
+// ---------------------------------------------------------------------------
+
+TEST(Verify, AcceptsWellFormed) {
+  Assembler a;
+  auto r = a.reg();
+  a.load_const(r, 7);
+  a.halt();
+  EXPECT_NO_THROW(verify(a.finish(0, 1)));
+}
+
+TEST(Verify, RejectsRegisterOutOfRange) {
+  Program p;
+  p.num_regs = 2;
+  p.code.push_back({Op::Move, ArithOp::Add, 1, 5, 0, 0, 0, 0});
+  EXPECT_THROW(verify(p), MachineError);
+}
+
+TEST(Verify, RejectsSbmRouteSegmentRegister) {
+  // SbmRoute's fourth register operand travels in `imm`.
+  Program p;
+  p.num_regs = 4;
+  p.code.push_back({Op::SbmRoute, ArithOp::Add, 0, 1, 2, 3, 99, 0});
+  EXPECT_THROW(verify(p), MachineError);
+}
+
+TEST(Verify, RejectsBadJumpTarget) {
+  Program p;
+  p.num_regs = 1;
+  p.code.push_back({Op::Goto, ArithOp::Add, 0, 0, 0, 0, 0, 5});
+  EXPECT_THROW(verify(p), MachineError);
+}
+
+TEST(Verify, RejectsBadIoArity) {
+  Program p;
+  p.num_regs = 1;
+  p.num_inputs = 3;
+  EXPECT_THROW(verify(p), MachineError);
+}
+
+// ---------------------------------------------------------------------------
+// assembler label hygiene
+// ---------------------------------------------------------------------------
+
+TEST(Assembler, UnboundLabelRejected) {
+  Assembler a;
+  auto l = a.fresh_label();
+  a.jump(l);  // never bound
+  EXPECT_THROW(a.finish(0, 0), MachineError);
+}
+
+TEST(Assembler, DoubleBindRejected) {
+  Assembler a;
+  auto l = a.fresh_label();
+  a.bind(l);
+  EXPECT_THROW(a.bind(l), MachineError);
+}
+
+TEST(Assembler, UnknownLabelRejected) {
+  Assembler a;
+  EXPECT_THROW(a.jump(42), MachineError);
+  EXPECT_THROW(a.bind(42), MachineError);
+}
+
+// ---------------------------------------------------------------------------
+// pass unit tests
+// ---------------------------------------------------------------------------
+
+std::size_t count_op(const Program& p, Op op) {
+  std::size_t n = 0;
+  for (const auto& in : p.code) n += in.op == op ? 1 : 0;
+  return n;
+}
+
+TEST(Passes, MoveChainCollapses) {
+  // V1 <- V0; V2 <- V1; V3 <- V2; output V0 <- V3 @ V3.
+  Assembler a;
+  a.reserve_regs(1);
+  auto v1 = a.reg(), v2 = a.reg(), v3 = a.reg();
+  a.move(v1, 0);
+  a.move(v2, v1);
+  a.move(v3, v2);
+  a.append(0, v3, v3);
+  a.halt();
+  Program p = a.finish(1, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Move), 0u);
+  auto r = bvram::run(p, {{4, 5}});
+  EXPECT_EQ(r.outputs[0], (std::vector<std::uint64_t>{4, 5, 4, 5}));
+}
+
+TEST(Passes, ConstantChainFolds) {
+  // (2 + 3) * 4 over LoadConst chains folds to a single LoadConst 20.
+  Assembler a;
+  auto c2 = a.reg(), c3 = a.reg(), c4 = a.reg(), t = a.reg(), u = a.reg();
+  a.load_const(c2, 2);
+  a.load_const(c3, 3);
+  a.load_const(c4, 4);
+  a.arith(t, ArithOp::Add, c2, c3);
+  a.arith(u, ArithOp::Mul, t, c4);
+  a.move(0, u);
+  a.halt();
+  Program p = a.finish(0, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Arith), 0u);
+  auto r = bvram::run(p, {});
+  EXPECT_EQ(r.outputs[0], (std::vector<std::uint64_t>{20}));
+  EXPECT_LE(p.code.size(), 2u);  // LoadConst + (possibly dropped) Halt
+}
+
+TEST(Passes, DivisionByZeroIsNotFolded) {
+  Assembler a;
+  auto one = a.reg(), zero = a.reg();
+  a.load_const(one, 1);
+  a.load_const(zero, 0);
+  a.arith(0, ArithOp::Div, one, zero);
+  a.halt();
+  Program p = a.finish(0, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Arith), 1u);  // the trap must survive
+  EXPECT_THROW(bvram::run(p, {}), Error);
+}
+
+TEST(Passes, RedundantLengthsFuse) {
+  // Two Lengths of the same register get the same value number, so their
+  // consumers fuse (the second Arith becomes a Move of the first's
+  // result); the now-unused second Length is then dead and removed.
+  Assembler a;
+  a.reserve_regs(1);
+  auto l1 = a.reg(), t1 = a.reg(), l2 = a.reg(), t2 = a.reg();
+  a.length(l1, 0);
+  a.arith(t1, ArithOp::Add, l1, l1);
+  a.length(l2, 0);
+  a.arith(t2, ArithOp::Add, l2, l2);
+  a.append(0, t1, t2);
+  a.halt();
+  Program p = a.finish(1, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Length), 1u);
+  EXPECT_EQ(count_op(p, Op::Arith), 1u);
+  auto r = bvram::run(p, {{9, 9, 9}});
+  EXPECT_EQ(r.outputs[0], (std::vector<std::uint64_t>{6, 6}));
+}
+
+TEST(Passes, DeadCodeRemovedButTrapsKept) {
+  Assembler a;
+  a.reserve_regs(1);
+  auto dead = a.reg(), one = a.reg(), empty = a.reg();
+  a.enumerate(dead, 0);  // dead: removable
+  a.load_const(one, 1);
+  a.load_empty(empty);
+  a.arith(a.reg(), ArithOp::Add, one, empty);  // dead but traps: kept
+  a.halt();
+  Program p = a.finish(1, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Enumerate), 0u);
+  EXPECT_EQ(count_op(p, Op::Arith), 1u);
+  EXPECT_THROW(bvram::run(p, {{1, 2}}), MachineError);
+}
+
+TEST(Passes, BranchOnKnownShapeFolds) {
+  Assembler a;
+  a.reserve_regs(1);
+  auto c = a.reg();
+  a.load_const(c, 5);
+  auto l = a.fresh_label();
+  a.jump_if_empty(c, l);  // [5] is never empty: branch folds away
+  a.move(0, c);
+  a.bind(l);
+  a.halt();
+  Program p = a.finish(1, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::GotoIfEmpty), 0u);
+  auto r = bvram::run(p, {{}});
+  EXPECT_EQ(r.outputs[0], (std::vector<std::uint64_t>{5}));
+}
+
+TEST(Passes, UnreachableCodeRemoved) {
+  Assembler a;
+  a.reserve_regs(1);
+  auto l = a.fresh_label();
+  a.jump(l);
+  a.enumerate(a.reg(), 0);  // unreachable
+  a.enumerate(a.reg(), 0);  // unreachable
+  a.bind(l);
+  a.halt();
+  Program p = a.finish(1, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Enumerate), 0u);
+}
+
+TEST(Passes, RegisterFileCompacts) {
+  Assembler a;
+  a.reserve_regs(1);
+  for (int i = 0; i < 20; ++i) a.reg();  // never-touched registers
+  auto v = a.reg();
+  a.length(v, 0);
+  a.move(0, v);
+  a.halt();
+  Program p = a.finish(1, 1);
+  const std::size_t before = p.num_regs;
+  optimize(p);
+  EXPECT_LT(p.num_regs, before);
+  auto r = bvram::run(p, {{7, 8}});
+  EXPECT_EQ(r.outputs[0], (std::vector<std::uint64_t>{2}));
+}
+
+TEST(Passes, LoopHeadAtEntryDoesNotInheritTailFacts) {
+  // Instruction 0 is a jump target whose only CFG predecessor is the
+  // loop tail J (a tree root, since two paths reach it).  The EBB value
+  // numbering must not make block 0 a child of J: on the zero-iteration
+  // entry path J never executed, so aliasing the entry Length to J's
+  // Length (and CSE-ing the exit Arith into J's) would read registers
+  // that were never written.  V1 empty => exit immediately with
+  // [len(V0)+len(V0)].
+  Assembler a;
+  a.reserve_regs(2);
+  auto v2 = a.reg(), s2 = a.reg(), v3 = a.reg(), s3 = a.reg();
+  auto top = a.fresh_label(), tail = a.fresh_label(), exit = a.fresh_label();
+  a.bind(top);
+  a.length(v2, 0);
+  a.jump_if_empty(1, exit);
+  a.jump_if_empty(0, tail);  // second edge into the tail: makes it a root
+  a.load_empty(1);
+  a.bind(tail);
+  a.length(v3, 0);
+  a.arith(s3, ArithOp::Add, v3, v3);
+  a.load_empty(1);
+  a.jump(top);
+  a.bind(exit);
+  a.arith(s2, ArithOp::Add, v2, v2);
+  a.move(0, s2);
+  a.halt();
+  (void)s3;
+  Program p = a.finish(2, 1);
+  const auto want = bvram::run(p, {{7, 8, 9}, {}}).outputs[0];
+  optimize(p);
+  EXPECT_EQ(bvram::run(p, {{7, 8, 9}, {}}).outputs[0], want);
+  EXPECT_EQ(want, (std::vector<std::uint64_t>{6}));
+}
+
+TEST(Passes, LoopHeadAtEntryKeepsBackEdgeStates) {
+  // A register that is empty on program entry but constant on the back
+  // edge must not be folded as empty at instruction 0.
+  Assembler a;
+  a.reserve_regs(2);
+  auto v2 = a.reg(), v3 = a.reg();
+  auto top = a.fresh_label(), exit = a.fresh_label();
+  a.bind(top);
+  a.length(v2, v3);
+  a.jump_if_empty(1, exit);
+  a.load_const(v3, 5);
+  a.load_empty(1);
+  a.jump(top);
+  a.bind(exit);
+  a.move(0, v2);
+  a.halt();
+  Program p = a.finish(2, 1);
+  const auto want = bvram::run(p, {{}, {1}}).outputs[0];
+  optimize(p);
+  EXPECT_EQ(bvram::run(p, {{}, {1}}).outputs[0], want);
+  EXPECT_EQ(want, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(Passes, ExpandingRouteIsNotRewrittenToMove) {
+  // sbm-route is the one op whose output can be longer than all of its
+  // operands combined (|out| = sum counts*segs), so a CSE hit must not
+  // become a Move of the result (work 2*|out| > the route's own work).
+  Assembler a;
+  a.reserve_regs(3);  // V1 = bound (len 3), V2 = data (len 4)
+  auto counts = a.reg(), segs = a.reg(), r1 = a.reg(), r2 = a.reg();
+  a.load_const(counts, 3);
+  a.load_const(segs, 4);
+  a.sbm_route(r1, 1, counts, 2, segs);
+  a.sbm_route(r2, 1, counts, 2, segs);
+  a.append(0, r1, r2);
+  a.halt();
+  Program p = a.finish(3, 1);
+  const std::vector<std::vector<std::uint64_t>> inputs = {
+      {}, {0, 0, 0}, {5, 6, 7, 8}};
+  const auto before = bvram::run(p, inputs);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::SbmRoute), 2u);
+  EXPECT_EQ(count_op(p, Op::Move), 0u);
+  const auto after = bvram::run(p, inputs);
+  EXPECT_EQ(after.outputs[0], before.outputs[0]);
+  EXPECT_LE(after.cost.work, before.cost.work);
+  EXPECT_LE(after.cost.time, before.cost.time);
+}
+
+TEST(Passes, ManagerReportsStats) {
+  Assembler a;
+  a.reserve_regs(1);
+  auto v1 = a.reg(), v2 = a.reg();
+  a.move(v1, 0);
+  a.move(v2, v1);
+  a.move(0, v2);
+  a.halt();
+  Program p = a.finish(1, 1);
+  PipelineStats stats = optimize(p);
+  EXPECT_EQ(stats.instrs_before, 4u);
+  EXPECT_LT(stats.instrs_after, stats.instrs_before);
+  EXPECT_GE(stats.rounds, 1u);
+  ASSERT_FALSE(stats.passes.empty());
+  EXPECT_FALSE(stats.show().empty());
+  bool any_applied = false;
+  for (const auto& ps : stats.passes) any_applied |= ps.applications > 0;
+  EXPECT_TRUE(any_applied);
+}
+
+TEST(Passes, O0LeavesTheProgramAlone) {
+  auto f = L::lam(N, [](L::TermRef x) { return L::add(x, L::nat(1)); });
+  auto p0 = sa::compile_nsc(f, OptLevel::O0);
+  auto p0_again = sa::compile_nsc(f, OptLevel::O0);
+  EXPECT_EQ(p0.code.size(), p0_again.code.size());
+  auto p2 = sa::compile_nsc(f, OptLevel::O2);
+  EXPECT_LT(p2.code.size(), p0.code.size());
+}
+
+// ---------------------------------------------------------------------------
+// differential harness: O0 vs O1 vs O2 on random well-typed inputs
+// ---------------------------------------------------------------------------
+
+struct Outcome {
+  bool trapped = false;
+  ValueRef value;
+  Cost cost;
+};
+
+Outcome run_one(const Program& p, const TypeRef& dom, const TypeRef& cod,
+                const ValueRef& arg) {
+  Outcome o;
+  try {
+    auto r = sa::run_compiled(p, dom, cod, arg);
+    o.value = r.value;
+    o.cost = r.cost;
+  } catch (const MachineError&) {
+    o.trapped = true;
+  }
+  return o;
+}
+
+/// Compile `f` at every opt level and check, on random inputs of the
+/// domain type, that the three programs agree (value or trap) and that
+/// optimization never increased the executed T or W.
+void differential(const L::FuncRef& f, std::uint64_t seed, int trials,
+                  const RandomValueConfig& cfg = {}) {
+  auto [dom, cod] = L::check_func(f);
+  auto p0 = sa::compile_nsc(f, OptLevel::O0);
+  auto p1 = sa::compile_nsc(f, OptLevel::O1);
+  auto p2 = sa::compile_nsc(f, OptLevel::O2);
+  EXPECT_LE(p1.code.size(), p0.code.size());
+  EXPECT_LE(p2.code.size(), p1.code.size());
+  SplitMix64 rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    auto arg = random_value(*dom, rng, cfg);
+    auto o0 = run_one(p0, dom, cod, arg);
+    auto o1 = run_one(p1, dom, cod, arg);
+    auto o2 = run_one(p2, dom, cod, arg);
+    ASSERT_EQ(o0.trapped, o2.trapped) << "arg=" << arg->show();
+    ASSERT_EQ(o0.trapped, o1.trapped) << "arg=" << arg->show();
+    if (o0.trapped) continue;
+    EXPECT_TRUE(Value::equal(o0.value, o1.value))
+        << "O1 disagrees; arg=" << arg->show() << "\nwant=" << o0.value->show()
+        << "\ngot=" << o1.value->show();
+    EXPECT_TRUE(Value::equal(o0.value, o2.value))
+        << "O2 disagrees; arg=" << arg->show() << "\nwant=" << o0.value->show()
+        << "\ngot=" << o2.value->show();
+    EXPECT_LE(o1.cost.time, o0.cost.time) << "arg=" << arg->show();
+    EXPECT_LE(o1.cost.work, o0.cost.work) << "arg=" << arg->show();
+    EXPECT_LE(o2.cost.time, o0.cost.time) << "arg=" << arg->show();
+    EXPECT_LE(o2.cost.work, o0.cost.work) << "arg=" << arg->show();
+  }
+}
+
+TEST(Differential, ScalarArithmetic) {
+  differential(L::lam(N,
+                      [](L::TermRef x) {
+                        return L::add(L::mul(x, x),
+                                      L::monus_t(L::nat(10), x));
+                      }),
+               11, 20);
+}
+
+TEST(Differential, CaseAndBooleans) {
+  differential(L::lam(Type::prod(N, N),
+                      [](L::TermRef z) {
+                        return L::ite(L::leq(L::proj1(z), L::proj2(z)),
+                                      L::proj2(z), L::proj1(z));
+                      }),
+               12, 20);
+}
+
+TEST(Differential, SumInjections) {
+  differential(L::lam(N,
+                      [](L::TermRef x) {
+                        return L::ite(L::lt(x, L::nat(5)), L::inj1(x, NSeq),
+                                      L::inj2(L::singleton(x), N));
+                      }),
+               13, 20);
+}
+
+TEST(Differential, FilterThenMap) {
+  auto keep = L::lam(N, [](L::TermRef v) { return L::lt(v, L::nat(50)); });
+  auto dbl = L::lam(N, [](L::TermRef v) { return L::mul(v, L::nat(2)); });
+  differential(L::lam(NSeq,
+                      [&](L::TermRef x) {
+                        return L::apply(L::map_f(dbl),
+                                        L::apply(P::filter(keep, N), x));
+                      }),
+               14, 20);
+}
+
+TEST(Differential, NestedMaps) {
+  auto inc = L::lam(N, [](L::TermRef v) { return L::mul(v, L::nat(3)); });
+  differential(L::lam(Type::seq(NSeq),
+                      [&](L::TermRef x) {
+                        return L::apply(L::map_f(L::map_f(inc)), x);
+                      }),
+               15, 20);
+}
+
+TEST(Differential, SequencePrimitives) {
+  differential(L::lam(NSeq,
+                      [](L::TermRef x) {
+                        return L::append(
+                            L::enumerate(x),
+                            L::flatten(L::split(
+                                x, L::singleton(L::length(x)))));
+                      }),
+               16, 20);
+}
+
+TEST(Differential, IndexMayTrap) {
+  // Random indices are frequently out of range: both programs must trap
+  // on exactly the same inputs.
+  differential(P::index(N), 17, 30);
+}
+
+TEST(Differential, SumNats) { differential(P::sum_nats(), 18, 10); }
+
+TEST(Differential, DirectMerge) { differential(P::direct_merge(), 19, 8); }
+
+TEST(Differential, MappedWhile) {
+  auto pred = L::lam(N, [](L::TermRef v) { return L::lt(L::nat(0), v); });
+  auto step =
+      L::lam(N, [](L::TermRef v) { return L::monus_t(v, L::nat(3)); });
+  differential(L::lam(NSeq,
+                      [&](L::TermRef x) {
+                        return L::apply(
+                            L::map_f(L::lam(N,
+                                            [&](L::TermRef v) {
+                                              return L::apply(
+                                                  L::while_f(pred, step), v);
+                                            })),
+                            x);
+                      }),
+               20, 12);
+}
+
+TEST(Differential, ZipMismatchTrapsIdentically) {
+  differential(L::lam(Type::prod(NSeq, NSeq),
+                      [](L::TermRef z) {
+                        return L::zip(L::proj1(z), L::proj2(z));
+                      }),
+               21, 30);
+}
+
+// ---------------------------------------------------------------------------
+// acceptance: static instruction-count reduction on the example programs
+// ---------------------------------------------------------------------------
+
+double reduction(const L::FuncRef& f) {
+  auto p0 = sa::compile_nsc(f, OptLevel::O0);
+  auto p2 = sa::compile_nsc(f, OptLevel::O2);
+  return 1.0 - static_cast<double>(p2.code.size()) /
+                   static_cast<double>(p0.code.size());
+}
+
+TEST(Reduction, QuickstartPipelineAtLeast20Percent) {
+  // examples/quickstart.cpp's program.
+  auto small = L::lam(N, [](L::TermRef v) { return L::lt(v, L::nat(10)); });
+  auto square = L::lam(N, [](L::TermRef v) { return L::mul(v, v); });
+  auto f = L::lam(NSeq, [&](L::TermRef xs) {
+    L::TermRef kept = L::apply(P::filter(small, N), xs);
+    return L::let_in(NSeq, kept, [&](L::TermRef k) {
+      return L::zip(L::enumerate(k), L::apply(L::map_f(square), k));
+    });
+  });
+  EXPECT_GE(reduction(f), 0.20);
+}
+
+TEST(Reduction, DivideConquerAtLeast20Percent) {
+  // examples/divide_conquer.cpp's Theorem 4.2 translation.
+  auto p = L::lam(NSeq, [](L::TermRef c) {
+    return L::leq(L::length(c), L::nat(1));
+  });
+  auto s = L::lam(NSeq, [](L::TermRef c) {
+    return L::ite(L::eq(L::length(c), L::nat(0)), L::nat(0), L::get(c));
+  });
+  auto halve = [&](bool second) {
+    return L::lam(NSeq, [&, second](L::TermRef c) {
+      return L::let_in(N, L::length(c), [&](L::TermRef n) {
+        L::TermRef half = L::div_t(n, L::nat(2));
+        L::TermRef sizes = L::append(L::singleton(L::monus_t(n, half)),
+                                     L::singleton(half));
+        auto blocks = L::split(c, sizes);
+        return second ? L::apply(P::last(NSeq), blocks)
+                      : L::apply(P::first(NSeq), blocks);
+      });
+    });
+  };
+  auto c2 = L::lam(Type::prod(N, N), [](L::TermRef q) {
+    return L::add(L::proj1(q), L::proj2(q));
+  });
+  auto g = L::schema_g(NSeq, N, p, s, halve(false), halve(true), c2);
+  EXPECT_GE(reduction(L::translate_maprec(g)), 0.20);
+}
+
+}  // namespace
+}  // namespace nsc::opt
