@@ -145,9 +145,53 @@ int main() {
     }
     report("Thm 4.2-translated range-sum (full stack)", g, args, labels);
   }
+  {
+    // The Lemma 7.2 while schedule knob (opt::WhileSchedule): the same
+    // mapped-while source compiled under naive vs staged(1/2), on the
+    // bench_seqwhile straggler adversary.
+    auto pred = L::lam(N, [](L::TermRef v) { return L::lt(L::nat(0), v); });
+    auto step =
+        L::lam(N, [](L::TermRef v) { return L::monus_t(v, L::nat(1)); });
+    auto f = L::lam(NSeq, [&](L::TermRef x) {
+      return L::apply(L::map_f(L::lam(N,
+                                      [&](L::TermRef v) {
+                                        return L::apply(
+                                            L::while_f(pred, step), v);
+                                      })),
+                      x);
+    });
+    auto [dom, cod] = L::check_func(f);
+    auto naive = nsc::sa::compile_nsc(f);  // default: naive schedule
+    auto staged = nsc::sa::compile_nsc(f, nsc::opt::OptLevel::O2,
+                                       nsc::opt::WhileSchedule::staged({1, 2}));
+    std::printf(
+        "\n-- while-schedule knob (Lemma 7.2) on map(while v>0: v-1) --\n"
+        "   naive:  %4zu instructions, %3zu registers\n"
+        "   staged: %4zu instructions, %3zu registers (eps = 1/2)\n",
+        naive.code.size(), naive.num_regs, staged.code.size(),
+        staged.num_regs);
+    Table t({"input", "T_naive", "W_naive", "T_staged", "W_staged",
+             "W_naive/W_staged"});
+    for (std::uint64_t n : {256ull, 1024ull, 4096ull}) {
+      const std::uint64_t m = nsc::isqrt(n);
+      std::vector<std::uint64_t> counts(n, 1);
+      for (std::uint64_t j = 0; j < m; ++j) counts[n - m + j] = j + 2;
+      auto arg = Value::nat_seq(counts);
+      auto rn = nsc::sa::run_compiled(naive, dom, cod, arg);
+      auto rs = nsc::sa::run_compiled(staged, dom, cod, arg);
+      t.row({"n=" + std::to_string(n), Table::num(rn.cost.time),
+             Table::num(rn.cost.work), Table::num(rs.cost.time),
+             Table::num(rs.cost.work),
+             Table::fixed(static_cast<double>(rn.cost.work) / rs.cost.work,
+                          2)});
+    }
+    t.print();
+  }
   std::printf(
       "\nreading: T'/T and W'/W stay bounded as inputs grow 64x --\n"
       "the compilation preserves both orders; the register count column\n"
-      "never changes with the input (bounded registers, Thm 7.1).\n");
+      "never changes with the input (bounded registers, Thm 7.1).\n"
+      "On the straggler workload the staged while schedule's W advantage\n"
+      "over naive widens with n (Lemma 7.2 surfaced through the compiler).\n");
   return 0;
 }

@@ -16,9 +16,20 @@
 // change) -- the "registers independent of eps" clause of Theorem 7.1.
 // We report W / W_ideal where W_ideal = sum_i t_i (the work of the
 // iterations themselves).
+// The same schedules are also emitted by the compiler itself for any
+// lifted while (opt::WhileSchedule, src/sa/compile.cpp): the second table
+// below runs the NSC source `map (while v > 0 do v - 1)` through
+// compile_nsc under each schedule on the same workload, so the
+// hand-assembled bound can be compared against the compiled one (the
+// compiled rows carry the catalog's constant factors plus the exit-time
+// order-restoring replay, which the order-oblivious hand programs skip).
 #include <cstdio>
 
 #include "bvram/machine.hpp"
+#include "nsc/build.hpp"
+#include "nsc/typecheck.hpp"
+#include "object/value.hpp"
+#include "sa/compile.hpp"
 #include "support/checked.hpp"
 #include "support/prng.hpp"
 #include "support/table.hpp"
@@ -71,8 +82,6 @@ Program make_eager() {
   auto top = a.fresh_label();
   auto done = a.fresh_label();
   a.bind(top);
-  auto nz = a.reg();
-  a.select(nz, v);
   a.jump_if_empty(v, done);
   // step all active
   auto lenr = a.reg();
@@ -172,6 +181,22 @@ Program make_staged(std::uint64_t n, Rational eps) {
   return a.finish(1, 3);
 }
 
+/// The straggler workload as NSC source: map (while v > 0 do v - 1).
+lang::FuncRef nsc_decrement() {
+  namespace L = nsc::lang;
+  const TypeRef N = Type::nat();
+  auto pred = L::lam(N, [](L::TermRef v) { return L::lt(L::nat(0), v); });
+  auto step = L::lam(N, [](L::TermRef v) { return L::monus_t(v, L::nat(1)); });
+  return L::lam(Type::seq(N), [&](L::TermRef x) {
+    return L::apply(L::map_f(L::lam(N,
+                                    [&](L::TermRef v) {
+                                      return L::apply(L::while_f(pred, step),
+                                                      v);
+                                    })),
+                    x);
+  });
+}
+
 }  // namespace
 
 int main() {
@@ -212,5 +237,43 @@ int main() {
       "Register counts: naive=%zu eager=%zu staged=%zu (eps-independent).\n",
       make_naive().num_regs, make_eager().num_regs,
       make_staged(1024, {1, 2}).num_regs);
+
+  std::printf(
+      "\ncompiled from NSC (map (while v > 0 do v - 1), compile_nsc at O2\n"
+      "under opt::WhileSchedule), same workload -- the compiler emits the\n"
+      "same three schedules, plus the exit-time order-restoring replay:\n\n");
+  auto f = nsc_decrement();
+  auto [dom, cod] = lang::check_func(f);
+  auto pn = sa::compile_nsc(f, opt::OptLevel::O2, opt::WhileSchedule::naive());
+  auto pe = sa::compile_nsc(f, opt::OptLevel::O2, opt::WhileSchedule::eager());
+  auto ps2 =
+      sa::compile_nsc(f, opt::OptLevel::O2, opt::WhileSchedule::staged({1, 2}));
+  auto ps4 =
+      sa::compile_nsc(f, opt::OptLevel::O2, opt::WhileSchedule::staged({1, 4}));
+  Table ct({"n", "W_ideal", "naive/ideal", "eager/ideal", "staged e=1/2",
+            "staged e=1/4"});
+  for (std::uint64_t n : {64ull, 256ull, 1024ull, 4096ull}) {
+    const std::uint64_t m = isqrt(n);
+    std::vector<std::uint64_t> counts(n, 1);
+    std::uint64_t ideal = 0;
+    for (std::uint64_t j = 0; j < m; ++j) counts[n - m + j] = j + 2;
+    for (auto c : counts) ideal += c;
+    auto arg = Value::nat_seq(counts);
+    auto w_of = [&](const Program& p) {
+      return sa::run_compiled(p, dom, cod, arg).cost.work;
+    };
+    ct.row({Table::num(n), Table::num(ideal),
+            Table::fixed(static_cast<double>(w_of(pn)) / ideal, 1),
+            Table::fixed(static_cast<double>(w_of(pe)) / ideal, 1),
+            Table::fixed(static_cast<double>(w_of(ps2)) / ideal, 1),
+            Table::fixed(static_cast<double>(w_of(ps4)) / ideal, 1)});
+  }
+  ct.print();
+  std::printf(
+      "\nreading: the compiled naive ratio grows with n exactly like the\n"
+      "hand-assembled one (catalog constants aside); the compiled staged\n"
+      "schedule stays bounded and its register file is identical across\n"
+      "eps values: staged(1/2)=%zu staged(1/4)=%zu registers.\n",
+      ps2.num_regs, ps4.num_regs);
   return 0;
 }

@@ -1,0 +1,74 @@
+// The lifted-while schedule knob (Lemma 7.2): compile one mapped while
+// loop under the naive, eager, and staged schedules and watch the work
+// diverge on a straggler workload while the results stay identical.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/schedules
+#include <cstdio>
+
+#include "nsc/build.hpp"
+#include "nsc/typecheck.hpp"
+#include "opt/opt.hpp"
+#include "sa/compile.hpp"
+#include "support/checked.hpp"
+
+int main() {
+  using namespace nsc;
+  namespace L = nsc::lang;
+  const TypeRef N = Type::nat();
+
+  // map (while v > 0 do v - 1): element i runs for t_i iterations.
+  auto pred = L::lam(N, [](L::TermRef v) { return L::lt(L::nat(0), v); });
+  auto step = L::lam(N, [](L::TermRef v) { return L::monus_t(v, L::nat(1)); });
+  auto f = L::lam(Type::seq(N), [&](L::TermRef xs) {
+    return L::apply(L::map_f(L::lam(N,
+                                    [&](L::TermRef v) {
+                                      return L::apply(L::while_f(pred, step),
+                                                      v);
+                                    })),
+                    xs);
+  });
+  auto [dom, cod] = L::check_func(f);
+
+  // A straggler workload: almost everything finishes in round one, but a
+  // handful of elements keep the loop alive for ~sqrt(n) more rounds.  The
+  // naive schedule re-touches all n slots every round.
+  const std::uint64_t n = 1024;
+  const std::uint64_t m = isqrt(n);
+  std::vector<std::uint64_t> counts(n, 1);
+  std::uint64_t ideal = 0;
+  for (std::uint64_t j = 0; j < m; ++j) counts[n - m + j] = j + 2;
+  for (auto c : counts) ideal += c;
+  auto input = Value::nat_seq(counts);
+  std::printf("n=%llu elements, W_ideal = sum t_i = %llu\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(ideal));
+
+  ValueRef reference;
+  struct Knob {
+    const char* name;
+    opt::WhileSchedule sched;
+  } knobs[] = {
+      {"naive        ", opt::WhileSchedule::naive()},
+      {"eager        ", opt::WhileSchedule::eager()},
+      {"staged eps1/2", opt::WhileSchedule::staged({1, 2})},
+      {"staged eps1/4", opt::WhileSchedule::staged({1, 4})},
+  };
+  for (const auto& k : knobs) {
+    auto program = sa::compile_nsc(f, opt::OptLevel::O2, k.sched);
+    auto r = sa::run_compiled(program, dom, cod, input);
+    const bool same = !reference || Value::equal(reference, r.value);
+    if (!reference) reference = r.value;
+    std::printf("%s  %3zu regs  W=%9llu  W/W_ideal=%7.1f  result %s\n",
+                k.name, program.num_regs,
+                static_cast<unsigned long long>(r.cost.work),
+                static_cast<double>(r.cost.work) / ideal,
+                same ? "identical" : "DIFFERS!");
+  }
+  std::printf(
+      "\nThe staged schedule buffers finished elements through V1/V2 at the\n"
+      "ceil(n^(k*eps)) thresholds and restores the original order with one\n"
+      "backwards replay of the logged packs at exit -- Lemma 7.2, surfaced\n"
+      "through the compiler (see opt::WhileSchedule in src/opt/opt.hpp).\n");
+  return 0;
+}

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "bvram/machine.hpp"
+#include "support/checked.hpp"
 
 namespace nsc::opt {
 
@@ -49,6 +50,49 @@ namespace nsc::opt {
 /// cleanup (peephole + DCE); O2 = full suite to fixpoint + register
 /// compaction (the default in sa::compile_nsa / compile_nsc).
 enum class OptLevel { O0, O1, O2 };
+
+/// Scheduling policy for the compiler's *lifted* while loop (the while
+/// case of the Map Lemma 7.2), threaded through sa::compile_nsa /
+/// compile_nsc alongside OptLevel.  All three schedules compute
+/// bit-identical outputs and traps; they differ only in how much work the
+/// loop spends re-touching elements that have already terminated:
+///
+///   Naive   every iteration packs the unfinished elements out of the full
+///           population and interleaves the stepped results back, so each
+///           of the n slots is touched once per iteration: W can reach
+///           Theta(n * rounds) even when almost all elements finished in
+///           round one (the straggler adversary of bench_seqwhile).
+///   Eager   finished elements are extracted once and appended to a single
+///           archive, which is itself re-touched on every extraction round
+///           (the ablation baseline: Theta(n * extraction-rounds) worst
+///           case on the same adversary).
+///   Staged  the Lemma 7.2 schedule: extractions append to a small V1
+///           buffer that is flushed into the V2 archive only when the
+///           total extracted count crosses the thresholds ceil(n^(k*eps)),
+///           k = 1, 2, ...; V2 is touched only ~1/eps times.  The emitted
+///           register file is identical for every eps (only threshold
+///           constants change) -- Theorem 7.1's "registers independent of
+///           eps" clause.
+///
+/// Eager/staged loops log the per-round pack flags and at exit restore the
+/// original element order by replaying the packs backwards, so the final
+/// state is bit-identical to the naive schedule at every SEQREP width
+/// (nested maps included).
+enum class WhileScheduleKind { Naive, Eager, Staged };
+
+struct WhileSchedule {
+  WhileScheduleKind kind = WhileScheduleKind::Naive;
+  /// Threshold exponent for Staged (ignored otherwise): flushes happen at
+  /// extracted-count thresholds ~n^(k*eps), computed at run time from the
+  /// population with pow_eps-style integer arithmetic.
+  Rational eps{1, 2};
+
+  static WhileSchedule naive() { return {}; }
+  static WhileSchedule eager() { return {WhileScheduleKind::Eager, {1, 2}}; }
+  static WhileSchedule staged(Rational eps = {1, 2}) {
+    return {WhileScheduleKind::Staged, eps};
+  }
+};
 
 /// Structural verifier: register bounds (including SbmRoute's segment
 /// operand carried in `imm`), jump targets, and I/O arity.  Throws

@@ -24,6 +24,8 @@ Regs concat(Regs a, const Regs& b) {
 
 class Compiler {
  public:
+  explicit Compiler(const opt::WhileSchedule& sched) : sched_(sched) {}
+
   bvram::Program compile(const NsaRef& f) {
     const std::size_t nin = rep_width(*f->dom());
     a_.reserve_regs(nin);
@@ -153,6 +155,34 @@ class Compiler {
     R e = enum_of(v);
     R last = broadcast(arith(ArithOp::Monus, len_of(v), konst(1)), v);
     return pack_vec(v, inv_bits(eq_bits(e, last)));
+  }
+
+  /// [v[len-1]] as a singleton (empty when v is empty).
+  R last_of(R v) {
+    R e = enum_of(v);
+    R last = broadcast(arith(ArithOp::Monus, len_of(v), konst(1)), v);
+    return pack_vec(v, eq_bits(e, last));
+  }
+
+  /// Elementwise "is nonzero" as 0/1 bits.
+  R nonzero_bits(R v) {
+    R ones = ones_like(v);
+    return arith(ArithOp::Monus, ones, arith(ArithOp::Monus, ones, v));
+  }
+
+  /// 0/1 bits over v marking its last k slots (k a singleton <= [len v]).
+  R tail_bits(R v, R k) {
+    R e = enum_of(v);
+    R cut = broadcast(arith(ArithOp::Monus, len_of(v), k), v);
+    // slot i is in the tail iff i >= len-k iff (len-k) monus i == 0.
+    return inv_bits(nonzero_bits(arith(ArithOp::Monus, cut, e)));
+  }
+
+  /// [#nonzero slots of bits] as a singleton.
+  R ones_count(R bits) {
+    R sel = fresh();
+    a_.select(sel, bits);
+    return len_of(sel);
   }
 
   /// Remove the first element of v.
@@ -794,48 +824,266 @@ class Compiler {
         return concat(concat({lens}, sexp), tregs);
       }
       case NsaKind::WhileF: {
-        // Active-set loop: pack the still-running elements, step them,
-        // interleave back.  (The naive Lemma 7.2 schedule; see header.)
-        const Type& t = *f->cod();
-        const std::size_t w = seqrep_width(t);
-        Regs state(w);
-        for (auto& r : state) r = fresh();
-        for (std::size_t i = 0; i < w; ++i) a_.move(state[i], in[i]);
-        auto top = a_.fresh_label();
-        auto exit = a_.fresh_label();
-        a_.bind(top);
-        Regs pflags = emitL(f->f(), state);  // SEQREP(B): bits first
-        R bits = pflags[0];
-        R sel = fresh();
-        a_.select(sel, bits);
-        a_.jump_if_empty(sel, exit);
-        Regs active = pack_seq(t, state, bits);
-        Regs idle = pack_seq(t, state, inv_bits(bits));
-        Regs stepped = emitL(f->g(), active);
-        Regs merged = combine_seq(t, bits, stepped, idle);
-        for (std::size_t i = 0; i < w; ++i) a_.move(state[i], merged[i]);
-        a_.jump(top);
-        a_.bind(exit);
-        return state;
+        switch (sched_.kind) {
+          case opt::WhileScheduleKind::Naive:
+            return emit_while_naive(f, in);
+          case opt::WhileScheduleKind::Eager:
+            return emit_while_buffered(f, in, /*staged=*/false);
+          case opt::WhileScheduleKind::Staged:
+            return emit_while_buffered(f, in, /*staged=*/true);
+        }
+        throw CompileError("emitL: bad while schedule");
       }
     }
     throw CompileError("emitL: unknown combinator");
   }
 
+  // ---------------------------------------------------------------------
+  // lifted while schedules (Lemma 7.2's while case)
+  // ---------------------------------------------------------------------
+
+  /// Naive schedule: pack the still-running elements, step them,
+  /// interleave back -- every iteration touches all n slots once.
+  Regs emit_while_naive(const NsaRef& f, const Regs& in) {
+    const Type& t = *f->cod();
+    const std::size_t w = seqrep_width(t);
+    Regs state(w);
+    for (auto& r : state) r = fresh();
+    for (std::size_t i = 0; i < w; ++i) a_.move(state[i], in[i]);
+    auto top = a_.fresh_label();
+    auto exit = a_.fresh_label();
+    a_.bind(top);
+    Regs pflags = emitL(f->f(), state);  // SEQREP(B): bits first
+    R bits = pflags[0];
+    R sel = fresh();
+    a_.select(sel, bits);
+    a_.jump_if_empty(sel, exit);
+    Regs active = pack_seq(t, state, bits);
+    Regs idle = pack_seq(t, state, inv_bits(bits));
+    Regs stepped = emitL(f->g(), active);
+    Regs merged = combine_seq(t, bits, stepped, idle);
+    for (std::size_t i = 0; i < w; ++i) a_.move(state[i], merged[i]);
+    a_.jump(top);
+    a_.bind(exit);
+    return state;
+  }
+
+  /// Emit code computing [2^ceil((num/den) * ceil_log2(n))] into dst --
+  /// the integer pow_eps of support/checked.hpp, evaluated at run time
+  /// from the singleton [n] in nr ([1] when n <= 1).  Uses only the
+  /// machine's arithmetic set; 2^e is a doubling loop since the BVRAM has
+  /// no left shift.
+  void emit_pow_eps(R dst, R nr, Rational eps) {
+    R e = fresh();
+    auto small = a_.fresh_label();
+    auto have_e = a_.fresh_label();
+    R nm1 = arith(ArithOp::Monus, nr, konst(1));
+    R nsel = fresh();
+    a_.select(nsel, nm1);
+    a_.jump_if_empty(nsel, small);
+    {
+      // ceil_log2(n) = log2(n-1) + 1 for n >= 2 (machine log2 = floor).
+      R lg = arith(ArithOp::Add, arith(ArithOp::Log2, nm1, nm1), konst(1));
+      R num = konst(eps.num);
+      R den = konst(eps.den);
+      R up = arith(ArithOp::Add, arith(ArithOp::Mul, lg, num),
+                   arith(ArithOp::Monus, den, konst(1)));
+      a_.move(e, arith(ArithOp::Div, up, den));
+      a_.jump(have_e);
+    }
+    a_.bind(small);
+    a_.load_const(e, 0);
+    a_.bind(have_e);
+    a_.load_const(dst, 1);
+    R two = konst(2);
+    R one = konst(1);
+    R esel = fresh();
+    auto ptop = a_.fresh_label();
+    auto pdone = a_.fresh_label();
+    a_.bind(ptop);
+    a_.select(esel, e);
+    a_.jump_if_empty(esel, pdone);
+    a_.arith(dst, ArithOp::Mul, dst, two);
+    a_.arith(e, ArithOp::Monus, e, one);
+    a_.jump(ptop);
+    a_.bind(pdone);
+  }
+
+  /// Eager / staged schedule.  The loop keeps only the still-running
+  /// elements in `act`; a round in which something finishes is *logged*:
+  /// the finished elements are packed out and appended to the V1 archive
+  /// a1 (flushed into the V2 archive a2 at the staged thresholds), and the
+  /// round's pack flags / active count are appended to the parallel V1/V2
+  /// logs bl*/ll* (fb records how many logged rounds each flush moved).
+  /// Rounds in which nothing finishes touch nothing but the active set.
+  ///
+  /// On exit the original element order is restored by replaying the
+  /// logged packs backwards: popping the most recent round's flags and
+  /// extracted elements off the archive tails and interleaving with
+  /// combine_seq exactly inverts that round's pack_seq, so the final state
+  /// is bit-identical to the naive schedule's.  The replay consumes the
+  /// buffers in the same staged pattern the forward pass filled them (tail
+  /// pops from V1; one V2 tail split per flush), so restoration costs no
+  /// more than the forward staging did.
+  ///
+  /// Eager is the same machine with thr = stepf = [1]: V1 flushes into the
+  /// V2 archive on every extraction round (the accumulator-touching
+  /// ablation baseline of bench_seqwhile).  For a given schedule the
+  /// register file is identical across eps values; only threshold
+  /// constants change (eager skips the threshold computation, so its file
+  /// is slightly smaller than staged's).
+  Regs emit_while_buffered(const NsaRef& f, const Regs& in, bool staged) {
+    const Type& t = *f->cod();
+    const std::size_t w = seqrep_width(t);
+
+    // Fixed (loop-carried) registers.
+    Regs act(w), a1(w), a2(w), S(w);
+    for (auto& r : act) r = fresh();
+    for (auto& r : a1) r = fresh();
+    for (auto& r : a2) r = fresh();
+    for (auto& r : S) r = fresh();
+    R bl1 = fresh(), bl2 = fresh();  // pack-flag logs (V1 / V2)
+    R ll1 = fresh(), ll2 = fresh();  // per-logged-round active-count logs
+    R fb = fresh();                  // per-flush logged-round counts
+    R cnt = fresh(), thr = fresh(), stepf = fresh();
+
+    for (std::size_t i = 0; i < w; ++i) a_.move(act[i], in[i]);
+    for (std::size_t i = 0; i < w; ++i) a_.load_empty(a1[i]);
+    for (std::size_t i = 0; i < w; ++i) a_.load_empty(a2[i]);
+    a_.load_empty(bl1);
+    a_.load_empty(bl2);
+    a_.load_empty(ll1);
+    a_.load_empty(ll2);
+    a_.load_empty(fb);
+    a_.load_const(cnt, 0);
+    if (staged) {
+      emit_pow_eps(stepf, len_of(probe(act)), sched_.eps);
+    } else {
+      a_.load_const(stepf, 1);
+    }
+    a_.move(thr, stepf);
+
+    auto top = a_.fresh_label();
+    auto step_l = a_.fresh_label();
+    auto restore = a_.fresh_label();
+
+    a_.bind(top);
+    a_.jump_if_empty(probe(act), restore);
+    Regs pflags = emitL(f->f(), act);  // SEQREP(B): bits first
+    R bits = pflags[0];
+    R fin = inv_bits(bits);
+    R fsel = fresh();
+    a_.select(fsel, fin);
+    a_.jump_if_empty(fsel, step_l);  // nothing finished this round
+    {
+      // Extract the finished elements and log the round.
+      Regs extr = pack_seq(t, act, fin);
+      Regs surv = pack_seq(t, act, bits);
+      a_.append(ll1, ll1, len_of(bits));
+      a_.append(bl1, bl1, bits);
+      a_.arith(cnt, ArithOp::Add, cnt, len_of(probe(extr)));
+      for (std::size_t i = 0; i < w; ++i) a_.append(a1[i], a1[i], extr[i]);
+      for (std::size_t i = 0; i < w; ++i) a_.move(act[i], surv[i]);
+      // Flush V1 -> V2 once the extracted total reaches the threshold.
+      R below = arith(ArithOp::Monus, thr, cnt);
+      R bsel = fresh();
+      a_.select(bsel, below);
+      auto flush_l = a_.fresh_label();
+      auto no_flush = a_.fresh_label();
+      a_.jump_if_empty(bsel, flush_l);
+      a_.jump(no_flush);
+      a_.bind(flush_l);
+      a_.append(fb, fb, len_of(ll1));
+      a_.append(bl2, bl2, bl1);
+      a_.load_empty(bl1);
+      a_.append(ll2, ll2, ll1);
+      a_.load_empty(ll1);
+      for (std::size_t i = 0; i < w; ++i) {
+        a_.append(a2[i], a2[i], a1[i]);
+        a_.load_empty(a1[i]);
+      }
+      a_.arith(thr, ArithOp::Mul, thr, stepf);
+      a_.bind(no_flush);
+      a_.jump_if_empty(probe(act), restore);  // everything finished
+    }
+    a_.bind(step_l);
+    Regs next = emitL(f->g(), act);
+    for (std::size_t i = 0; i < w; ++i) a_.move(act[i], next[i]);
+    a_.jump(top);
+
+    // -- exit: replay the logged packs backwards to restore the order --
+    a_.bind(restore);
+    for (std::size_t i = 0; i < w; ++i) a_.load_empty(S[i]);
+    auto replay_top = a_.fresh_label();
+    auto refill = a_.fresh_label();
+    auto replay_done = a_.fresh_label();
+
+    a_.bind(replay_top);
+    a_.jump_if_empty(ll1, refill);
+    {
+      // Pop the most recent logged round off the V1 logs and archive.
+      R ak = last_of(ll1);
+      a_.move(ll1, drop_last(ll1));
+      R tb = tail_bits(bl1, ak);
+      R bits_k = pack_vec(bl1, tb);
+      a_.move(bl1, pack_vec(bl1, inv_bits(tb)));
+      // The round extracted one element per zero flag.
+      R ek = ones_count(inv_bits(bits_k));
+      R etb = tail_bits(probe(a1), ek);
+      Regs extr = pack_seq(t, a1, etb);
+      Regs head = pack_seq(t, a1, inv_bits(etb));
+      for (std::size_t i = 0; i < w; ++i) a_.move(a1[i], head[i]);
+      // Invert the round's pack: the already-restored suffix state S holds
+      // the round's survivors (flag 1), extr its finished (flag 0).
+      Regs merged = combine_seq(t, bits_k, S, extr);
+      for (std::size_t i = 0; i < w; ++i) a_.move(S[i], merged[i]);
+    }
+    a_.jump(replay_top);
+
+    a_.bind(refill);
+    a_.jump_if_empty(fb, replay_done);
+    {
+      // Pull the most recent flush chunk from the V2 logs into the (now
+      // empty) V1 registers.
+      R nr = last_of(fb);
+      a_.move(fb, drop_last(fb));
+      R ltb = tail_bits(ll2, nr);
+      a_.move(ll1, pack_vec(ll2, ltb));
+      a_.move(ll2, pack_vec(ll2, inv_bits(ltb)));
+      R sb = vec_total(ll1);  // total flags logged in the chunk
+      R btb = tail_bits(bl2, sb);
+      a_.move(bl1, pack_vec(bl2, btb));
+      a_.move(bl2, pack_vec(bl2, inv_bits(btb)));
+      R ec = arith(ArithOp::Monus, sb, ones_count(bl1));
+      R atb = tail_bits(probe(a2), ec);
+      Regs chunk = pack_seq(t, a2, atb);
+      Regs rest = pack_seq(t, a2, inv_bits(atb));
+      for (std::size_t i = 0; i < w; ++i) a_.move(a1[i], chunk[i]);
+      for (std::size_t i = 0; i < w; ++i) a_.move(a2[i], rest[i]);
+    }
+    a_.jump(replay_top);
+
+    a_.bind(replay_done);
+    return S;
+  }
+
   Assembler a_;
+  opt::WhileSchedule sched_;
 };
 
 }  // namespace
 
-bvram::Program compile_nsa(const nsa::NsaRef& f, opt::OptLevel opt) {
-  Compiler c;
+bvram::Program compile_nsa(const nsa::NsaRef& f, opt::OptLevel opt,
+                           const opt::WhileSchedule& sched) {
+  Compiler c(sched);
   bvram::Program p = c.compile(f);
   opt::optimize(p, opt);
   return p;
 }
 
-bvram::Program compile_nsc(const lang::FuncRef& f, opt::OptLevel opt) {
-  return compile_nsa(nsa::from_closed_func(f), opt);
+bvram::Program compile_nsc(const lang::FuncRef& f, opt::OptLevel opt,
+                           const opt::WhileSchedule& sched) {
+  return compile_nsa(nsa::from_closed_func(f), opt, sched);
 }
 
 CompiledRun run_compiled(const bvram::Program& program, const TypeRef& dom,

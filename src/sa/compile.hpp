@@ -22,11 +22,15 @@
 // elementwise arithmetic -- each O(1) instructions, i.e. O(1) parallel
 // time and work linear in the registers touched, as Lemma 7.2 requires.
 //
-// The lifted while below is the *naive* schedule (every iteration touches
-// finished elements once during pack/merge).  The staged V0/V1/V2 schedule
-// that gives Lemma 7.2's O(W^(1+eps)) bound is implemented and measured
-// separately at the machine level (bench/bench_seqwhile.cpp), since it is a
-// scheduling change only -- the code shape and register count are fixed.
+// The lifted while supports three schedules behind opt::WhileSchedule
+// (default: naive).  Naive touches every element once per iteration during
+// pack/merge.  Eager and staged extract finished elements into archive
+// buffers instead -- staged with the Lemma 7.2 V0/V1/V2 thresholds
+// ceil(n^(k*eps)) that give the O(W^(1+eps)) bound -- and log the per-round
+// pack flags so that one exit-time backwards replay of the packs restores
+// the original element order exactly.  All schedules produce bit-identical
+// outputs and traps; the register file is fixed and independent of eps.
+// The machine-level ablation lives in bench/bench_seqwhile.cpp.
 #pragma once
 
 #include "bvram/machine.hpp"
@@ -49,13 +53,17 @@ class CompileError : public Error {
 /// are REP(s) and outputs REP(t).  The emitted program is verified and
 /// optimized by the src/opt/ pass pipeline; pass OptLevel::O0 to get the
 /// naive catalog emission (exact instruction sequences, for tests).
+/// `sched` picks the lifted-while schedule (Lemma 7.2); the default naive
+/// schedule matches the historical emission exactly.
 bvram::Program compile_nsa(const nsa::NsaRef& f,
-                           opt::OptLevel opt = opt::OptLevel::O2);
+                           opt::OptLevel opt = opt::OptLevel::O2,
+                           const opt::WhileSchedule& sched = {});
 
 /// Full pipeline: closed NSC function -> NSA (variable elimination) ->
 /// BVRAM (flattening) -> optimizer.
 bvram::Program compile_nsc(const lang::FuncRef& f,
-                           opt::OptLevel opt = opt::OptLevel::O2);
+                           opt::OptLevel opt = opt::OptLevel::O2,
+                           const opt::WhileSchedule& sched = {});
 
 struct CompiledRun {
   ValueRef value;

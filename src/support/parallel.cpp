@@ -1,6 +1,7 @@
 #include "support/parallel.hpp"
 
 #include <condition_variable>
+#include <exception>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -82,21 +83,37 @@ void parallel_for(std::size_t n,
   std::size_t chunks = (n + grain - 1) / grain;
   if (chunks > workers) chunks = workers;
   const std::size_t step = (n + chunks - 1) / chunks;
+  // With `step` rounded up, the last chunks of the c-loop can start at or
+  // past n (e.g. n=5, chunks=4 -> step=2 covers n in 3 chunks); recompute
+  // the chunk count from `step` so every dispatched range is non-empty and
+  // begin <= end <= n.
+  chunks = (n + step - 1) / step;
 
   std::mutex mu;
   std::condition_variable done_cv;
   std::size_t pending = chunks;
+  std::exception_ptr first_error;
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * step;
     const std::size_t end = begin + step < n ? begin + step : n;
     pool().submit([&, begin, end] {
-      fn(begin, end);
+      // Exceptions (EvalError from a trapping elementwise op, ...) must not
+      // escape into the worker thread -- that is std::terminate.  Capture
+      // the first one and rethrow it on the calling thread below.
+      std::exception_ptr error;
+      try {
+        fn(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
       std::lock_guard<std::mutex> lock(mu);
+      if (error && !first_error) first_error = error;
       if (--pending == 0) done_cv.notify_one();
     });
   }
   std::unique_lock<std::mutex> lock(mu);
   done_cv.wait(lock, [&] { return pending == 0; });
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace nsc

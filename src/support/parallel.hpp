@@ -13,9 +13,11 @@ namespace nsc {
 /// Number of worker threads the pool was built with (hardware concurrency).
 std::size_t parallel_workers();
 
-/// Invoke fn(begin..end) over disjoint chunks of [0, n) on the pool and wait
-/// for completion.  Falls back to a serial call when n is small (the
-/// per-chunk closure cost would dominate) or when the pool has one worker.
+/// Invoke fn(begin..end) over disjoint non-empty chunks of [0, n) on the
+/// pool and wait for completion.  Falls back to a serial call when n is
+/// small (the per-chunk closure cost would dominate) or when the pool has
+/// one worker.  If any chunk throws, the first exception is rethrown on the
+/// calling thread after all chunks finish (it never escapes into a worker).
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& fn,
                   std::size_t grain = 4096);

@@ -263,6 +263,30 @@ TEST(Bvram, ParallelBackendMatchesSerial) {
   EXPECT_EQ(serial.cost.work, parallel.cost.work);
 }
 
+TEST(Bvram, ParallelBackendPropagatesEvalError) {
+  // Regression: a Div by zero evaluated on a pool worker used to escape
+  // into the worker thread and std::terminate the interpreter; the
+  // EvalError must surface on the calling thread exactly as it does under
+  // the serial backend.
+  Assembler a;
+  auto x = a.reg();
+  auto y = a.reg();
+  a.arith(x, ArithOp::Div, x, y);
+  a.halt();
+  auto p = a.finish(2, 1);
+  Vec num(50000, 7);
+  Vec den(50000, 3);
+  den[12345] = 0;  // one poisoned slot deep inside a parallel chunk
+  RunConfig cfg;
+  cfg.parallel_backend = true;
+  EXPECT_THROW(run(p, {num, den}), EvalError);        // serial reference
+  EXPECT_THROW(run(p, {num, den}, cfg), EvalError);   // pool must match
+  // The backend stays healthy after the failure.
+  den[12345] = 3;
+  auto r = run(p, {num, den}, cfg);
+  EXPECT_EQ(r.outputs[0], Vec(50000, 2));
+}
+
 TEST(Bvram, UnboundLabelRejected) {
   Assembler a;
   auto l = a.fresh_label();

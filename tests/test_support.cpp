@@ -132,6 +132,68 @@ TEST(Parallel, EmptyRange) {
 
 TEST(Parallel, WorkersAtLeastOne) { EXPECT_GE(parallel_workers(), 1u); }
 
+TEST(Parallel, NoInvertedOrEmptyChunks) {
+  // Regression: with step rounded up, trailing chunks used to start past n
+  // (n=5, 4+ workers, grain=1 dispatched fn(6, 5) -- an inverted range).
+  // Every dispatched chunk must now satisfy b < e <= n, and together the
+  // chunks must partition [0, n) exactly.
+  for (std::size_t n : {1u, 2u, 3u, 5u, 7u, 11u, 13u, 100u, 101u}) {
+    for (std::size_t grain : {1u, 2u, 3u, 4u, 7u}) {
+      std::vector<std::atomic<int>> hits(n);
+      std::atomic<bool> bad{false};
+      parallel_for(
+          n,
+          [&](std::size_t b, std::size_t e) {
+            if (b >= e || e > n) {
+              bad = true;
+              return;
+            }
+            for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+          },
+          grain);
+      EXPECT_FALSE(bad.load()) << "n=" << n << " grain=" << grain;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " grain=" << grain
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Parallel, ExceptionPropagatesToCaller) {
+  // Regression: an exception thrown inside a pool task used to escape into
+  // the worker thread and std::terminate the process.  It must instead be
+  // rethrown on the calling thread once all chunks have finished.
+  EXPECT_THROW(
+      parallel_for(
+          10000,
+          [&](std::size_t b, std::size_t) {
+            if (b == 0) throw EvalError("division by zero");
+          },
+          16),
+      EvalError);
+  // The pool must still be usable afterwards.
+  std::atomic<int> sum{0};
+  parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    sum.fetch_add(static_cast<int>(e - b));
+  }, 16);
+  EXPECT_EQ(sum.load(), 1000);
+}
+
+TEST(Parallel, FirstOfManyExceptionsWins) {
+  // Several chunks may throw; exactly one exception must surface and the
+  // call must not deadlock or leak pending work.
+  for (int round = 0; round < 8; ++round) {
+    try {
+      parallel_for(
+          4096, [&](std::size_t, std::size_t) { throw EvalError("boom"); },
+          16);
+      FAIL() << "expected EvalError";
+    } catch (const EvalError&) {
+    }
+  }
+}
+
 TEST(Table, AlignsAndCounts) {
   Table t({"a", "bb"});
   t.row({"1", "2"});
