@@ -1,0 +1,508 @@
+// The execution-engine benchmark harness: runs the compiled example
+// corpus plus adversarial route/scan microbenchmarks under all four
+// configurations --
+//
+//     v1 = run_reference (allocate-per-instruction interpreter)
+//     v2 = run            (pooled register file, in-place kernels)
+//     x  serial | parallel backend
+//
+// -- verifies that outputs, T, and W agree bit-for-bit across every
+// configuration (exit code 1 on any mismatch: the CI perf-smoke gate),
+// and writes the wall-clock trajectory to a JSON file so future PRs can
+// compare machine-readable numbers instead of prose.
+//
+//   bench_machine [--json PATH] [--reps K] [--full]
+//
+// --full adds n = 10^7 to the default {10^5, 10^6} sweep.  Timing rows
+// are never part of the failure criterion (shared runners are noisy);
+// only cross-configuration output/cost mismatches fail.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bvram/machine.hpp"
+#include "nsc/build.hpp"
+#include "nsc/prelude.hpp"
+#include "nsc/typecheck.hpp"
+#include "opt/liveness.hpp"
+#include "sa/compile.hpp"
+#include "sa/layout.hpp"
+#include "support/parallel.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+namespace L = nsc::lang;
+namespace P = nsc::lang::prelude;
+using nsc::Table;
+using nsc::Type;
+using nsc::TypeRef;
+using nsc::Value;
+using nsc::ValueRef;
+using nsc::bvram::Assembler;
+using nsc::bvram::Program;
+using nsc::bvram::RunConfig;
+using nsc::bvram::RunResult;
+using Vec = std::vector<std::uint64_t>;
+using nsc::lang::ArithOp;
+
+struct Case {
+  std::string name;
+  Program program;  // annotated (v1 ignores the annotation)
+  std::vector<Vec> inputs;
+};
+
+struct Entry {
+  std::string bench;
+  std::size_t n;
+  const char* engine;
+  const char* backend;
+  double ms = 0;
+  std::uint64_t time = 0;
+  std::uint64_t work = 0;
+  std::uint64_t checksum = 0;
+};
+
+std::uint64_t checksum(const RunResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  for (const auto& v : r.outputs) {
+    mix(v.size());
+    for (auto x : v) mix(x);
+  }
+  mix(r.cost.time);
+  mix(r.cost.work);
+  return h;
+}
+
+Vec iota_mod(std::size_t n, std::uint64_t mod) {
+  Vec v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = (i * 2654435761u) % mod;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// microbenchmarks (hand-assembled adversaries)
+// ---------------------------------------------------------------------------
+
+Case make_move_chain(std::size_t n) {
+  // 24 Moves cycling 4 temporaries: with last-use annotation every one is
+  // an O(1) buffer swap; v1 copies 24n words through 24 fresh allocations.
+  Assembler a;
+  a.reserve_regs(1);
+  std::uint32_t t[4];
+  for (auto& r : t) r = a.reg();
+  a.move(t[0], 0);
+  for (int i = 1; i < 24; ++i) a.move(t[i % 4], t[(i - 1) % 4]);
+  a.move(0, t[23 % 4]);
+  a.halt();
+  auto p = a.finish(1, 1);
+  nsc::opt::annotate_last_use(p);
+  return {"move-chain", std::move(p), {iota_mod(n, 1u << 20)}};
+}
+
+Case make_arith_mix(std::size_t n) {
+  // A 16-op elementwise chain (add/mul/monus/rsh) through two recycled
+  // temporaries: exercises the pooled buffers, in-place execution, and
+  // the hoisted arith dispatch.
+  Assembler a;
+  a.reserve_regs(2);
+  auto u = a.reg(), v = a.reg();
+  const ArithOp ops[4] = {ArithOp::Add, ArithOp::Mul, ArithOp::Monus,
+                          ArithOp::Rsh};
+  a.arith(u, ArithOp::Add, 0, 1);
+  a.arith(v, ArithOp::Mul, u, 0);
+  for (int i = 0; i < 14; ++i) {
+    if (i % 2 == 0) {
+      a.arith(u, ops[i % 4], v, 1);
+    } else {
+      a.arith(v, ops[i % 4], u, 0);
+    }
+  }
+  a.move(0, v);
+  a.halt();
+  auto p = a.finish(2, 1);
+  nsc::opt::annotate_last_use(p);
+  return {"arith-mix", std::move(p), {iota_mod(n, 1000), iota_mod(n, 60)}};
+}
+
+Case make_scan_chain(std::size_t n) {
+  Assembler a;
+  a.reserve_regs(1);
+  auto u = a.reg(), v = a.reg();
+  a.scan_plus(u, 0);
+  for (int i = 0; i < 11; ++i) {
+    if (i % 2 == 0) {
+      a.scan_plus(v, u);
+    } else {
+      a.scan_plus(u, v);
+    }
+  }
+  a.move(0, u);
+  a.halt();
+  auto p = a.finish(1, 1);
+  nsc::opt::annotate_last_use(p);
+  return {"scan-chain", std::move(p), {iota_mod(n, 3)}};
+}
+
+Case make_select(std::size_t n) {
+  Assembler a;
+  a.reserve_regs(1);
+  auto t = a.reg();
+  for (int i = 0; i < 10; ++i) a.select(t, 0);
+  a.move(0, t);
+  a.halt();
+  auto p = a.finish(1, 1);
+  nsc::opt::annotate_last_use(p);
+  return {"select-half", std::move(p), {iota_mod(n, 2)}};
+}
+
+Case make_append(std::size_t n) {
+  Assembler a;
+  a.reserve_regs(1);
+  auto t = a.reg();
+  for (int i = 0; i < 8; ++i) a.append(t, 0, 0);
+  a.move(0, t);
+  a.halt();
+  auto p = a.finish(1, 1);
+  nsc::opt::annotate_last_use(p);
+  return {"append-double", std::move(p), {iota_mod(n, 1u << 16)}};
+}
+
+Case make_route_broadcast(std::size_t n) {
+  // The compiler's ones_like: bm-route with a single count of n --
+  // maximum skew, the adversary for count-partitioned scatters.
+  Assembler a;
+  a.reserve_regs(1);
+  auto one = a.reg(), len = a.reg(), t = a.reg();
+  a.load_const(one, 7);
+  a.length(len, 0);
+  for (int i = 0; i < 8; ++i) a.bm_route(t, 0, len, one);
+  a.move(0, t);
+  a.halt();
+  auto p = a.finish(1, 1);
+  nsc::opt::annotate_last_use(p);
+  return {"route-broadcast", std::move(p), {iota_mod(n, 10)}};
+}
+
+Case make_route_pack(std::size_t n) {
+  // pack_vec: select the 0/1 bits, then bm-route the data through them.
+  Assembler a;
+  a.reserve_regs(2);  // V0 = data, V1 = bits
+  auto bound = a.reg(), t = a.reg();
+  a.select(bound, 1);
+  for (int i = 0; i < 6; ++i) a.bm_route(t, bound, 1, 0);
+  a.move(0, t);
+  a.halt();
+  auto p = a.finish(2, 1);
+  nsc::opt::annotate_last_use(p);
+  return {"route-pack", std::move(p), {iota_mod(n, 1u << 16), iota_mod(n, 2)}};
+}
+
+Case make_sbm_cartesian(std::size_t n) {
+  // One segment of sqrt(n) elements replicated sqrt(n) times: the
+  // flattened cartesian product, skew-adversarial for sbm-route.
+  const std::size_t m = std::max<std::size_t>(1, nsc::isqrt(n));
+  Assembler a;
+  auto bound = a.reg();   // V0: k zeros
+  auto counts = a.reg();  // V1: [k]
+  auto data = a.reg();    // V2: m values
+  auto segs = a.reg();    // V3: [m]
+  auto t = a.reg();
+  for (int i = 0; i < 4; ++i) a.sbm_route(t, bound, counts, data, segs);
+  a.move(0, t);
+  a.halt();
+  auto p = a.finish(4, 1);
+  nsc::opt::annotate_last_use(p);
+  return {"sbm-cartesian", std::move(p),
+          {Vec(m, 0), Vec{m}, iota_mod(m, 1u << 16), Vec{m}}};
+}
+
+// ---------------------------------------------------------------------------
+// compiled corpus
+// ---------------------------------------------------------------------------
+
+Case make_compiled(const std::string& name, const L::FuncRef& f,
+                   const ValueRef& arg) {
+  auto [dom, cod] = L::check_func(f);
+  (void)cod;
+  auto p = nsc::sa::compile_nsc(f);  // O2; arrives annotated
+  return {name, std::move(p), nsc::sa::encode_value(arg, dom)};
+}
+
+Case make_corpus_index(std::size_t n) {
+  Vec c(n);
+  for (std::size_t i = 0; i < n; ++i) c[i] = 2 * i;
+  auto arg = Value::pair(Value::nat_seq(c),
+                         Value::nat_seq({0, n / 3, n / 2, n - 1}));
+  return make_compiled("compiled:index", P::index(Type::nat()), arg);
+}
+
+Case make_corpus_filter_map(std::size_t n) {
+  const TypeRef N = Type::nat();
+  auto keep = L::lam(N, [](L::TermRef v) { return L::lt(v, L::nat(512)); });
+  auto dbl = L::lam(N, [](L::TermRef v) { return L::mul(v, L::nat(2)); });
+  auto f = L::lam(Type::seq(N), [&](L::TermRef x) {
+    return L::apply(L::map_f(dbl), L::apply(P::filter(keep, N), x));
+  });
+  nsc::SplitMix64 rng(5);
+  return make_compiled("compiled:filter-map", f,
+                       Value::nat_seq(rng.vec(n, 1024)));
+}
+
+Case make_corpus_sum(std::size_t n) {
+  return make_compiled("compiled:sum-while", P::sum_nats(),
+                       Value::nat_seq(Vec(n, 3)));
+}
+
+Case make_corpus_quickstart(std::size_t n) {
+  // examples/quickstart.cpp: filter, then zip positions with squares.
+  const TypeRef N = Type::nat();
+  auto small = L::lam(N, [](L::TermRef v) { return L::lt(v, L::nat(10)); });
+  auto square = L::lam(N, [](L::TermRef v) { return L::mul(v, v); });
+  auto f = L::lam(Type::seq(N), [&](L::TermRef xs) {
+    L::TermRef kept = L::apply(P::filter(small, N), xs);
+    return L::let_in(Type::seq(N), kept, [&](L::TermRef k) {
+      return L::zip(L::enumerate(k), L::apply(L::map_f(square), k));
+    });
+  });
+  return make_compiled("compiled:quickstart", f,
+                       Value::nat_seq(iota_mod(n, 20)));
+}
+
+Case make_corpus_nested_query(std::size_t n) {
+  // examples/nested_query.cpp: per-department filter + (length, sum) --
+  // genuine nested data parallelism (a lifted inner filter/sum under map).
+  const TypeRef N = Type::nat();
+  const TypeRef Dept = Type::seq(N);
+  auto well_paid =
+      L::lam(N, [](L::TermRef s) { return L::leq(L::nat(50), s); });
+  auto per_dept = L::lam(Dept, [&](L::TermRef d) {
+    L::TermRef kept = L::apply(P::filter(well_paid, N), d);
+    return L::let_in(Type::seq(N), kept, [&](L::TermRef k) {
+      return L::pair(L::length(k), L::apply(P::sum_nats(), k));
+    });
+  });
+  auto query = L::lam(Type::seq(Dept), [&](L::TermRef db) {
+    return L::apply(L::map_f(per_dept), db);
+  });
+  // sqrt(n) departments of sqrt(n) salaries: n total elements.
+  const std::size_t m = std::max<std::size_t>(1, nsc::isqrt(n));
+  std::vector<ValueRef> depts;
+  nsc::SplitMix64 rng(17);
+  for (std::size_t d = 0; d < m; ++d) {
+    depts.push_back(Value::nat_seq(rng.vec(m, 100)));
+  }
+  return make_compiled("compiled:nested-query", query, Value::seq(depts));
+}
+
+// ---------------------------------------------------------------------------
+// driver
+// ---------------------------------------------------------------------------
+
+double wall_ms(const Program& p, const std::vector<Vec>& in,
+               const RunConfig& cfg, bool v2, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    RunResult res = v2 ? nsc::bvram::run(p, in, cfg)
+                       : nsc::bvram::run_reference(p, in, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)res;
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Options {
+  std::string json_path = "BENCH_machine.json";
+  int reps = 3;
+  bool full = false;
+};
+
+int run_bench(const Options& opt) {
+  std::vector<std::size_t> sizes = {100000, 1000000};
+  if (opt.full) sizes.push_back(10000000);
+
+  std::vector<Entry> entries;
+  struct Summary {
+    std::string bench;
+    std::size_t n;
+    double ms[2][2];  // [engine v1/v2][backend serial/parallel]
+  };
+  std::vector<Summary> summaries;
+  bool mismatch = false;
+
+  using Maker = Case (*)(std::size_t);
+  const Maker makers[] = {
+      make_move_chain,   make_arith_mix,      make_scan_chain,
+      make_select,       make_append,         make_route_broadcast,
+      make_route_pack,   make_sbm_cartesian,  make_corpus_index,
+      make_corpus_filter_map, make_corpus_sum, make_corpus_quickstart,
+      make_corpus_nested_query,
+  };
+
+  Table t({"bench", "n", "v1 serial", "v2 serial", "v1 par", "v2 par",
+           "v2/v1 serial", "v2par/v1 serial"});
+  for (std::size_t n : sizes) {
+    for (auto make : makers) {
+      Case c = make(n);
+      Summary s{c.name, n, {{0, 0}, {0, 0}}};
+      std::uint64_t sums[2][2] = {{0, 0}, {0, 0}};
+      Entry base;
+      for (int engine = 0; engine < 2; ++engine) {
+        for (int backend = 0; backend < 2; ++backend) {
+          RunConfig cfg;
+          cfg.parallel_backend = backend == 1;
+          const bool v2 = engine == 1;
+          // Untimed validation run: outputs + costs feed the checksum.
+          RunResult r = v2 ? nsc::bvram::run(c.program, c.inputs, cfg)
+                           : nsc::bvram::run_reference(c.program, c.inputs,
+                                                       cfg);
+          Entry e;
+          e.bench = c.name;
+          e.n = n;
+          e.engine = v2 ? "v2" : "v1";
+          e.backend = backend == 1 ? "parallel" : "serial";
+          e.time = r.cost.time;
+          e.work = r.cost.work;
+          e.checksum = checksum(r);
+          e.ms = wall_ms(c.program, c.inputs, cfg, v2, opt.reps);
+          s.ms[engine][backend] = e.ms;
+          sums[engine][backend] = e.checksum;
+          if (engine == 0 && backend == 0) base = e;
+          if (e.checksum != sums[0][0] || e.time != base.time ||
+              e.work != base.work) {
+            std::fprintf(stderr,
+                         "MISMATCH: %s n=%zu %s/%s disagrees with v1/serial "
+                         "(checksum %016llx vs %016llx, T %llu vs %llu, W "
+                         "%llu vs %llu)\n",
+                         c.name.c_str(), n, e.engine, e.backend,
+                         static_cast<unsigned long long>(e.checksum),
+                         static_cast<unsigned long long>(sums[0][0]),
+                         static_cast<unsigned long long>(e.time),
+                         static_cast<unsigned long long>(base.time),
+                         static_cast<unsigned long long>(e.work),
+                         static_cast<unsigned long long>(base.work));
+            mismatch = true;
+          }
+          entries.push_back(std::move(e));
+        }
+      }
+      summaries.push_back(s);
+      t.row({c.name, std::to_string(n), Table::fixed(s.ms[0][0], 2),
+             Table::fixed(s.ms[1][0], 2), Table::fixed(s.ms[0][1], 2),
+             Table::fixed(s.ms[1][1], 2),
+             Table::fixed(s.ms[0][0] / s.ms[1][0], 2),
+             Table::fixed(s.ms[0][0] / s.ms[1][1], 2)});
+    }
+  }
+  t.print();
+  // Geometric-mean speedups over the compiled example corpus at the
+  // largest measured n (the acceptance-criterion aggregate).
+  const std::size_t n_max = sizes.back();
+  double log_serial = 0, log_par = 0;
+  std::size_t corpus_count = 0;
+  for (const auto& s : summaries) {
+    if (s.n != n_max || s.bench.rfind("compiled:", 0) != 0) continue;
+    log_serial += std::log(s.ms[0][0] / s.ms[1][0]);
+    log_par += std::log(s.ms[0][0] / s.ms[1][1]);
+    ++corpus_count;
+  }
+  const double geo_serial =
+      corpus_count > 0 ? std::exp(log_serial / corpus_count) : 0;
+  const double geo_par = corpus_count > 0 ? std::exp(log_par / corpus_count) : 0;
+  std::printf(
+      "\ncompiled corpus at n=%zu: geomean serial v2/v1 = %.2fx, "
+      "parallel v2/v1-serial = %.2fx\n",
+      n_max, geo_serial, geo_par);
+  std::printf(
+      "\nreading: 'v2/v1 serial' is the allocation/copy-elimination win\n"
+      "alone; 'v2par/v1 serial' adds the parallel backend (%zu workers).\n"
+      "All four configurations produced bit-identical outputs, T, and W.\n",
+      nsc::parallel_workers());
+
+  // ---- JSON ----
+  std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"bvram-bench-machine/v1\",\n");
+  std::fprintf(f, "  \"workers\": %zu,\n  \"reps\": %d,\n",
+               nsc::parallel_workers(), opt.reps);
+  std::fprintf(f,
+               "  \"corpus_n\": %zu,\n"
+               "  \"corpus_geomean_serial_speedup\": %.2f,\n"
+               "  \"corpus_geomean_parallel_speedup\": %.2f,\n",
+               n_max, geo_serial, geo_par);
+  std::fprintf(f, "  \"entries\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(f,
+                 "    {\"bench\": \"%s\", \"n\": %zu, \"engine\": \"%s\", "
+                 "\"backend\": \"%s\", \"ms\": %.3f, \"T\": %llu, "
+                 "\"W\": %llu, \"checksum\": \"%016llx\"}%s\n",
+                 e.bench.c_str(), e.n, e.engine, e.backend, e.ms,
+                 static_cast<unsigned long long>(e.time),
+                 static_cast<unsigned long long>(e.work),
+                 static_cast<unsigned long long>(e.checksum),
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"summary\": [\n");
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const auto& s = summaries[i];
+    std::fprintf(f,
+                 "    {\"bench\": \"%s\", \"n\": %zu, "
+                 "\"v1_serial_ms\": %.3f, \"v2_serial_ms\": %.3f, "
+                 "\"v1_parallel_ms\": %.3f, \"v2_parallel_ms\": %.3f, "
+                 "\"v2_serial_speedup\": %.2f, "
+                 "\"v2_parallel_speedup\": %.2f}%s\n",
+                 s.bench.c_str(), s.n, s.ms[0][0], s.ms[1][0], s.ms[0][1],
+                 s.ms[1][1], s.ms[0][0] / s.ms[1][0],
+                 s.ms[0][0] / s.ms[1][1],
+                 i + 1 < summaries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"mismatch\": %s\n}\n",
+               mismatch ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", opt.json_path.c_str());
+
+  return mismatch ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      opt.reps = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--full") {
+      opt.full = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_machine [--json PATH] [--reps K] [--full]\n");
+      return 2;
+    }
+  }
+  std::printf(
+      "bench_machine: BVRAM execution engine v1 (reference) vs v2\n"
+      "(pooled register file, in-place kernels, parallel primitives);\n"
+      "wall-clock best of %d, outputs/T/W cross-checked.\n\n",
+      opt.reps);
+  return run_bench(opt);
+}

@@ -1,6 +1,11 @@
 #include "bvram/machine.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <sstream>
+#include <utility>
 
 #include "support/checked.hpp"
 #include "support/parallel.hpp"
@@ -117,14 +122,808 @@ std::uint64_t vec_sum(const Vec& v) {
   return s;
 }
 
-}  // namespace
-
-RunResult run(const Program& program, const std::vector<Vec>& inputs,
-              const RunConfig& cfg) {
+void check_io_shape(const Program& program, const std::vector<Vec>& inputs) {
   if (inputs.size() != program.num_inputs) {
     throw MachineError("expected " + std::to_string(program.num_inputs) +
                        " inputs, got " + std::to_string(inputs.size()));
   }
+  // The I/O convention pins V_0..V_{max(in,out)-1}; an arity beyond the
+  // register file would read (or seed) past it.
+  if (program.num_inputs > program.num_regs) {
+    throw MachineError("program declares " +
+                       std::to_string(program.num_inputs) +
+                       " inputs but only " + std::to_string(program.num_regs) +
+                       " registers");
+  }
+  if (program.num_outputs > program.num_regs) {
+    throw MachineError("program declares " +
+                       std::to_string(program.num_outputs) +
+                       " outputs but only " + std::to_string(program.num_regs) +
+                       " registers");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise arithmetic kernels
+// ---------------------------------------------------------------------------
+
+// The ArithOp dispatch hoisted out of the element loop: lang::arith_apply
+// is an out-of-line call with a per-element switch, which dominates the
+// cost of the actual operation.  Each loop below is semantically identical
+// to calling arith_apply per element, including the EvalError on division
+// by zero (same message, raised at the first offending element in index
+// order within a chunk).
+template <typename F>
+void arith_loop(std::uint64_t* out, const std::uint64_t* a,
+                const std::uint64_t* b, std::size_t lo, std::size_t hi, F f) {
+  for (std::size_t i = lo; i < hi; ++i) out[i] = f(a[i], b[i]);
+}
+
+void arith_range(ArithOp op, std::uint64_t* out, const std::uint64_t* a,
+                 const std::uint64_t* b, std::size_t lo, std::size_t hi) {
+  using U = std::uint64_t;
+  switch (op) {
+    case ArithOp::Add:
+      arith_loop(out, a, b, lo, hi, [](U x, U y) { return sat_add(x, y); });
+      return;
+    case ArithOp::Monus:
+      arith_loop(out, a, b, lo, hi, [](U x, U y) { return monus(x, y); });
+      return;
+    case ArithOp::Mul:
+      arith_loop(out, a, b, lo, hi, [](U x, U y) { return sat_mul(x, y); });
+      return;
+    case ArithOp::Div:
+      arith_loop(out, a, b, lo, hi, [](U x, U y) {
+        if (y == 0) throw EvalError("division by zero");
+        return x / y;
+      });
+      return;
+    case ArithOp::Rsh:
+      arith_loop(out, a, b, lo, hi,
+                 [](U x, U y) { return y >= 64 ? U{0} : x >> y; });
+      return;
+    case ArithOp::Log2:
+      arith_loop(out, a, b, lo, hi, [](U x, U) { return ilog2(x); });
+      return;
+  }
+  throw EvalError("unknown arithmetic op");
+}
+
+// ---------------------------------------------------------------------------
+// The execution engine (v2)
+// ---------------------------------------------------------------------------
+
+/// A raw uninitialized uint64 buffer: the engine's register representation.
+/// Unlike std::vector, growing never value-initializes (every kernel writes
+/// every slot of its output) and shrinking/regrowing within capacity never
+/// touches the allocator -- the two properties the pooled register file is
+/// built on.
+class Buf {
+ public:
+  Buf() = default;
+  Buf(Buf&& o) noexcept
+      : d_(std::exchange(o.d_, nullptr)),
+        n_(std::exchange(o.n_, 0)),
+        cap_(std::exchange(o.cap_, 0)) {}
+  Buf& operator=(Buf&& o) noexcept {
+    if (this != &o) {
+      std::free(d_);
+      d_ = std::exchange(o.d_, nullptr);
+      n_ = std::exchange(o.n_, 0);
+      cap_ = std::exchange(o.cap_, 0);
+    }
+    return *this;
+  }
+  Buf(const Buf&) = delete;
+  Buf& operator=(const Buf&) = delete;
+  ~Buf() { std::free(d_); }
+
+  std::size_t size() const { return n_; }
+  std::size_t capacity() const { return cap_; }
+  bool empty() const { return n_ == 0; }
+  std::uint64_t* data() { return d_; }
+  const std::uint64_t* data() const { return d_; }
+  std::uint64_t& operator[](std::size_t i) { return d_[i]; }
+  std::uint64_t operator[](std::size_t i) const { return d_[i]; }
+
+  void clear() { n_ = 0; }
+
+  /// Set the size to n, contents uninitialized.  Reallocates (discarding
+  /// the old contents) only when the capacity is insufficient.
+  void reset_size(std::size_t n) {
+    if (n > cap_) {
+      static constexpr std::size_t kMaxElems =
+          std::numeric_limits<std::size_t>::max() / sizeof(std::uint64_t) / 2;
+      if (n > kMaxElems) throw std::bad_alloc();
+      std::free(d_);
+      d_ = nullptr;
+      cap_ = 0;
+      d_ = static_cast<std::uint64_t*>(
+          std::malloc(n * sizeof(std::uint64_t)));
+      if (d_ == nullptr) throw std::bad_alloc();
+      cap_ = n;
+    }
+    n_ = n;
+  }
+
+  void assign(const Vec& v) {
+    reset_size(v.size());
+    if (!v.empty()) {
+      std::memcpy(d_, v.data(), v.size() * sizeof(std::uint64_t));
+    }
+  }
+
+  Vec to_vec() const { return n_ == 0 ? Vec{} : Vec(d_, d_ + n_); }
+
+  void swap(Buf& o) noexcept {
+    std::swap(d_, o.d_);
+    std::swap(n_, o.n_);
+    std::swap(cap_, o.cap_);
+  }
+
+ private:
+  std::uint64_t* d_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t cap_ = 0;
+};
+
+class Engine {
+ public:
+  Engine(const Program& program, const std::vector<Vec>& inputs,
+         const RunConfig& cfg)
+      : p_(program),
+        cfg_(cfg),
+        // A one-worker pool makes every chunked kernel collapse to a
+        // single chunk anyway; taking the serial fast paths outright
+        // skips the two-pass scans' extra traversals.  Outputs are
+        // identical either way (chunking-independence).
+        par_(cfg.parallel_backend && parallel_workers() > 1),
+        regs_(program.num_regs) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) regs_[i].assign(inputs[i]);
+    if (!p_.code.empty() && p_.last_use.size() == p_.code.size()) {
+      last_use_ = p_.last_use.data();
+    }
+  }
+
+  RunResult exec();
+
+ private:
+  Buf& reg_of(std::uint32_t r, const Instr& instr) {
+    if (r >= regs_.size()) fail(instr, "register out of range");
+    return regs_[r];
+  }
+
+  /// True iff source operand k of the instruction at `at` reads a register
+  /// whose value is dead after the instruction on every path (so its
+  /// buffer may be stolen or overwritten in place).
+  bool operand_dies(std::size_t at, unsigned k) const {
+    return last_use_ != nullptr && ((last_use_[at] >> k) & 1u) != 0;
+  }
+
+  /// Pooled allocation: reuse the first spare buffer whose capacity
+  /// suffices; failing that, sacrifice the largest spare (one realloc
+  /// instead of a fresh heap block).  The pool only ever holds buffers
+  /// displaced from the register file, so its footprint is bounded by the
+  /// program's own peak register footprint.
+  Buf acquire(std::size_t n) {
+    std::size_t pick = pool_.size();
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (pool_[i].capacity() >= n) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == pool_.size()) {
+      for (std::size_t i = 0; i < pool_.size(); ++i) {
+        if (pick == pool_.size() ||
+            pool_[i].capacity() > pool_[pick].capacity()) {
+          pick = i;
+        }
+      }
+    }
+    Buf b;
+    if (pick < pool_.size()) {
+      b = std::move(pool_[pick]);
+      pool_[pick] = std::move(pool_.back());
+      pool_.pop_back();
+    }
+    b.reset_size(n);
+    return b;
+  }
+
+  void recycle(Buf&& b) {
+    if (b.capacity() > 0) pool_.push_back(std::move(b));
+  }
+
+  /// Install `out` as dst's new contents, recycling the displaced buffer.
+  /// Validates dst *after* the kernel ran, mirroring the v1 interpreter's
+  /// error precedence (a trapping kernel beats a bad dst register).
+  void set_reg(std::uint32_t dst, Buf&& out, const Instr& instr) {
+    Buf& d = reg_of(dst, instr);
+    recycle(std::move(d));
+    d = std::move(out);
+  }
+
+  void copy_range(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t n) const {
+    if (n == 0) return;
+    if (!par_) {
+      std::memcpy(dst, src, n * sizeof(std::uint64_t));
+      return;
+    }
+    parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+      std::memcpy(dst + lo, src + lo, (hi - lo) * sizeof(std::uint64_t));
+    });
+  }
+
+  const Program& p_;
+  const RunConfig& cfg_;
+  const bool par_;
+  std::vector<Buf> regs_;
+  std::vector<Buf> pool_;
+  const std::uint8_t* last_use_ = nullptr;
+};
+
+RunResult Engine::exec() {
+  RunResult result;
+  std::size_t pc = 0;
+  std::uint64_t executed = 0;
+  const bool par = par_;
+
+  while (pc < p_.code.size()) {
+    const Instr& instr = p_.code[pc];
+    if (++executed > cfg_.max_instructions) {
+      throw FuelExhausted("BVRAM exceeded " +
+                          std::to_string(cfg_.max_instructions) +
+                          " instructions");
+    }
+    std::uint64_t work = 0;
+    std::uint64_t max_len = 0;
+    auto charge = [&](std::size_t len) {
+      work = sat_add(work, len);
+      if (len > max_len) max_len = len;
+    };
+    std::size_t next = pc + 1;
+
+    switch (instr.op) {
+      case Op::Move: {
+        Buf& a = reg_of(instr.a, instr);
+        const std::size_t n = a.size();
+        charge(n);
+        charge(n);  // input + output
+        if (instr.dst == instr.a) break;
+        if (operand_dies(pc, 0)) {
+          // The source is dead: dst takes its buffer, and the displaced
+          // dst buffer parks in the (dead) source register until it is
+          // next overwritten.  O(1), charged 2n all the same.
+          reg_of(instr.dst, instr).swap(a);
+        } else {
+          Buf out = acquire(n);
+          copy_range(out.data(), a.data(), n);
+          set_reg(instr.dst, std::move(out), instr);
+        }
+        break;
+      }
+      case Op::Arith: {
+        Buf& a = reg_of(instr.a, instr);
+        Buf& b = reg_of(instr.b, instr);
+        if (a.size() != b.size()) fail(instr, "length mismatch");
+        const std::size_t n = a.size();
+        const ArithOp op = instr.aop;
+        const std::uint64_t* pa = a.data();
+        const std::uint64_t* pb = b.data();
+        auto compute_into = [&](std::uint64_t* out) {
+          if (par) {
+            parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+              arith_range(op, out, pa, pb, lo, hi);
+            });
+          } else {
+            arith_range(op, out, pa, pb, 0, n);
+          }
+        };
+        charge(n);
+        charge(n);
+        charge(n);  // a, b, out: all length n
+        if (instr.dst == instr.a || instr.dst == instr.b) {
+          // dst aliases a source: index-aligned in-place update.
+          compute_into(reg_of(instr.dst, instr).data());
+        } else if (operand_dies(pc, 0)) {
+          compute_into(a.data());
+          set_reg(instr.dst, std::move(a), instr);
+        } else if (operand_dies(pc, 1)) {
+          compute_into(b.data());
+          set_reg(instr.dst, std::move(b), instr);
+        } else {
+          Buf out = acquire(n);
+          compute_into(out.data());
+          set_reg(instr.dst, std::move(out), instr);
+        }
+        break;
+      }
+      case Op::LoadEmpty: {
+        reg_of(instr.dst, instr).clear();  // keeps the buffer for reuse
+        work = 1;
+        break;
+      }
+      case Op::LoadConst: {
+        Buf& d = reg_of(instr.dst, instr);
+        d.reset_size(1);
+        d[0] = instr.imm;
+        work = 1;
+        max_len = 1;
+        break;
+      }
+      case Op::Append: {
+        Buf& a = reg_of(instr.a, instr);
+        Buf& b = reg_of(instr.b, instr);
+        const std::size_t na = a.size();
+        const std::size_t nb = b.size();
+        Buf out = acquire(na + nb);
+        copy_range(out.data(), a.data(), na);
+        copy_range(out.data() + na, b.data(), nb);
+        charge(na);
+        charge(nb);
+        charge(na + nb);
+        set_reg(instr.dst, std::move(out), instr);
+        break;
+      }
+      case Op::Length: {
+        Buf& a = reg_of(instr.a, instr);
+        const std::uint64_t n = a.size();
+        charge(a.size());
+        work = sat_add(work, 1);
+        Buf& d = reg_of(instr.dst, instr);
+        d.reset_size(1);
+        d[0] = n;
+        break;
+      }
+      case Op::Enumerate: {
+        Buf& a = reg_of(instr.a, instr);
+        const std::size_t n = a.size();
+        auto fill = [&](std::uint64_t* out) {
+          if (par) {
+            parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+              for (std::size_t i = lo; i < hi; ++i) out[i] = i;
+            });
+          } else {
+            for (std::size_t i = 0; i < n; ++i) out[i] = i;
+          }
+        };
+        charge(n);
+        charge(n);  // input + output
+        if (instr.dst == instr.a) {
+          fill(a.data());
+        } else if (operand_dies(pc, 0)) {
+          fill(a.data());
+          set_reg(instr.dst, std::move(a), instr);
+        } else {
+          Buf out = acquire(n);
+          fill(out.data());
+          set_reg(instr.dst, std::move(out), instr);
+        }
+        break;
+      }
+      case Op::BmRoute: {
+        Buf& bound = reg_of(instr.a, instr);
+        Buf& counts = reg_of(instr.b, instr);
+        Buf& data = reg_of(instr.c, instr);
+        if (counts.size() != data.size()) {
+          fail(instr, "bm-route: counts/data length mismatch");
+        }
+        const std::size_t nt = counts.size();
+        const std::uint64_t* cnt = counts.data();
+        const std::uint64_t* dat = data.data();
+        if (!par) {
+          // Fused serial kernel: the certificate pins |out| to |bound|,
+          // so allocate that up front and validate *while* scattering --
+          // counts are read once instead of twice (sum pass + scatter
+          // pass).  A trailing slack slot lets the count<=1 case (pack
+          // bits, the catalog's dominant shape) store unconditionally;
+          // the guard branches are never taken unless the certificate is
+          // about to fail.
+          const std::uint64_t bsize = bound.size();
+          Buf out = acquire(static_cast<std::size_t>(bsize) + 2);
+          out.reset_size(bsize);
+          std::uint64_t* po = out.data();
+          std::uint64_t at = 0;
+          std::size_t t = 0;
+          for (; t < nt; ++t) {
+            if (at > bsize) break;  // sum already exceeds the bound
+            const std::uint64_t c = cnt[t];
+            if (c <= 1) {
+              po[at] = dat[t];  // slack slot absorbs the at == bsize store
+              at += c;
+            } else if (c == 2 && at < bsize) {
+              // Pairwise duplication (the seg-sum ladder): two
+              // unconditional stores, the second into slack if need be.
+              const std::uint64_t x = dat[t];
+              po[at] = x;
+              po[at + 1] = x;
+              at += 2;
+            } else if (c <= bsize - at) {
+              const std::uint64_t x = dat[t];
+              for (std::uint64_t r = 0; r < c; ++r) po[at++] = x;
+            } else {
+              break;  // this count alone overruns the bound
+            }
+          }
+          if (t < nt || at != bsize) {
+            fail(instr, "bm-route: bound length != sum of counts");
+          }
+          charge(bsize);
+          charge(nt);
+          charge(nt);
+          charge(bsize);
+          set_reg(instr.dst, std::move(out), instr);
+          break;
+        }
+        // Parallel: one chunked pass over counts yields the certificate
+        // sum *and* the per-chunk scatter offsets (the fused vec_sum
+        // validation).
+        const ChunkPlan plan = ChunkPlan::make(nt);
+        std::vector<std::uint64_t> offs;
+        const std::uint64_t total = parallel_scan(
+            plan,
+            [&](std::size_t lo, std::size_t hi) {
+              std::uint64_t s = 0;
+              for (std::size_t i = lo; i < hi; ++i) s = sat_add(s, cnt[i]);
+              return s;
+            },
+            offs);
+        if (total != bound.size()) {
+          fail(instr, "bm-route: bound length != sum of counts");
+        }
+        Buf out = acquire(total);  // exact: total == |bound|
+        std::uint64_t* po = out.data();
+        if (total <= nt) {
+          // Contraction-heavy: walk counts in order, chunked.
+          for_each_chunk(plan, [&](std::size_t c, std::size_t lo,
+                                   std::size_t hi) {
+            std::uint64_t at = offs[c];
+            for (std::size_t t = lo; t < hi; ++t) {
+              const std::uint64_t x = dat[t];
+              for (std::uint64_t r = 0; r < cnt[t]; ++r) po[at++] = x;
+            }
+          });
+        } else {
+          // Skew-robust parallel scatter (the Prop 2.1 balanced routing):
+          // chunking over *counts* serializes skewed routes -- the
+          // compiler's broadcast (a single count of n) being the extreme
+          // case -- so materialize the per-element offsets and partition
+          // the *output* space instead; each output chunk binary-searches
+          // its starting element.
+          Buf off = acquire(nt);
+          std::uint64_t* poff = off.data();
+          for_each_chunk(plan, [&](std::size_t c, std::size_t lo,
+                                   std::size_t hi) {
+            std::uint64_t at = offs[c];
+            for (std::size_t t = lo; t < hi; ++t) {
+              poff[t] = at;
+              at = sat_add(at, cnt[t]);
+            }
+          });
+          parallel_for(static_cast<std::size_t>(total),
+                       [&](std::size_t lo, std::size_t hi) {
+            std::size_t t = static_cast<std::size_t>(
+                std::upper_bound(poff, poff + nt, lo) - poff) - 1;
+            std::size_t pos = lo;
+            while (pos < hi) {
+              const std::size_t run_end = static_cast<std::size_t>(
+                  std::min<std::uint64_t>(hi, poff[t] + cnt[t]));
+              const std::uint64_t x = dat[t];
+              for (; pos < run_end; ++pos) po[pos] = x;
+              ++t;
+            }
+          });
+          recycle(std::move(off));
+        }
+        charge(bound.size());
+        charge(nt);
+        charge(nt);
+        charge(total);
+        set_reg(instr.dst, std::move(out), instr);
+        break;
+      }
+      case Op::SbmRoute: {
+        Buf& bound = reg_of(instr.a, instr);
+        Buf& counts = reg_of(instr.b, instr);
+        Buf& data = reg_of(instr.c, instr);
+        Buf& segs = reg_of(static_cast<std::uint32_t>(instr.imm), instr);
+        if (counts.size() != segs.size()) {
+          fail(instr, "sbm-route: counts/segs length mismatch");
+        }
+        const std::size_t nt = segs.size();
+        const std::uint64_t* cnt = counts.data();
+        const std::uint64_t* seg = segs.data();
+        const std::uint64_t* dat = data.data();
+        // One pass computes all three sums (both route certificates plus
+        // the output size); in the parallel path it runs chunked and the
+        // serial chunk-combine derives the scatter offsets.
+        const ChunkPlan plan = par ? ChunkPlan::make(nt)
+                                   : ChunkPlan::serial(nt);
+        std::uint64_t csum = 0, ssum = 0, total = 0;
+        std::vector<std::uint64_t> seg_off(plan.chunks, 0);
+        std::vector<std::uint64_t> out_off(plan.chunks, 0);
+        if (plan.chunks <= 1) {
+          for (std::size_t t = 0; t < nt; ++t) {
+            csum = sat_add(csum, cnt[t]);
+            ssum = sat_add(ssum, seg[t]);
+            total = sat_add(total, sat_mul(cnt[t], seg[t]));
+          }
+        } else {
+          std::vector<std::uint64_t> csums(plan.chunks, 0);
+          std::vector<std::uint64_t> ssums(plan.chunks, 0);
+          std::vector<std::uint64_t> psums(plan.chunks, 0);
+          for_each_chunk(plan, [&](std::size_t c, std::size_t lo,
+                                   std::size_t hi) {
+            std::uint64_t cs = 0, ss = 0, ps = 0;
+            for (std::size_t t = lo; t < hi; ++t) {
+              cs = sat_add(cs, cnt[t]);
+              ss = sat_add(ss, seg[t]);
+              ps = sat_add(ps, sat_mul(cnt[t], seg[t]));
+            }
+            csums[c] = cs;
+            ssums[c] = ss;
+            psums[c] = ps;
+          });
+          for (std::size_t c = 0; c < plan.chunks; ++c) {
+            seg_off[c] = ssum;
+            out_off[c] = total;
+            csum = sat_add(csum, csums[c]);
+            ssum = sat_add(ssum, ssums[c]);
+            total = sat_add(total, psums[c]);
+          }
+        }
+        if (csum != bound.size()) {
+          fail(instr, "sbm-route: bound length != sum of counts");
+        }
+        if (ssum != data.size()) {
+          fail(instr, "sbm-route: segment sizes don't cover the data");
+        }
+        Buf out = acquire(total);
+        std::uint64_t* po = out.data();
+        if (plan.chunks <= 1 && (!par || total <= nt)) {
+          std::uint64_t at = 0;
+          std::uint64_t dat_at = 0;
+          for (std::size_t t = 0; t < nt; ++t) {
+            const std::uint64_t len = seg[t];
+            for (std::uint64_t r = 0; r < cnt[t]; ++r) {
+              if (len != 0) {
+                std::memcpy(po + at, dat + dat_at,
+                            len * sizeof(std::uint64_t));
+              }
+              at += len;
+            }
+            dat_at += len;
+          }
+        } else if (!par || total <= nt) {
+          for_each_chunk(plan, [&](std::size_t c, std::size_t lo,
+                                   std::size_t hi) {
+            std::uint64_t at = out_off[c];
+            std::uint64_t dat_at = seg_off[c];
+            for (std::size_t t = lo; t < hi; ++t) {
+              const std::uint64_t len = seg[t];
+              for (std::uint64_t r = 0; r < cnt[t]; ++r) {
+                if (len != 0) {
+                  std::memcpy(po + at, dat + dat_at,
+                              len * sizeof(std::uint64_t));
+                }
+                at += len;
+              }
+              dat_at += len;
+            }
+          });
+        } else {
+          // Skew-robust parallel scatter over the *output* space (see
+          // BmRoute): a single segment replicated n times -- the flattened
+          // cartesian product -- would otherwise run on one chunk.
+          Buf off = acquire(nt);       // output offset per segment t
+          Buf doff = acquire(nt);      // data offset per segment t
+          std::uint64_t* poff = off.data();
+          std::uint64_t* pdoff = doff.data();
+          for_each_chunk(plan, [&](std::size_t c, std::size_t lo,
+                                   std::size_t hi) {
+            std::uint64_t at = out_off[c];
+            std::uint64_t dat_at = seg_off[c];
+            for (std::size_t t = lo; t < hi; ++t) {
+              poff[t] = at;
+              pdoff[t] = dat_at;
+              at = sat_add(at, sat_mul(cnt[t], seg[t]));
+              dat_at = sat_add(dat_at, seg[t]);
+            }
+          });
+          parallel_for(static_cast<std::size_t>(total),
+                       [&](std::size_t lo, std::size_t hi) {
+            std::size_t t = static_cast<std::size_t>(
+                std::upper_bound(poff, poff + nt, lo) - poff) - 1;
+            std::size_t pos = lo;
+            while (pos < hi) {
+              const std::uint64_t len = seg[t];
+              const std::uint64_t block_end =
+                  poff[t] + sat_mul(cnt[t], len);
+              while (pos < hi && pos < block_end) {
+                // Position inside segment t's replicated block: copy to
+                // the end of the current repetition (or the chunk).
+                const std::uint64_t rel = pos - poff[t];
+                const std::uint64_t within = rel % len;
+                const std::size_t stop = static_cast<std::size_t>(
+                    std::min<std::uint64_t>({hi, block_end,
+                                             pos + (len - within)}));
+                std::memcpy(po + pos, dat + pdoff[t] + within,
+                            (stop - pos) * sizeof(std::uint64_t));
+                pos = stop;
+              }
+              ++t;
+            }
+          });
+          recycle(std::move(off));
+          recycle(std::move(doff));
+        }
+        charge(bound.size());
+        charge(counts.size());
+        charge(data.size());
+        charge(segs.size());
+        charge(total);
+        set_reg(instr.dst, std::move(out), instr);
+        break;
+      }
+      case Op::Select: {
+        Buf& a = reg_of(instr.a, instr);
+        const std::size_t n = a.size();
+        const std::uint64_t* pa = a.data();
+        const ChunkPlan plan =
+            par ? ChunkPlan::make(n) : ChunkPlan::serial(n);
+        Buf out;
+        std::uint64_t total = 0;
+        if (plan.chunks <= 1) {
+          // One-pass branchless pack into an upper-bound buffer (plus one
+          // slack slot for the unconditional store); shrinking afterwards
+          // is free (capacity is kept).
+          out = acquire(n + 1);
+          std::uint64_t* po = out.data();
+          for (std::size_t i = 0; i < n; ++i) {
+            po[total] = pa[i];
+            total += pa[i] != 0 ? 1 : 0;
+          }
+          out.reset_size(total);
+        } else {
+          // Count / scan / scatter: the count pass doubles as the offset
+          // computation, the scatter preserves order within each chunk.
+          std::vector<std::uint64_t> offs;
+          total = parallel_scan(
+              plan,
+              [&](std::size_t lo, std::size_t hi) {
+                std::uint64_t k = 0;
+                for (std::size_t i = lo; i < hi; ++i) {
+                  k += pa[i] != 0 ? 1 : 0;
+                }
+                return k;
+              },
+              offs);
+          out = acquire(total);
+          std::uint64_t* po = out.data();
+          for_each_chunk(plan, [&](std::size_t c, std::size_t lo,
+                                   std::size_t hi) {
+            std::uint64_t at = offs[c];
+            for (std::size_t i = lo; i < hi; ++i) {
+              if (pa[i] != 0) po[at++] = pa[i];
+            }
+          });
+        }
+        charge(n);
+        charge(total);
+        set_reg(instr.dst, std::move(out), instr);
+        break;
+      }
+      case Op::ScanPlus: {
+        Buf& a = reg_of(instr.a, instr);
+        const std::size_t n = a.size();
+        const std::uint64_t* pa = a.data();
+        auto scan_into = [&](std::uint64_t* out) {
+          const ChunkPlan plan =
+              par ? ChunkPlan::make(n) : ChunkPlan::serial(n);
+          if (plan.chunks <= 1) {
+            std::uint64_t acc = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+              const std::uint64_t x = pa[i];  // read before an aliased write
+              out[i] = acc;
+              acc = sat_add(acc, x);
+            }
+            return;
+          }
+          // Two-pass block scan; the sum pass completes (a barrier) before
+          // the emit pass writes, so in-place aliasing is safe.
+          std::vector<std::uint64_t> offs;
+          parallel_scan(
+              plan,
+              [&](std::size_t lo, std::size_t hi) {
+                std::uint64_t s = 0;
+                for (std::size_t i = lo; i < hi; ++i) s = sat_add(s, pa[i]);
+                return s;
+              },
+              offs);
+          for_each_chunk(plan, [&](std::size_t c, std::size_t lo,
+                                   std::size_t hi) {
+            std::uint64_t acc = offs[c];
+            for (std::size_t i = lo; i < hi; ++i) {
+              const std::uint64_t x = pa[i];
+              out[i] = acc;
+              acc = sat_add(acc, x);
+            }
+          });
+        };
+        charge(n);
+        charge(n);  // input + output
+        if (instr.dst == instr.a) {
+          scan_into(a.data());
+        } else if (operand_dies(pc, 0)) {
+          scan_into(a.data());
+          set_reg(instr.dst, std::move(a), instr);
+        } else {
+          Buf out = acquire(n);
+          scan_into(out.data());
+          set_reg(instr.dst, std::move(out), instr);
+        }
+        break;
+      }
+      case Op::Goto: {
+        if (instr.target > p_.code.size()) fail(instr, "bad jump");
+        next = instr.target;
+        work = 1;
+        break;
+      }
+      case Op::GotoIfEmpty: {
+        Buf& a = reg_of(instr.a, instr);
+        charge(a.size());
+        work = sat_add(work, 1);
+        // Validated on both edges: a bad target is a program bug even when
+        // the branch is not taken this time around.
+        if (instr.target > p_.code.size()) fail(instr, "bad jump");
+        if (a.empty()) next = instr.target;
+        break;
+      }
+      case Op::Halt: {
+        work = 1;
+        next = p_.code.size();
+        break;
+      }
+    }
+
+    result.cost.time = sat_add(result.cost.time, 1);
+    result.cost.work = sat_add(result.cost.work, work);
+    if (cfg_.record_trace) {
+      result.trace.push_back({instr.op, work, max_len});
+    }
+    pc = next;
+  }
+
+  result.outputs.reserve(p_.num_outputs);
+  for (std::size_t i = 0; i < p_.num_outputs; ++i) {
+    result.outputs.push_back(regs_[i].to_vec());
+  }
+  return result;
+}
+
+}  // namespace
+
+RunResult run(const Program& program, const std::vector<Vec>& inputs,
+              const RunConfig& cfg) {
+  check_io_shape(program, inputs);
+  Engine engine(program, inputs, cfg);
+  return engine.exec();
+}
+
+// ---------------------------------------------------------------------------
+// The v1 reference interpreter
+// ---------------------------------------------------------------------------
+// Kept verbatim (fresh output vector per instruction, deep-copying Move,
+// serial kernels for everything but Arith/Enumerate) as the differential
+// baseline: tests assert run() produces bit-identical outputs, traps, T,
+// W, and traces; bench_machine measures the v1 -> v2 speedup.
+
+RunResult run_reference(const Program& program, const std::vector<Vec>& inputs,
+                        const RunConfig& cfg) {
+  check_io_shape(program, inputs);
   std::vector<Vec> regs(program.num_regs);
   for (std::size_t i = 0; i < inputs.size(); ++i) regs[i] = inputs[i];
 
@@ -317,10 +1116,8 @@ RunResult run(const Program& program, const std::vector<Vec>& inputs,
         const Vec& a = reg_of(instr.a, instr);
         charge(a);
         work = sat_add(work, 1);
-        if (a.empty()) {
-          if (instr.target > program.code.size()) fail(instr, "bad jump");
-          next = instr.target;
-        }
+        if (instr.target > program.code.size()) fail(instr, "bad jump");
+        if (a.empty()) next = instr.target;
         break;
       }
       case Op::Halt: {
@@ -447,6 +1244,17 @@ Program Assembler::finish(std::size_t num_inputs, std::size_t num_outputs) {
                          " `" + code_[at].show() + "`");
     }
     code_[at].target = static_cast<std::size_t>(addr);
+  }
+  // Every jump target -- including the not-taken edge of GotoIfEmpty --
+  // must land inside [0, code.size()] (code.size() is the exit).  Label
+  // resolution guarantees this for targets produced above; the check
+  // still guards instruction sequences spliced in by future emitters.
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    if (code_[i].is_jump() && code_[i].target > code_.size()) {
+      throw MachineError("jump target " + std::to_string(code_[i].target) +
+                         " out of range in `" + code_[i].show() + "` at " +
+                         std::to_string(i));
+    }
   }
   Program p;
   p.num_regs = next_reg_;

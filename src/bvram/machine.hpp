@@ -171,6 +171,17 @@ struct Program {
   std::size_t num_outputs = 0;  // outputs read from V_0 .. V_{num_outputs-1}
   std::vector<Instr> code;
 
+  /// Optional per-instruction source-operand death masks, produced by
+  /// opt::annotate_last_use (sa::compile_nsa / compile_nsc attach them as
+  /// their final step): bit k of last_use[i] is set iff the register read
+  /// by source operand k of code[i] is dead on every path after i.  The
+  /// execution engine uses the masks to recycle operand buffers (see the
+  /// cost-model note below); empty means "unknown", which is always safe.
+  /// The masks describe this exact instruction sequence -- any mutation of
+  /// `code` invalidates them (the optimizer's PassManager clears stale
+  /// annotations; re-run opt::annotate_last_use after hand edits).
+  std::vector<std::uint8_t> last_use;
+
   std::string disassemble() const;
 };
 
@@ -191,16 +202,61 @@ struct RunResult {
 struct RunConfig {
   std::uint64_t max_instructions = std::uint64_t{1} << 32;
   bool record_trace = false;
-  /// Execute elementwise vector operations with the thread pool
-  /// (experiment E10's "real hardware" backend).  Results are identical.
+  /// Execute the vector kernels with the thread pool (experiment E10's
+  /// "real hardware" backend).  Every one of the 11 vector opcodes runs
+  /// parallel under this flag -- elementwise ops by chunking, scan-plus by
+  /// two-pass block scan, select by count/scan/scatter, the routes by a
+  /// prefix sum over counts plus parallel scatter (the Prop 2.1 butterfly
+  /// decomposition realized on the pool).  Outputs, traps, T, and W are
+  /// bit-identical to the serial backend: the per-chunk partial sums
+  /// combine with saturating addition, which is associative, so no result
+  /// depends on the chunk decomposition.
   bool parallel_backend = false;
 };
+
+// Why the execution engine is invisible to the T/W cost model
+// -----------------------------------------------------------
+// run() executes programs with a pooled register file: freed buffers are
+// recycled instead of returned to the allocator, Move executes as a buffer
+// swap when Program::last_use proves the source dead, and Arith /
+// Enumerate / ScanPlus write their result in place over a dead source
+// operand.  None of this can be observed through the paper's semantics:
+//
+//   * T charges 1 per executed instruction and W charges the *lengths* of
+//     the registers an instruction touches (section 2).  Both are functions
+//     of the register *contents*, never of where those contents live in
+//     host memory.  Buffer reuse changes addresses only, so the engine
+//     charges exactly the costs the naive interpreter charges -- a Move
+//     executed as an O(1) pointer swap still charges 2*|V_j|.
+//   * Stealing a buffer mutates only registers that liveness proved dead on
+//     every path (opt/liveness.hpp), so no later read -- including the
+//     output extraction at Halt, where V_0..V_{num_outputs-1} are live by
+//     the boundary condition -- can see the difference.
+//   * Trap order is preserved: every certificate (operand bounds, length
+//     equalities, route sums) is checked before the first byte of any
+//     register is overwritten, and in-place elementwise kernels are
+//     index-aligned, so a mid-kernel EvalError aborts the run exactly as
+//     it does with a fresh output buffer.
+//
+// The machine therefore runs at hardware speed (no per-instruction
+// allocation, no deep copies) while reporting costs bit-identical to
+// run_reference(), the original allocate-per-instruction interpreter kept
+// below for differential testing and benchmarking.
 
 /// Execute a program.  Throws MachineError on ill-formed programs
 /// (register/length/jump violations) and FuelExhausted past the budget.
 RunResult run(const Program& program,
               const std::vector<std::vector<std::uint64_t>>& inputs,
               const RunConfig& cfg = {});
+
+/// The v1 interpreter: a fresh heap-allocated output vector per
+/// instruction, deep-copying Move, serial route/scan/select kernels.
+/// Semantically identical to run() (outputs, traps, T, W, trace); kept as
+/// the differential-testing baseline and the "v1" column of
+/// bench/bench_machine.cpp.
+RunResult run_reference(const Program& program,
+                        const std::vector<std::vector<std::uint64_t>>& inputs,
+                        const RunConfig& cfg = {});
 
 /// Assembler with labels, for writing programs by hand (tests, examples)
 /// and for the SA -> BVRAM code generator.
@@ -236,7 +292,9 @@ class Assembler {
 
   /// Finish: resolves labels; `num_inputs`/`num_outputs` describe the I/O
   /// convention of the finished program.  Throws MachineError if any jump
-  /// references a label that was never bound.
+  /// references a label that was never bound, or if any resolved target
+  /// (including the not-taken edge of a GotoIfEmpty) falls outside
+  /// [0, code.size()].
   Program finish(std::size_t num_inputs, std::size_t num_outputs);
 
  private:

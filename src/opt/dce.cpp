@@ -1,18 +1,20 @@
 // Dead-code elimination: unreachable blocks, plus liveness-based removal
 // of instructions whose destination register is never read again.
 //
-// Liveness is a backward may-dataflow on the fixed register file; the
-// boundary condition is that V_0 .. V_{num_outputs-1} are live wherever
-// control can leave the program (Halt, a jump to code.size(), or
-// falling off the end).  An instruction is removed only if it defines a
-// dead register AND cannot trap: Arith and the routing instructions
-// double as the compiler's runtime certificates (zip length checks, the
-// Omega trap is literally an Arith of [1] with []), so they survive
-// even when their result is dead.
+// Liveness (opt/liveness.hpp, shared with the engine's last-use export)
+// is a backward may-dataflow on the fixed register file; the boundary
+// condition is that V_0 .. V_{num_outputs-1} are live wherever control
+// can leave the program (Halt, a jump to code.size(), or falling off
+// the end).  An instruction is removed only if it defines a dead
+// register AND cannot trap: Arith and the routing instructions double
+// as the compiler's runtime certificates (zip length checks, the Omega
+// trap is literally an Arith of [1] with []), so they survive even when
+// their result is dead.
 #include <cstdint>
 #include <vector>
 
 #include "opt/cfg.hpp"
+#include "opt/liveness.hpp"
 #include "opt/opt.hpp"
 
 namespace nsc::opt {
@@ -30,58 +32,7 @@ class Dce final : public Pass {
     const Cfg cfg = Cfg::build(p);
     const std::size_t nb = cfg.blocks.size();
     const std::vector<bool> reachable = cfg.reachable();
-
-    // live_in[b][r]: r may be read before being written on some path
-    // from the top of block b.
-    std::vector<std::vector<bool>> live_in(
-        nb, std::vector<bool>(p.num_regs, false));
-    std::vector<bool> outputs_live(p.num_regs, false);
-    for (std::size_t r = 0; r < p.num_outputs && r < p.num_regs; ++r) {
-      outputs_live[r] = true;
-    }
-
-    auto live_out_of = [&](std::size_t b) {
-      std::vector<bool> live(p.num_regs, false);
-      if (cfg.blocks[b].falls_to_exit) live = outputs_live;
-      for (std::size_t succ : cfg.blocks[b].succs) {
-        for (std::size_t r = 0; r < p.num_regs; ++r) {
-          if (live_in[succ][r]) live[r] = true;
-        }
-      }
-      return live;
-    };
-    auto transfer_block = [&](std::size_t b, std::vector<bool> live) {
-      for (std::size_t i = cfg.blocks[b].end; i-- > cfg.blocks[b].begin;) {
-        const Instr& in = p.code[i];
-        if (in.has_dst()) live[in.dst] = false;
-        for (std::uint32_t r : in.srcs()) live[r] = true;
-      }
-      return live;
-    };
-
-    std::vector<bool> in_worklist(nb, false);
-    std::vector<std::size_t> worklist;
-    for (std::size_t b = 0; b < nb; ++b) {
-      if (reachable[b]) {
-        worklist.push_back(b);
-        in_worklist[b] = true;
-      }
-    }
-    while (!worklist.empty()) {
-      const std::size_t b = worklist.back();
-      worklist.pop_back();
-      in_worklist[b] = false;
-      auto li = transfer_block(b, live_out_of(b));
-      if (li != live_in[b]) {
-        live_in[b] = std::move(li);
-        for (std::size_t pred : cfg.blocks[b].preds) {
-          if (reachable[pred] && !in_worklist[pred]) {
-            in_worklist[pred] = true;
-            worklist.push_back(pred);
-          }
-        }
-      }
-    }
+    const Liveness lv = Liveness::compute(p, cfg);
 
     // Removal walk: backward per block with the precise local live set
     // (uses of instructions removed in this very walk generate no
@@ -96,7 +47,7 @@ class Dce final : public Pass {
         }
         continue;
       }
-      std::vector<bool> live = live_out_of(b);
+      std::vector<bool> live = lv.live_out_of(p, cfg, b);
       for (std::size_t i = cfg.blocks[b].end; i-- > cfg.blocks[b].begin;) {
         const Instr& in = p.code[i];
         if (in.has_dst() && !live[in.dst] && !in.can_trap()) {

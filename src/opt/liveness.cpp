@@ -1,0 +1,89 @@
+#include "opt/liveness.hpp"
+
+namespace nsc::opt {
+
+using bvram::Instr;
+using bvram::Program;
+
+Liveness Liveness::compute(const Program& p, const Cfg& cfg) {
+  const std::size_t nb = cfg.blocks.size();
+  Liveness lv;
+  lv.live_in.assign(nb, std::vector<bool>(p.num_regs, false));
+
+  auto transfer_block = [&](std::size_t b, std::vector<bool> live) {
+    for (std::size_t i = cfg.blocks[b].end; i-- > cfg.blocks[b].begin;) {
+      const Instr& in = p.code[i];
+      if (in.has_dst()) live[in.dst] = false;
+      for (std::uint32_t r : in.srcs()) live[r] = true;
+    }
+    return live;
+  };
+
+  std::vector<bool> in_worklist(nb, true);
+  std::vector<std::size_t> worklist;
+  for (std::size_t b = 0; b < nb; ++b) worklist.push_back(b);
+  while (!worklist.empty()) {
+    const std::size_t b = worklist.back();
+    worklist.pop_back();
+    in_worklist[b] = false;
+    auto li = transfer_block(b, lv.live_out_of(p, cfg, b));
+    if (li != lv.live_in[b]) {
+      lv.live_in[b] = std::move(li);
+      for (std::size_t pred : cfg.blocks[b].preds) {
+        if (!in_worklist[pred]) {
+          in_worklist[pred] = true;
+          worklist.push_back(pred);
+        }
+      }
+    }
+  }
+  return lv;
+}
+
+std::vector<bool> Liveness::live_out_of(const Program& p, const Cfg& cfg,
+                                        std::size_t b) const {
+  std::vector<bool> live(p.num_regs, false);
+  if (cfg.blocks[b].falls_to_exit) {
+    for (std::size_t r = 0; r < p.num_outputs && r < p.num_regs; ++r) {
+      live[r] = true;
+    }
+  }
+  for (std::size_t succ : cfg.blocks[b].succs) {
+    for (std::size_t r = 0; r < p.num_regs; ++r) {
+      if (live_in[succ][r]) live[r] = true;
+    }
+  }
+  return live;
+}
+
+std::vector<std::uint8_t> compute_last_use(const Program& p) {
+  std::vector<std::uint8_t> mask(p.code.size(), 0);
+  if (p.code.empty() || p.num_regs == 0) return mask;
+  const Cfg cfg = Cfg::build(p);
+  const Liveness lv = Liveness::compute(p, cfg);
+  const std::vector<bool> reachable = cfg.reachable();
+
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (!reachable[b]) continue;  // never executed; leave all-clear
+    std::vector<bool> live = lv.live_out_of(p, cfg, b);
+    for (std::size_t i = cfg.blocks[b].end; i-- > cfg.blocks[b].begin;) {
+      const Instr& in = p.code[i];
+      // `live` is the live-after set of instruction i.  A source register
+      // that is dead here (note: if it doubles as dst, liveness of the
+      // *new* value keeps the bit clear) may be recycled by the engine.
+      const auto srcs = in.srcs();
+      std::uint8_t m = 0;
+      for (std::size_t k = 0; k < srcs.n; ++k) {
+        if (!live[srcs.regs[k]]) m |= static_cast<std::uint8_t>(1u << k);
+      }
+      mask[i] = m;
+      if (in.has_dst()) live[in.dst] = false;
+      for (std::uint32_t r : in.srcs()) live[r] = true;
+    }
+  }
+  return mask;
+}
+
+void annotate_last_use(Program& p) { p.last_use = compute_last_use(p); }
+
+}  // namespace nsc::opt

@@ -1,0 +1,46 @@
+// Backward liveness over the fixed BVRAM register file, shared by
+// dead-code elimination and the execution engine's last-use export.
+//
+// The boundary condition is the machine's I/O convention: registers
+// V_0 .. V_{num_outputs-1} are live wherever control can leave the
+// program (Halt, a jump to code.size(), or falling off the end).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bvram/machine.hpp"
+#include "opt/cfg.hpp"
+
+namespace nsc::opt {
+
+struct Liveness {
+  /// live_in[b][r]: r may be read before being written on some path from
+  /// the top of block b.
+  std::vector<std::vector<bool>> live_in;
+
+  static Liveness compute(const bvram::Program& p, const Cfg& cfg);
+
+  /// Registers live at the bottom of block b (the meet over successors
+  /// plus the output registers when control can exit here).
+  std::vector<bool> live_out_of(const bvram::Program& p, const Cfg& cfg,
+                                std::size_t b) const;
+};
+
+/// Per-instruction source-operand death masks for the execution engine
+/// (bvram::Program::last_use): bit k of mask[i] is set iff the register
+/// read by source operand k of instruction i is dead immediately after i
+/// on every path -- its value can never be observed again -- so the
+/// engine may recycle that operand's buffer (Move-as-swap, in-place
+/// Arith/Enumerate/ScanPlus) without the rewrite being visible in
+/// outputs, traps, or the T/W cost accounting.  Instructions in
+/// unreachable code get an all-clear (conservative) mask.
+std::vector<std::uint8_t> compute_last_use(const bvram::Program& p);
+
+/// Compute and attach the masks: p.last_use = compute_last_use(p).
+/// Must be (re-)run after any mutation of p.code -- the optimizer's
+/// PassManager clears stale annotations, and sa::compile_nsa /
+/// compile_nsc annotate as their final step.
+void annotate_last_use(bvram::Program& p);
+
+}  // namespace nsc::opt

@@ -33,6 +33,12 @@
 //   reg-compact dead-register elimination: renumber the register file so
 //               unused registers disappear (the I/O convention pins
 //               V_0 .. V_{max(in,out)-1}).
+//
+// The liveness analysis behind dce is shared (opt/liveness.hpp) and also
+// exports per-instruction last-use masks (opt::annotate_last_use) that the
+// execution engine in bvram/machine.cpp consumes to recycle dead operand
+// buffers; sa::compile_nsa / compile_nsc annotate compiled programs as
+// their final step.
 #pragma once
 
 #include <cstdint>

@@ -17,6 +17,11 @@ PipelineStats PassManager::run(bvram::Program& p, std::size_t max_rounds) {
     stats.passes.push_back(PassStats{pass->name(), 0, 0});
   }
 
+  // Passes rewrite code, so any existing last-use annotation is about to
+  // go stale; drop it here rather than asking every pass to.  Callers
+  // re-annotate after the pipeline (sa::compile_nsa does).
+  p.last_use.clear();
+
   verify(p);
   bool changed = true;
   while (changed && stats.rounds < max_rounds) {

@@ -23,6 +23,18 @@
 //     DCE deletes the Move).  Re-executing a trapping instruction on
 //     identical operand values cannot trap if the first execution did
 //     not, so CSE of Arith/routes is trap-safe.
+//   * route algebra (ROADMAP): a `bm-route` whose data register is a
+//     known singleton [1] is the catalog's broadcast of 1 -- its result
+//     is an all-ones vector the length of the bound register.  These
+//     "ones" facts (tracked per value number, alongside the VN table)
+//     discharge the route certificates statically: select of an
+//     all-ones register is a copy (sigma drops nothing, same W), and
+//     `bm-route(bound, counts, data)` with counts all-ones-of-X,
+//     data value-equal to X, and bound value-equal to counts
+//     replicates every element exactly once -- a Move at half the W.
+//     Length/Enumerate of an all-ones register canonicalize to the
+//     broadcast source, so `enumerate`-of-`bm-route` chains fuse with
+//     the source's own enumerate via ordinary CSE.
 //
 // Every rewrite here is chosen so that the *executed* T and W never
 // increase on any input (e.g. Arith of two known-empties becomes a Move
@@ -338,6 +350,14 @@ class Peephole final : public Pass {
     bool changed = false;
     std::vector<bool> keep(p.code.size(), true);
     VnTable vn(p.num_regs);
+    // vn of an all-ones vector -> vn of the register it was broadcast
+    // over (same length by the route certificate).  Keyed by value
+    // number, so no undo log is needed: value numbers are never reused,
+    // and a rolled-back subtree's numbers are unreachable from sibling
+    // scopes.  A fact is only derived from an executed (kept) bm-route,
+    // so everything downstream of it in the EBB may rely on its
+    // certificates having held.
+    std::map<std::uint64_t, std::uint64_t> ones_of;
     auto process_block = [&](std::size_t b) {
       State s = flow.in_state_of(b);
       for (std::size_t i = cfg.blocks[b].begin; i < cfg.blocks[b].end; ++i) {
@@ -431,6 +451,42 @@ class Peephole final : public Pass {
             break;
         }
 
+        // Route algebra over the ones facts (see the header comment).
+        if (keep[i]) {
+          const Instr& cur = p.code[i];
+          if (cur.op == Op::Select && ones_of.count(vn.reg_vn[cur.a]) > 0) {
+            // sigma of an all-ones vector drops nothing: a copy.  W is
+            // unchanged (|in| + |out| = 2n either way), and Select never
+            // traps.
+            replace({Op::Move, ArithOp::Add, cur.dst, cur.a, 0, 0, 0, 0});
+          } else if (cur.op == Op::BmRoute) {
+            const auto it = ones_of.find(vn.reg_vn[cur.b]);
+            if (it != ones_of.end() &&
+                vn.reg_vn[cur.a] == vn.reg_vn[cur.b] &&
+                vn.reg_vn[cur.c] == it->second) {
+              // All-ones counts replicate each element once, and both
+              // certificates are discharged statically: |counts| =
+              // |broadcast source| = |data| (value-equal registers), and
+              // sum(counts) = |counts| = |bound| (bound value-equal to
+              // counts).  The Move charges 2n against the route's 4n.
+              replace({Op::Move, ArithOp::Add, cur.dst, cur.c, 0, 0, 0, 0});
+            }
+          }
+        }
+
+        // Length and Enumerate depend only on their operand's *length*,
+        // and an all-ones vector has its broadcast source's length: key
+        // them under the source's value number so e.g. enumerate(ones(x))
+        // fuses with enumerate(x) via ordinary CSE.
+        auto canon_key = [&](const Instr& ins) {
+          VnKey key = vn.key_of(ins);
+          if (ins.op == Op::Length || ins.op == Op::Enumerate) {
+            const auto it = ones_of.find(vn.reg_vn[ins.a]);
+            if (it != ones_of.end()) std::get<3>(key) = it->second + 1;
+          }
+          return key;
+        };
+
         // Local CSE on whatever the instruction now is.  A hit normally
         // becomes a Move from the earlier result -- every eligible op's
         // executed work is >= the Move's on any input, EXCEPT: LoadConst
@@ -445,7 +501,7 @@ class Peephole final : public Pass {
         bool aliased = false;
         if (keep[i] && cse_eligible(p.code[i])) {
           const Instr& cur = p.code[i];
-          const VnKey key = vn.key_of(cur);
+          const VnKey key = canon_key(cur);
           auto it = vn.exprs.find(key);
           if (it != vn.exprs.end() &&
               vn.reg_vn[it->second.reg] == it->second.vn) {
@@ -465,6 +521,15 @@ class Peephole final : public Pass {
         // Value-number and abstract-state bookkeeping for the (possibly
         // rewritten) instruction.
         const Instr& fin = p.code[i];
+        // An executed bm-route whose data is the known singleton [1] is
+        // the catalog's ones_like broadcast: its result is all-ones with
+        // the bound register's length.  Capture the bound's vn before the
+        // dst assignment below possibly renumbers it.
+        const bool broadcasts_ones =
+            keep[i] && fin.op == Op::BmRoute &&
+            m.get(s, fin.c) == AV::konst(1);
+        const std::uint64_t broadcast_like_vn =
+            broadcasts_ones ? vn.reg_vn[fin.a] : 0;
         if (fin.has_dst()) {
           if (keep[i]) {
             if (fin.op == Op::Move) {
@@ -473,12 +538,15 @@ class Peephole final : public Pass {
               // Same value as the recorded expression; keep its entry.
               vn.set_reg_vn(fin.dst, alias_vn);
             } else if (cse_eligible(fin)) {
-              const VnKey key = vn.key_of(fin);
+              const VnKey key = canon_key(fin);
               const std::uint64_t v = vn.next_vn++;
               vn.set_reg_vn(fin.dst, v);
               vn.set_expr(key, {fin.dst, v});
             } else {
               vn.set_reg_vn(fin.dst, vn.next_vn++);
+            }
+            if (broadcasts_ones) {
+              ones_of[vn.reg_vn[fin.dst]] = broadcast_like_vn;
             }
           }
           // Dropped instructions leave dst's value (and number) unchanged.

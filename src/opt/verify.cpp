@@ -24,6 +24,10 @@ void verify(const Program& p) {
     die("num_outputs " + std::to_string(p.num_outputs) +
         " exceeds register count " + std::to_string(p.num_regs));
   }
+  if (!p.last_use.empty() && p.last_use.size() != p.code.size()) {
+    die("last_use annotation covers " + std::to_string(p.last_use.size()) +
+        " instructions but the program has " + std::to_string(p.code.size()));
+  }
   for (std::size_t i = 0; i < p.code.size(); ++i) {
     const Instr& in = p.code[i];
     auto at = [&](const std::string& what) {

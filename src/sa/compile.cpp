@@ -1,6 +1,7 @@
 #include "sa/compile.hpp"
 
 #include "nsa/from_nsc.hpp"
+#include "opt/liveness.hpp"
 
 namespace nsc::sa {
 
@@ -1078,6 +1079,10 @@ bvram::Program compile_nsa(const nsa::NsaRef& f, opt::OptLevel opt,
   Compiler c(sched);
   bvram::Program p = c.compile(f);
   opt::optimize(p, opt);
+  // Attach the per-instruction last-use masks as the final step: the
+  // execution engine uses them to recycle dead operand buffers
+  // (Move-as-swap, in-place kernels) without touching the T/W accounting.
+  opt::annotate_last_use(p);
   return p;
 }
 

@@ -1,11 +1,14 @@
 #include "support/parallel.hpp"
 
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "support/checked.hpp"
 
 namespace nsc {
 namespace {
@@ -13,8 +16,18 @@ namespace {
 class Pool {
  public:
   Pool() {
-    const unsigned hw = std::thread::hardware_concurrency();
-    const std::size_t n = hw > 1 ? hw : 1;
+    // NSCC_WORKERS overrides hardware_concurrency: tests pin it (so the
+    // multi-chunk kernel paths are exercised even on single-core CI
+    // boxes) and benchmarks can sweep it.
+    std::size_t n = 0;
+    if (const char* env = std::getenv("NSCC_WORKERS")) {
+      n = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+      if (n > 256) n = 256;
+    }
+    if (n == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      n = hw > 1 ? hw : 1;
+    }
     workers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       workers_.emplace_back([this] { run(); });
@@ -67,42 +80,21 @@ Pool& pool() {
   return p;
 }
 
-}  // namespace
-
-std::size_t parallel_workers() { return pool().size(); }
-
-void parallel_for(std::size_t n,
-                  const std::function<void(std::size_t, std::size_t)>& fn,
-                  std::size_t grain) {
-  if (n == 0) return;
-  const std::size_t workers = pool().size();
-  if (workers <= 1 || n <= grain) {
-    fn(0, n);
-    return;
-  }
-  std::size_t chunks = (n + grain - 1) / grain;
-  if (chunks > workers) chunks = workers;
-  const std::size_t step = (n + chunks - 1) / chunks;
-  // With `step` rounded up, the last chunks of the c-loop can start at or
-  // past n (e.g. n=5, chunks=4 -> step=2 covers n in 3 chunks); recompute
-  // the chunk count from `step` so every dispatched range is non-empty and
-  // begin <= end <= n.
-  chunks = (n + step - 1) / step;
-
+/// Fork-join driver shared by parallel_for and for_each_chunk: run
+/// task(0..count) on the pool, wait, and rethrow the first exception on
+/// the calling thread.  Exceptions (EvalError from a trapping elementwise
+/// op, ...) must never escape into a worker -- that is std::terminate.
+void run_tasks(std::size_t count,
+               const std::function<void(std::size_t)>& task) {
   std::mutex mu;
   std::condition_variable done_cv;
-  std::size_t pending = chunks;
+  std::size_t pending = count;
   std::exception_ptr first_error;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * step;
-    const std::size_t end = begin + step < n ? begin + step : n;
-    pool().submit([&, begin, end] {
-      // Exceptions (EvalError from a trapping elementwise op, ...) must not
-      // escape into the worker thread -- that is std::terminate.  Capture
-      // the first one and rethrow it on the calling thread below.
+  for (std::size_t t = 0; t < count; ++t) {
+    pool().submit([&, t] {
       std::exception_ptr error;
       try {
-        fn(begin, end);
+        task(t);
       } catch (...) {
         error = std::current_exception();
       }
@@ -114,6 +106,95 @@ void parallel_for(std::size_t n,
   std::unique_lock<std::mutex> lock(mu);
   done_cv.wait(lock, [&] { return pending == 0; });
   if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+std::size_t parallel_workers() { return pool().size(); }
+
+ChunkPlan ChunkPlan::serial(std::size_t n) {
+  ChunkPlan p;
+  p.n = n;
+  p.step = n;
+  p.chunks = n > 0 ? 1 : 0;
+  return p;
+}
+
+ChunkPlan ChunkPlan::make(std::size_t n, std::size_t grain) {
+  const std::size_t workers = pool().size();
+  if (n == 0 || workers <= 1 || n <= grain) return serial(n);
+  std::size_t chunks = (n + grain - 1) / grain;
+  if (chunks > workers) chunks = workers;
+  const std::size_t step = (n + chunks - 1) / chunks;
+  // With `step` rounded up, recompute the chunk count from `step` so every
+  // chunk is non-empty and begin <= end <= n (e.g. n=5, chunks=4 -> step=2
+  // covers n in 3 chunks).
+  ChunkPlan p;
+  p.n = n;
+  p.step = step;
+  p.chunks = (n + step - 1) / step;
+  return p;
+}
+
+void for_each_chunk(
+    const ChunkPlan& plan,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (plan.chunks == 0) return;
+  if (plan.chunks == 1) {
+    fn(0, 0, plan.n);
+    return;
+  }
+  run_tasks(plan.chunks,
+            [&](std::size_t c) { fn(c, plan.begin(c), plan.end(c)); });
+}
+
+std::uint64_t parallel_reduce(
+    const ChunkPlan& plan,
+    const std::function<std::uint64_t(std::size_t, std::size_t)>& partial) {
+  if (plan.chunks == 0) return 0;
+  if (plan.chunks == 1) return partial(0, plan.n);
+  std::vector<std::uint64_t> sums(plan.chunks, 0);
+  run_tasks(plan.chunks, [&](std::size_t c) {
+    sums[c] = partial(plan.begin(c), plan.end(c));
+  });
+  std::uint64_t total = 0;
+  for (std::uint64_t s : sums) total = sat_add(total, s);
+  return total;
+}
+
+std::uint64_t parallel_scan(
+    const ChunkPlan& plan,
+    const std::function<std::uint64_t(std::size_t, std::size_t)>& partial,
+    std::vector<std::uint64_t>& offsets) {
+  offsets.assign(plan.chunks, 0);
+  if (plan.chunks == 0) return 0;
+  std::vector<std::uint64_t> sums(plan.chunks, 0);
+  if (plan.chunks == 1) {
+    sums[0] = partial(0, plan.n);
+  } else {
+    run_tasks(plan.chunks, [&](std::size_t c) {
+      sums[c] = partial(plan.begin(c), plan.end(c));
+    });
+  }
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    offsets[c] = total;
+    total = sat_add(total, sums[c]);
+  }
+  return total;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t grain) {
+  const ChunkPlan plan = ChunkPlan::make(n, grain);
+  if (plan.chunks == 0) return;
+  if (plan.chunks == 1) {
+    fn(0, n);
+    return;
+  }
+  run_tasks(plan.chunks,
+            [&](std::size_t c) { fn(plan.begin(c), plan.end(c)); });
 }
 
 }  // namespace nsc

@@ -1,16 +1,39 @@
-// Minimal data-parallel execution helper for the "real hardware" backend of
-// the BVRAM interpreter (experiment E10).  Deliberately tiny: a static
-// thread pool plus a blocking parallel_for, following the structured
-// fork-join idiom of the OpenMP examples (no detached work, no futures
-// escaping the call).
+// Data-parallel execution helpers for the BVRAM execution engine's "real
+// hardware" backend (experiment E10).  A static thread pool plus blocking
+// fork-join primitives, following the structured idiom of the OpenMP
+// examples (no detached work, no futures escaping the call):
+//
+//   parallel_for     invoke fn over disjoint chunks of [0, n)
+//   ChunkPlan        a deterministic chunking of [0, n) that several
+//                    passes over the same index space can share
+//   parallel_scan    exclusive prefix over per-chunk partial sums -- the
+//                    first pass of every two-pass block-scan kernel
+//                    (scan-plus, select, bm-route/sbm-route scatter)
+//   for_each_chunk   the second pass: emit each chunk given its offset
+//   parallel_reduce  saturating sum of per-chunk partial sums: the
+//                    scan's degenerate sibling, for kernels that need a
+//                    total without offsets (the engine's fused kernels
+//                    currently fold their sums into for_each_chunk
+//                    passes, so this one exists for kernel authors)
+//
+// Because saturating uint64 addition is associative (any partial sum that
+// would overflow pins the whole sum at 2^64-1 regardless of association),
+// reduce/scan results are bit-identical for every chunk decomposition --
+// one chunk (the serial backend), or one per worker.  The kernels in
+// bvram/machine.cpp rely on this to make the serial and parallel backends
+// produce identical outputs, costs, and traps.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace nsc {
 
-/// Number of worker threads the pool was built with (hardware concurrency).
+/// Number of worker threads the pool was built with: the NSCC_WORKERS
+/// environment variable if set (read once, at first use), else hardware
+/// concurrency.
 std::size_t parallel_workers();
 
 /// Invoke fn(begin..end) over disjoint non-empty chunks of [0, n) on the
@@ -21,5 +44,50 @@ std::size_t parallel_workers();
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& fn,
                   std::size_t grain = 4096);
+
+/// A deterministic partition of [0, n) into equal `step`-sized chunks
+/// (the last possibly shorter).  Multiple passes over the same index space
+/// (count, then scatter) share one plan so their chunk boundaries agree.
+struct ChunkPlan {
+  std::size_t n = 0;
+  std::size_t step = 0;
+  std::size_t chunks = 0;
+
+  /// One chunk covering all of [0, n) -- the serial backend's plan.
+  static ChunkPlan serial(std::size_t n);
+  /// Worker-count-many chunks of at least `grain` elements (collapses to
+  /// a single chunk when n <= grain or the pool has one worker).
+  static ChunkPlan make(std::size_t n, std::size_t grain = 4096);
+
+  std::size_t begin(std::size_t c) const { return c * step; }
+  std::size_t end(std::size_t c) const {
+    const std::size_t e = begin(c) + step;
+    return e < n ? e : n;
+  }
+};
+
+/// Run fn(chunk, begin, end) for every chunk of the plan; on the pool when
+/// the plan has more than one chunk, inline otherwise.  Exceptions are
+/// rethrown on the calling thread (first one wins).
+void for_each_chunk(
+    const ChunkPlan& plan,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+/// Saturating sum over chunks: `partial(begin, end)` returns one chunk's
+/// partial sum; the per-chunk sums are combined with sat_add in chunk
+/// order.  Deterministic and chunking-independent (associativity).
+std::uint64_t parallel_reduce(
+    const ChunkPlan& plan,
+    const std::function<std::uint64_t(std::size_t, std::size_t)>& partial);
+
+/// Exclusive prefix over the per-chunk partial sums: offsets[c] is the
+/// saturating sum of all chunks before c; returns the grand total.  This
+/// is the first pass of a two-pass block scan -- follow with
+/// for_each_chunk over the same plan to emit chunk c starting at
+/// offsets[c].
+std::uint64_t parallel_scan(
+    const ChunkPlan& plan,
+    const std::function<std::uint64_t(std::size_t, std::size_t)>& partial,
+    std::vector<std::uint64_t>& offsets);
 
 }  // namespace nsc

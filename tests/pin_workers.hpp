@@ -1,0 +1,17 @@
+// Shared by the parallel-sensitive test binaries: pin the pool to 4
+// workers before its lazy construction, so the multi-chunk parallel
+// paths are exercised even on single-core CI boxes.  The pool reads
+// NSCC_WORKERS once, on first use -- which is after all static
+// initialization -- so a namespace-scope initializer is early enough.
+#pragma once
+
+#include <cstdlib>
+
+namespace nsc::testing {
+
+inline const bool kWorkersPinned = [] {
+  setenv("NSCC_WORKERS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+}  // namespace nsc::testing

@@ -1,0 +1,592 @@
+// Differential harness for the BVRAM execution engine: every program is
+// executed under four configurations --
+//
+//     run_reference  serial      (the v1 interpreter, the baseline)
+//     run_reference  parallel
+//     run            serial      (the v2 pooled/in-place engine)
+//     run            parallel    (all 11 vector opcodes on the pool)
+//
+// plus the v2 pair again on a copy annotated with opt::annotate_last_use
+// (exercising Move-as-swap and the in-place kernels) -- and all six must
+// agree bit-for-bit on outputs, trap type *and message*, T, W, and the
+// per-instruction trace.  Covers every opcode including the trap cases
+// (length mismatch, bad bound/segment certificates, division by zero) and
+// the compiled example corpus at every OptLevel and WhileSchedule.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "bvram/machine.hpp"
+#include "nsc/build.hpp"
+#include "nsc/prelude.hpp"
+#include "nsc/typecheck.hpp"
+#include "opt/liveness.hpp"
+#include "opt/opt.hpp"
+#include "sa/compile.hpp"
+#include "sa/layout.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+#include "pin_workers.hpp"
+
+namespace nsc::bvram {
+namespace {
+
+namespace L = nsc::lang;
+namespace P = nsc::lang::prelude;
+using Vec = std::vector<std::uint64_t>;
+
+struct Outcome {
+  bool trapped = false;
+  std::string error;  // dynamic exception type + message
+  RunResult result;
+};
+
+template <typename Runner>
+Outcome outcome_of(Runner runner, const Program& p,
+                   const std::vector<Vec>& inputs, bool parallel) {
+  RunConfig cfg;
+  cfg.record_trace = true;
+  cfg.parallel_backend = parallel;
+  Outcome o;
+  try {
+    o.result = runner(p, inputs, cfg);
+  } catch (const Error& e) {
+    o.trapped = true;
+    o.error = std::string(typeid(e).name()) + ": " + e.what();
+  }
+  return o;
+}
+
+void expect_same(const Outcome& base, const Outcome& got,
+                 const std::string& label) {
+  ASSERT_EQ(base.trapped, got.trapped) << label << ": trap disagreement ("
+                                       << base.error << " vs " << got.error
+                                       << ")";
+  if (base.trapped) {
+    EXPECT_EQ(base.error, got.error) << label;
+    return;
+  }
+  EXPECT_EQ(base.result.outputs, got.result.outputs) << label;
+  EXPECT_EQ(base.result.cost.time, got.result.cost.time) << label;
+  EXPECT_EQ(base.result.cost.work, got.result.cost.work) << label;
+  ASSERT_EQ(base.result.trace.size(), got.result.trace.size()) << label;
+  for (std::size_t i = 0; i < base.result.trace.size(); ++i) {
+    EXPECT_EQ(base.result.trace[i].op, got.result.trace[i].op)
+        << label << " trace[" << i << "]";
+    EXPECT_EQ(base.result.trace[i].work, got.result.trace[i].work)
+        << label << " trace[" << i << "]";
+    EXPECT_EQ(base.result.trace[i].max_len, got.result.trace[i].max_len)
+        << label << " trace[" << i << "]";
+  }
+}
+
+/// The harness: v1 serial is ground truth; the other five configurations
+/// must match it exactly.
+void expect_identical(const Program& p, const std::vector<Vec>& inputs) {
+  const Outcome base = outcome_of(run_reference, p, inputs, false);
+  expect_same(base, outcome_of(run_reference, p, inputs, true), "v1/par");
+  expect_same(base, outcome_of(run, p, inputs, false), "v2/serial");
+  expect_same(base, outcome_of(run, p, inputs, true), "v2/par");
+  Program annotated = p;
+  opt::annotate_last_use(annotated);
+  expect_same(base, outcome_of(run, annotated, inputs, false),
+              "v2+liveness/serial");
+  expect_same(base, outcome_of(run, annotated, inputs, true),
+              "v2+liveness/par");
+}
+
+// Sizes straddle the parallel grain (4096) so both the serial fallback
+// and real pool dispatch are exercised.
+const std::size_t kSizes[] = {0, 1, 7, 4096, 20011};
+
+Vec iota_mod(std::size_t n, std::uint64_t mod) {
+  Vec v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = (i * 2654435761u) % mod;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// per-opcode differential programs
+// ---------------------------------------------------------------------------
+
+TEST(Backend, MoveChain) {
+  // Move in a chain, then reuse the source -- with liveness annotation the
+  // first two Moves execute as swaps, the last one must copy (x is read
+  // again by the Append).
+  Assembler a;
+  auto x = a.reg();
+  auto y = a.reg();
+  auto z = a.reg();
+  auto w = a.reg();
+  a.move(y, x);
+  a.move(z, y);
+  a.move(w, x);
+  a.append(0, w, x);
+  a.halt();
+  auto p = a.finish(1, 4);
+  for (std::size_t n : kSizes) expect_identical(p, {iota_mod(n, 97)});
+}
+
+TEST(Backend, MoveSelfIsNoop) {
+  Assembler a;
+  auto x = a.reg();
+  a.move(x, x);
+  a.halt();
+  auto p = a.finish(1, 1);
+  expect_identical(p, {iota_mod(100, 7)});
+}
+
+TEST(Backend, ArithEveryOp) {
+  for (auto op : {ArithOp::Add, ArithOp::Monus, ArithOp::Mul, ArithOp::Div,
+                  ArithOp::Rsh, ArithOp::Log2}) {
+    Assembler a;
+    auto x = a.reg();
+    auto y = a.reg();
+    auto z = a.reg();
+    a.arith(z, op, x, y);
+    a.halt();
+    auto p = a.finish(2, 3);
+    for (std::size_t n : kSizes) {
+      Vec xs = iota_mod(n, 1000);
+      Vec ys(n);
+      for (std::size_t i = 0; i < n; ++i) ys[i] = (i % 9) + 1;  // no zeros
+      expect_identical(p, {xs, ys});
+    }
+  }
+}
+
+TEST(Backend, ArithSaturates) {
+  Assembler a;
+  auto x = a.reg();
+  auto y = a.reg();
+  auto z = a.reg();
+  a.arith(z, ArithOp::Add, x, y);
+  a.arith(z, ArithOp::Mul, z, z);
+  a.halt();
+  auto p = a.finish(2, 3);
+  Vec huge(5000, ~std::uint64_t{0} - 3);
+  Vec small(5000, 17);
+  expect_identical(p, {huge, small});
+}
+
+TEST(Backend, ArithDivByZeroTraps) {
+  Assembler a;
+  auto x = a.reg();
+  auto y = a.reg();
+  a.arith(x, ArithOp::Div, x, y);
+  a.halt();
+  auto p = a.finish(2, 1);
+  Vec num(20000, 7);
+  Vec den(20000, 3);
+  den[12345] = 0;  // poisoned slot deep inside a parallel chunk
+  expect_identical(p, {num, den});
+  den[0] = 0;  // and at the very front
+  expect_identical(p, {num, den});
+}
+
+TEST(Backend, ArithLengthMismatchTraps) {
+  Assembler a;
+  auto x = a.reg();
+  auto y = a.reg();
+  a.arith(x, ArithOp::Add, x, y);
+  a.halt();
+  auto p = a.finish(2, 1);
+  expect_identical(p, {Vec(10, 1), Vec(11, 1)});
+  expect_identical(p, {Vec{}, Vec{1}});
+}
+
+TEST(Backend, ArithInPlaceAliases) {
+  // dst == a, dst == b, and a == b variants all stay index-aligned.
+  for (int variant = 0; variant < 3; ++variant) {
+    Assembler a;
+    auto x = a.reg();
+    auto y = a.reg();
+    if (variant == 0) a.arith(x, ArithOp::Add, x, y);
+    if (variant == 1) a.arith(y, ArithOp::Mul, x, y);
+    if (variant == 2) a.arith(x, ArithOp::Add, y, y);
+    a.halt();
+    auto p = a.finish(2, 2);
+    for (std::size_t n : kSizes) {
+      expect_identical(p, {iota_mod(n, 50), iota_mod(n, 11)});
+    }
+  }
+}
+
+TEST(Backend, AppendAndLength) {
+  Assembler a;
+  auto x = a.reg();
+  auto y = a.reg();
+  auto cat = a.reg();
+  auto len = a.reg();
+  a.append(cat, x, y);
+  a.append(cat, cat, cat);  // dst aliases both sources
+  a.length(len, cat);
+  a.length(len, len);  // dst aliases src
+  a.halt();
+  auto p = a.finish(2, 4);
+  for (std::size_t n : kSizes) {
+    expect_identical(p, {iota_mod(n, 13), iota_mod(n / 2, 29)});
+  }
+}
+
+TEST(Backend, EnumerateInPlace) {
+  Assembler a;
+  auto x = a.reg();
+  auto y = a.reg();
+  a.enumerate(y, x);  // fresh output (x still read below)
+  a.enumerate(x, x);  // dst == src
+  a.halt();
+  auto p = a.finish(1, 2);
+  for (std::size_t n : kSizes) expect_identical(p, {iota_mod(n, 5)});
+}
+
+TEST(Backend, SelectShapes) {
+  Assembler a;
+  auto x = a.reg();
+  auto out = a.reg();
+  a.select(out, x);
+  a.halt();
+  auto p = a.finish(1, 2);
+  for (std::size_t n : kSizes) {
+    expect_identical(p, {iota_mod(n, 3)});  // ~1/3 zeros
+    expect_identical(p, {Vec(n, 0)});       // everything dropped
+    expect_identical(p, {Vec(n, 9)});       // nothing dropped
+  }
+}
+
+TEST(Backend, ScanPlusMatchesAndSaturates) {
+  Assembler a;
+  auto x = a.reg();
+  auto out = a.reg();
+  a.scan_plus(out, x);
+  a.scan_plus(x, x);  // in-place variant
+  a.halt();
+  auto p = a.finish(1, 2);
+  for (std::size_t n : kSizes) expect_identical(p, {iota_mod(n, 1000)});
+  // Saturation: the block-scan decomposition must agree with the serial
+  // left-to-right saturating sum (sat_add is associative).
+  Vec spiky(20000, 1);
+  for (std::size_t i = 0; i < spiky.size(); i += 997) {
+    spiky[i] = ~std::uint64_t{0} / 3;
+  }
+  expect_identical(p, {spiky});
+}
+
+TEST(Backend, BmRouteValidAndTraps) {
+  Assembler a;
+  auto bound = a.reg();
+  auto counts = a.reg();
+  auto data = a.reg();
+  auto out = a.reg();
+  a.bm_route(out, bound, counts, data);
+  a.halt();
+  auto p = a.finish(3, 4);
+  SplitMix64 rng(42);
+  for (std::size_t n : {std::size_t{0}, std::size_t{5}, std::size_t{4096},
+                        std::size_t{20011}}) {
+    Vec cnt = rng.vec(n, 4);  // mix of 0..3 repetitions
+    std::uint64_t total = 0;
+    for (auto c : cnt) total += c;
+    Vec dat = iota_mod(n, 1 << 20);
+    expect_identical(p, {Vec(total, 0), cnt, dat});
+    // bound too short / too long
+    expect_identical(p, {Vec(total + 1, 0), cnt, dat});
+    if (total > 0) expect_identical(p, {Vec(total - 1, 0), cnt, dat});
+    // counts/data length mismatch
+    expect_identical(p, {Vec(total, 0), cnt, iota_mod(n + 1, 7)});
+  }
+}
+
+TEST(Backend, SbmRouteValidAndTraps) {
+  Assembler a;
+  auto bound = a.reg();
+  auto counts = a.reg();
+  auto data = a.reg();
+  auto segs = a.reg();
+  auto out = a.reg();
+  a.sbm_route(out, bound, counts, data, segs);
+  a.halt();
+  auto p = a.finish(4, 5);
+  SplitMix64 rng(7);
+  for (std::size_t n : {std::size_t{0}, std::size_t{3}, std::size_t{4096},
+                        std::size_t{9001}}) {
+    Vec cnt = rng.vec(n, 3);
+    Vec seg = rng.vec(n, 4);
+    std::uint64_t csum = 0, ssum = 0;
+    for (auto c : cnt) csum += c;
+    for (auto s : seg) ssum += s;
+    Vec dat = iota_mod(ssum, 1 << 16);
+    expect_identical(p, {Vec(csum, 0), cnt, dat, seg});
+    // each certificate violated in turn
+    expect_identical(p, {Vec(csum + 2, 0), cnt, dat, seg});
+    expect_identical(p, {Vec(csum, 0), cnt, iota_mod(ssum + 1, 9), seg});
+    if (n > 0) {
+      Vec cnt_short(cnt.begin(), cnt.end() - 1);
+      expect_identical(p, {Vec(csum, 0), cnt_short, dat, seg});
+    }
+  }
+}
+
+TEST(Backend, BmRouteSkewedBroadcast) {
+  // The compiler's broadcast: a single count of n (maximum skew).  The
+  // parallel backend must partition the *output* space, and the result
+  // must stay bit-identical to the serial walk.
+  Assembler a;
+  auto bound = a.reg();
+  auto counts = a.reg();
+  auto data = a.reg();
+  auto out = a.reg();
+  a.bm_route(out, bound, counts, data);
+  a.halt();
+  auto p = a.finish(3, 4);
+  for (std::size_t n : {std::size_t{1}, std::size_t{4096}, std::size_t{50000}}) {
+    expect_identical(p, {Vec(n, 0), Vec{n}, Vec{42}});
+    // two skewed elements plus a tail of ones
+    if (n >= 10) {
+      Vec cnt(10, 1);
+      cnt[3] = n;
+      cnt[7] = n / 2;
+      Vec dat = iota_mod(10, 100);
+      expect_identical(p, {Vec(n + n / 2 + 8, 0), cnt, dat});
+    }
+  }
+}
+
+TEST(Backend, SbmRouteSkewedCartesian) {
+  // One segment replicated k times (the flattened cartesian product) and
+  // a mixed-skew case with empty segments and zero counts.
+  Assembler a;
+  auto bound = a.reg();
+  auto counts = a.reg();
+  auto data = a.reg();
+  auto segs = a.reg();
+  auto out = a.reg();
+  a.sbm_route(out, bound, counts, data, segs);
+  a.halt();
+  auto p = a.finish(4, 5);
+  // |bound| = sum counts; |data| = sum segs; |out| = sum counts*segs.
+  expect_identical(p, {Vec(10000, 0), Vec{10000}, iota_mod(3, 50), Vec{3}});
+  expect_identical(p, {Vec(20005, 0), Vec{2, 0, 20000, 3}, iota_mod(7, 50),
+                       Vec{4, 0, 2, 1}});
+}
+
+TEST(Backend, ControlFlowLoop) {
+  // The countdown loop from test_bvram, at a size where the loop body's
+  // vector ops cross the parallel grain.
+  Assembler a;
+  auto acc = a.reg();
+  auto n = a.reg();
+  auto one = a.reg();
+  auto nz = a.reg();
+  a.load_const(acc, 1);
+  a.load_const(one, 1);
+  auto top = a.fresh_label();
+  auto done = a.fresh_label();
+  a.bind(top);
+  a.select(nz, n);
+  a.jump_if_empty(nz, done);
+  a.arith(acc, ArithOp::Add, acc, acc);
+  a.arith(n, ArithOp::Monus, n, one);
+  a.jump(top);
+  a.bind(done);
+  a.halt();
+  auto p = a.finish(2, 1);
+  expect_identical(p, {Vec{}, Vec{12}});
+  expect_identical(p, {Vec{}, Vec{0}});
+}
+
+TEST(Backend, PoolReuseAcrossGrowShrink) {
+  // Registers repeatedly grow (append) and shrink (select of zeros),
+  // churning the buffer pool.
+  Assembler a;
+  auto x = a.reg();
+  auto y = a.reg();
+  auto z = a.reg();
+  auto cnt = a.reg();
+  auto one = a.reg();
+  a.load_const(one, 1);
+  for (int round = 0; round < 6; ++round) {
+    a.append(y, x, x);
+    a.scan_plus(z, y);
+    a.select(z, z);
+    a.enumerate(y, y);
+    a.length(cnt, z);
+    a.move(x, z);
+  }
+  a.halt();
+  auto p = a.finish(1, 4);
+  expect_identical(p, {iota_mod(3000, 2)});
+}
+
+TEST(Backend, RandomStraightLinePrograms) {
+  // Randomized differential sweep: straight-line programs over the whole
+  // ISA (routes usually trap on their certificates, which is exactly the
+  // point: first-trap identity across all six configurations).
+  SplitMix64 rng(1234);
+  for (int trial = 0; trial < 120; ++trial) {
+    Assembler a;
+    const std::size_t nregs = 4;
+    for (std::size_t r = 0; r < nregs; ++r) a.reg();
+    const int len = 3 + static_cast<int>(rng.below(12));
+    for (int i = 0; i < len; ++i) {
+      const auto dst = static_cast<std::uint32_t>(rng.below(nregs));
+      const auto s1 = static_cast<std::uint32_t>(rng.below(nregs));
+      const auto s2 = static_cast<std::uint32_t>(rng.below(nregs));
+      const auto s3 = static_cast<std::uint32_t>(rng.below(nregs));
+      switch (rng.below(10)) {
+        case 0:
+          a.move(dst, s1);
+          break;
+        case 1:
+          a.arith(dst, static_cast<ArithOp>(rng.below(6)), s1, s2);
+          break;
+        case 2:
+          a.load_const(dst, rng.below(100));
+          break;
+        case 3:
+          a.load_empty(dst);
+          break;
+        case 4:
+          a.append(dst, s1, s2);
+          break;
+        case 5:
+          a.length(dst, s1);
+          break;
+        case 6:
+          a.enumerate(dst, s1);
+          break;
+        case 7:
+          a.select(dst, s1);
+          break;
+        case 8:
+          a.scan_plus(dst, s1);
+          break;
+        case 9:
+          a.bm_route(dst, s1, s2, s3);
+          break;
+      }
+    }
+    a.halt();
+    auto p = a.finish(2, nregs);
+    std::vector<Vec> inputs = {rng.vec(rng.below(50), 6),
+                               rng.vec(rng.below(50), 6)};
+    expect_identical(p, inputs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// satellite regressions: I/O arity and jump-target validation
+// ---------------------------------------------------------------------------
+
+TEST(Backend, OutputsBeyondRegisterFileRejected) {
+  // Used to read past the register file (UB); now a MachineError up front,
+  // in both engines.
+  Program p;
+  p.num_regs = 1;
+  p.num_outputs = 3;
+  p.code.push_back({Op::Halt, ArithOp::Add, 0, 0, 0, 0, 0, 0});
+  EXPECT_THROW(run(p, {}), MachineError);
+  EXPECT_THROW(run_reference(p, {}), MachineError);
+}
+
+TEST(Backend, InputsBeyondRegisterFileRejected) {
+  Program p;
+  p.num_regs = 1;
+  p.num_inputs = 2;
+  p.code.push_back({Op::Halt, ArithOp::Add, 0, 0, 0, 0, 0, 0});
+  EXPECT_THROW(run(p, {Vec{1}, Vec{2}}), MachineError);
+  EXPECT_THROW(run_reference(p, {Vec{1}, Vec{2}}), MachineError);
+}
+
+TEST(Backend, NotTakenBranchWithBadTargetRejected) {
+  // The branch is never taken (register is non-empty), but the target is
+  // out of range: previously this passed silently, now it is a
+  // MachineError on both engines.
+  Program p;
+  p.num_regs = 1;
+  p.num_inputs = 1;
+  p.code.push_back({Op::GotoIfEmpty, ArithOp::Add, 0, 0, 0, 0, 0, 999});
+  p.code.push_back({Op::Halt, ArithOp::Add, 0, 0, 0, 0, 0, 0});
+  EXPECT_THROW(run(p, {Vec{5}}), MachineError);
+  EXPECT_THROW(run_reference(p, {Vec{5}}), MachineError);
+}
+
+// ---------------------------------------------------------------------------
+// compiled corpus: T/W bit-identical at every OptLevel and WhileSchedule
+// ---------------------------------------------------------------------------
+
+const TypeRef N = Type::nat();
+const TypeRef NSeq = Type::seq(Type::nat());
+
+void differential_compiled(const L::FuncRef& f,
+                           const std::vector<ValueRef>& args) {
+  auto [dom, cod] = L::check_func(f);
+  for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
+    for (auto sched :
+         {opt::WhileSchedule::naive(), opt::WhileSchedule::eager(),
+          opt::WhileSchedule::staged({1, 2})}) {
+      auto p = sa::compile_nsc(f, level, sched);
+      for (const auto& arg : args) {
+        expect_identical(p, sa::encode_value(arg, dom));
+      }
+    }
+  }
+}
+
+TEST(CompiledCorpus, IndexProgram) {
+  std::vector<std::uint64_t> c(300);
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = 3 * i;
+  differential_compiled(
+      P::index(N),
+      {Value::pair(Value::nat_seq(c), Value::nat_seq({0, 100, 299}))});
+}
+
+TEST(CompiledCorpus, FilterThenMap) {
+  auto keep = L::lam(N, [](L::TermRef v) { return L::lt(v, L::nat(512)); });
+  auto dbl = L::lam(N, [](L::TermRef v) { return L::mul(v, L::nat(2)); });
+  auto f = L::lam(NSeq, [&](L::TermRef x) {
+    return L::apply(L::map_f(dbl), L::apply(P::filter(keep, N), x));
+  });
+  SplitMix64 rng(5);
+  differential_compiled(f, {Value::nat_seq(rng.vec(400, 1024)),
+                            Value::nat_seq({}), Value::nat_seq({7})});
+}
+
+TEST(CompiledCorpus, SumViaWhile) {
+  differential_compiled(
+      P::sum_nats(),
+      {Value::nat_seq(std::vector<std::uint64_t>(200, 3)),
+       Value::nat_seq({})});
+}
+
+TEST(CompiledCorpus, MappedWhileStraggler) {
+  // The Lemma 7.2 adversary: exercises the staged-schedule emission,
+  // pack/replay, and a trapping variant (division by zero inside the
+  // mapped step).
+  auto pred = L::lam(N, [](L::TermRef v) { return L::lt(L::nat(0), v); });
+  auto step = L::lam(N, [](L::TermRef v) { return L::monus_t(v, L::nat(1)); });
+  auto f = L::lam(NSeq, [&](L::TermRef x) {
+    return L::apply(
+        L::map_f(L::lam(
+            N, [&](L::TermRef v) { return L::apply(L::while_f(pred, step), v); })),
+        x);
+  });
+  std::vector<std::uint64_t> counts(120, 1);
+  for (std::uint64_t j = 0; j < 10; ++j) counts[110 + j] = j + 2;
+  differential_compiled(f, {Value::nat_seq(counts)});
+}
+
+TEST(CompiledCorpus, TrappingDivide) {
+  auto f = L::lam(NSeq, [](L::TermRef x) {
+    return L::apply(
+        L::map_f(L::lam(N, [](L::TermRef v) { return L::div_t(L::nat(100), v); })),
+        x);
+  });
+  differential_compiled(f, {Value::nat_seq({5, 2, 10}),
+                            Value::nat_seq({5, 0, 10})});  // second traps
+}
+
+}  // namespace
+}  // namespace nsc::bvram

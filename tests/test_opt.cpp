@@ -11,6 +11,7 @@
 #include "nsc/prelude.hpp"
 #include "nsc/typecheck.hpp"
 #include "object/random.hpp"
+#include "opt/liveness.hpp"
 #include "opt/opt.hpp"
 #include "sa/compile.hpp"
 #include "support/prng.hpp"
@@ -320,6 +321,201 @@ TEST(Passes, ExpandingRouteIsNotRewrittenToMove) {
   EXPECT_EQ(after.outputs[0], before.outputs[0]);
   EXPECT_LE(after.cost.work, before.cost.work);
   EXPECT_LE(after.cost.time, before.cost.time);
+}
+
+TEST(Passes, RouteAlgebraCollapsesAllOnesPack) {
+  // The catalog's pack_vec(x, ones_like(x)): broadcast [1] over x, select
+  // the bits, route x through them.  The counts are provably all-ones and
+  // every certificate is discharged by value numbering, so the pack
+  // collapses to a copy of x; only the broadcast route itself survives
+  // (its own certificate can trap, so DCE must keep it).
+  Assembler a;
+  a.reserve_regs(1);
+  auto one = a.reg(), lenx = a.reg(), bits = a.reg(), bound2 = a.reg(),
+       packed = a.reg();
+  a.load_const(one, 1);
+  a.length(lenx, 0);
+  a.bm_route(bits, 0, lenx, one);   // ones_like(V0)
+  a.select(bound2, bits);           // all ones selected: a copy
+  a.bm_route(packed, bound2, bits, 0);  // pack_vec(V0, bits): identity
+  a.move(0, packed);
+  a.halt();
+  Program p = a.finish(1, 1);
+  const std::vector<std::vector<std::uint64_t>> inputs = {{4, 0, 6, 7}};
+  const auto before = bvram::run(p, inputs);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::BmRoute), 1u);  // broadcast kept (can trap)
+  EXPECT_EQ(count_op(p, Op::Select), 0u);
+  const auto after = bvram::run(p, inputs);
+  EXPECT_EQ(after.outputs[0], before.outputs[0]);
+  EXPECT_LE(after.cost.work, before.cost.work);
+  EXPECT_LE(after.cost.time, before.cost.time);
+  // select([]) and the zero slot survive: the pack is an identity even
+  // with zero *values* (sigma is only applied to the all-ones bits).
+  EXPECT_EQ(after.outputs[0], (std::vector<std::uint64_t>{4, 0, 6, 7}));
+}
+
+TEST(Passes, RouteAlgebraSelectOfOnesIsCopy) {
+  Assembler a;
+  a.reserve_regs(1);
+  auto one = a.reg(), lenx = a.reg(), bits = a.reg(), sel = a.reg();
+  a.load_const(one, 1);
+  a.length(lenx, 0);
+  a.bm_route(bits, 0, lenx, one);
+  a.select(sel, bits);
+  a.move(0, sel);
+  a.halt();
+  Program p = a.finish(1, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Select), 0u);
+  auto r = bvram::run(p, {{9, 9, 9}});
+  EXPECT_EQ(r.outputs[0], (std::vector<std::uint64_t>{1, 1, 1}));
+}
+
+TEST(Passes, RouteAlgebraEnumerateOfOnesFuses) {
+  // enumerate(ones_like(x)) has x's length, so it value-numbers together
+  // with enumerate(x) and the recomputation fuses away.
+  Assembler a;
+  a.reserve_regs(1);
+  auto one = a.reg(), lenx = a.reg(), bits = a.reg(), e1 = a.reg(),
+       e2 = a.reg();
+  a.load_const(one, 1);
+  a.length(lenx, 0);
+  a.enumerate(e1, 0);
+  a.bm_route(bits, 0, lenx, one);
+  a.enumerate(e2, bits);
+  a.append(0, e1, e2);
+  a.halt();
+  Program p = a.finish(1, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Enumerate), 1u);
+  auto r = bvram::run(p, {{5, 5, 5}});
+  EXPECT_EQ(r.outputs[0], (std::vector<std::uint64_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Passes, RouteAlgebraKeepsUnprovableCertificates) {
+  // counts are all-ones of V0's length, but the bound is a *different*
+  // register: sum(counts) == |bound| is not provable, so the route (and
+  // its runtime trap) must survive.
+  Assembler a;
+  a.reserve_regs(2);
+  auto one = a.reg(), lenx = a.reg(), bits = a.reg(), out = a.reg();
+  a.load_const(one, 1);
+  a.length(lenx, 0);
+  a.bm_route(bits, 0, lenx, one);
+  a.bm_route(out, 1, bits, 0);  // bound is V1, unrelated to bits
+  a.move(0, out);
+  a.halt();
+  Program p = a.finish(2, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::BmRoute), 2u);
+  // Matching bound: identity semantics preserved.
+  auto ok = bvram::run(p, {{7, 8}, {0, 0}});
+  EXPECT_EQ(ok.outputs[0], (std::vector<std::uint64_t>{7, 8}));
+  // Mismatched bound: the certificate still traps.
+  EXPECT_THROW(bvram::run(p, {{7, 8}, {0, 0, 0}}), MachineError);
+}
+
+// ---------------------------------------------------------------------------
+// liveness export (opt/liveness.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(LastUse, StraightLineMasks) {
+  Assembler a;
+  a.reserve_regs(1);
+  auto t = a.reg();
+  a.enumerate(t, 0);  // V0's old value dies here (overwritten next)
+  a.move(0, t);       // t dies here
+  a.halt();
+  Program p = a.finish(1, 1);
+  const auto mask = compute_last_use(p);
+  ASSERT_EQ(mask.size(), 3u);
+  EXPECT_EQ(mask[0] & 1u, 1u);  // enumerate's source V0 dead after
+  EXPECT_EQ(mask[1] & 1u, 1u);  // move's source t dead after
+  EXPECT_EQ(mask[2], 0u);       // halt has no sources
+}
+
+TEST(LastUse, OutputRegistersStayLive) {
+  Assembler a;
+  a.reserve_regs(1);
+  auto t = a.reg();
+  a.enumerate(t, 0);
+  a.halt();
+  Program p = a.finish(1, 2);  // both V0 and t are outputs
+  const auto mask = compute_last_use(p);
+  EXPECT_EQ(mask[0] & 1u, 0u);  // V0 live at exit: not a last use
+}
+
+TEST(LastUse, LoopCarriedRegisterNotDead) {
+  // V1 is read again on the next iteration: no instruction inside the
+  // loop may claim it as a last use, except where it is rewritten first.
+  Assembler a;
+  a.reserve_regs(2);
+  auto one = a.reg(), nz = a.reg();
+  a.load_const(one, 1);
+  auto top = a.fresh_label(), done = a.fresh_label();
+  a.bind(top);
+  a.select(nz, 1);
+  a.jump_if_empty(nz, done);
+  a.arith(1, ArithOp::Monus, 1, one);
+  a.jump(top);
+  a.bind(done);
+  a.move(0, 1);
+  a.halt();
+  Program p = a.finish(2, 1);
+  const auto mask = compute_last_use(p);
+  // Instruction 1 (select of V1): V1 must be live after (the loop body
+  // and the exit both read it).
+  EXPECT_EQ(p.code[1].op, Op::Select);
+  EXPECT_EQ(mask[1] & 1u, 0u);
+  // The Arith reads V1 and immediately overwrites it.  The mask tracks
+  // the *register* after the instruction, and the new value is read on
+  // the next iteration, so the bit stays clear (the engine handles
+  // dst == src aliasing in place without needing the mask).
+  EXPECT_EQ(p.code[3].op, Op::Arith);
+  EXPECT_EQ(mask[3] & 1u, 0u);
+  // The loop-exit Move is V1's true last use.
+  EXPECT_EQ(p.code[5].op, Op::Move);
+  EXPECT_EQ(mask[5] & 1u, 1u);
+}
+
+TEST(LastUse, CompiledProgramsArriveAnnotated) {
+  auto f = L::lam(NSeq, [](L::TermRef x) {
+    return L::apply(L::map_f(L::lam(N, [](L::TermRef v) {
+                      return L::mul(v, L::nat(3));
+                    })),
+                    x);
+  });
+  for (auto level : {OptLevel::O0, OptLevel::O1, OptLevel::O2}) {
+    auto p = sa::compile_nsc(f, level);
+    EXPECT_EQ(p.last_use.size(), p.code.size());
+  }
+}
+
+TEST(LastUse, PassManagerDropsStaleAnnotation) {
+  Assembler a;
+  a.reserve_regs(1);
+  auto v1 = a.reg(), v2 = a.reg();
+  a.move(v1, 0);
+  a.move(v2, v1);
+  a.move(0, v2);
+  a.halt();
+  Program p = a.finish(1, 1);
+  annotate_last_use(p);
+  ASSERT_EQ(p.last_use.size(), p.code.size());
+  optimize(p);  // rewrites the code: annotation must not survive stale
+  EXPECT_TRUE(p.last_use.empty() || p.last_use.size() == p.code.size());
+  EXPECT_NO_THROW(verify(p));
+}
+
+TEST(Verify, RejectsMismatchedLastUse) {
+  Assembler a;
+  auto r = a.reg();
+  a.load_const(r, 7);
+  a.halt();
+  Program p = a.finish(0, 1);
+  p.last_use.assign(1, 0);  // program has 2 instructions
+  EXPECT_THROW(verify(p), MachineError);
 }
 
 TEST(Passes, ManagerReportsStats) {

@@ -11,6 +11,7 @@
 #include "support/parallel.hpp"
 #include "support/prng.hpp"
 #include "support/table.hpp"
+#include "pin_workers.hpp"
 
 namespace nsc {
 namespace {
@@ -192,6 +193,104 @@ TEST(Parallel, FirstOfManyExceptionsWins) {
     } catch (const EvalError&) {
     }
   }
+}
+
+TEST(ChunkPlan, SerialIsOneChunk) {
+  auto p = ChunkPlan::serial(100);
+  EXPECT_EQ(p.chunks, 1u);
+  EXPECT_EQ(p.begin(0), 0u);
+  EXPECT_EQ(p.end(0), 100u);
+  EXPECT_EQ(ChunkPlan::serial(0).chunks, 0u);
+}
+
+TEST(ChunkPlan, MakePartitionsExactly) {
+  for (std::size_t n : {0u, 1u, 5u, 100u, 4095u, 4096u, 4097u, 100000u}) {
+    for (std::size_t grain : {1u, 7u, 4096u}) {
+      auto p = ChunkPlan::make(n, grain);
+      std::size_t covered = 0;
+      for (std::size_t c = 0; c < p.chunks; ++c) {
+        ASSERT_LT(p.begin(c), p.end(c));
+        ASSERT_LE(p.end(c), n);
+        ASSERT_EQ(p.begin(c), covered);
+        covered = p.end(c);
+      }
+      EXPECT_EQ(covered, n) << "n=" << n << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ParallelReduce, MatchesSerialSumUnderAnyChunking) {
+  SplitMix64 rng(3);
+  auto v = rng.vec(50000, 1000);
+  std::uint64_t expected = 0;
+  for (auto x : v) expected += x;
+  for (std::size_t grain : {1u, 64u, 4096u, 1u << 20}) {
+    auto plan = ChunkPlan::make(v.size(), grain);
+    auto got = parallel_reduce(plan, [&](std::size_t b, std::size_t e) {
+      std::uint64_t s = 0;
+      for (std::size_t i = b; i < e; ++i) s += v[i];
+      return s;
+    });
+    EXPECT_EQ(got, expected) << "grain=" << grain;
+  }
+}
+
+TEST(ParallelReduce, SaturationIsChunkingIndependent) {
+  // sat_add is associative: once any partial sum pins at 2^64-1 the total
+  // does too, so serial and parallel decompositions agree bit-for-bit.
+  std::vector<std::uint64_t> v(10000, ~std::uint64_t{0} / 4096);
+  auto sum_chunk = [&](std::size_t b, std::size_t e) {
+    std::uint64_t s = 0;
+    for (std::size_t i = b; i < e; ++i) s = sat_add(s, v[i]);
+    return s;
+  };
+  const auto serial = parallel_reduce(ChunkPlan::serial(v.size()), sum_chunk);
+  for (std::size_t grain : {1u, 17u, 1024u}) {
+    EXPECT_EQ(parallel_reduce(ChunkPlan::make(v.size(), grain), sum_chunk),
+              serial);
+  }
+}
+
+TEST(ParallelScan, OffsetsAreExclusivePrefix) {
+  SplitMix64 rng(11);
+  auto v = rng.vec(30000, 50);
+  auto sum_chunk = [&](std::size_t b, std::size_t e) {
+    std::uint64_t s = 0;
+    for (std::size_t i = b; i < e; ++i) s += v[i];
+    return s;
+  };
+  for (std::size_t grain : {64u, 4096u}) {
+    auto plan = ChunkPlan::make(v.size(), grain);
+    std::vector<std::uint64_t> offs;
+    const auto total = parallel_scan(plan, sum_chunk, offs);
+    ASSERT_EQ(offs.size(), plan.chunks);
+    std::uint64_t running = 0;
+    for (std::size_t c = 0; c < plan.chunks; ++c) {
+      EXPECT_EQ(offs[c], running);
+      running += sum_chunk(plan.begin(c), plan.end(c));
+    }
+    EXPECT_EQ(total, running);
+  }
+}
+
+TEST(ForEachChunk, RunsEveryChunkAndPropagatesExceptions) {
+  // An explicit multi-chunk plan, so the pool dispatch path runs
+  // regardless of how many workers this machine has.
+  ChunkPlan plan;
+  plan.n = 10000;
+  plan.step = 2500;
+  plan.chunks = 4;
+  std::vector<std::atomic<int>> hits(10000);
+  for_each_chunk(plan, [&](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  EXPECT_THROW(
+      for_each_chunk(plan,
+                     [&](std::size_t c, std::size_t, std::size_t) {
+                       if (c == 1) throw EvalError("boom");
+                     }),
+      EvalError);
 }
 
 TEST(Table, AlignsAndCounts) {
