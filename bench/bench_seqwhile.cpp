@@ -25,6 +25,8 @@
 // order-restoring replay, which the order-oblivious hand programs skip).
 #include <cstdio>
 
+#include "straggler.hpp"  // the shared Lemma 7.2 adversary (bench/)
+
 #include "bvram/machine.hpp"
 #include "nsc/build.hpp"
 #include "nsc/typecheck.hpp"
@@ -211,11 +213,8 @@ int main() {
     // distinct rounds 2..m+1.  Base work is O(n) but an eagerly-touched
     // accumulator of ~n elements is re-appended on each of the m
     // extraction rounds: Theta(n^1.5) overhead, the Lemma 7.2 bad case.
-    const std::uint64_t m = isqrt(n);
-    std::vector<std::uint64_t> counts(n, 1);
-    std::uint64_t ideal = 0;
-    for (std::uint64_t j = 0; j < m; ++j) counts[n - m + j] = j + 2;
-    for (auto c : counts) ideal += c;
+    const auto counts = nsc::bench::straggler_counts(n);
+    const std::uint64_t ideal = nsc::bench::straggler_ideal(counts);
     auto run_w = [&](const Program& p) {
       return run(p, {counts}).cost.work;
     };
@@ -253,11 +252,8 @@ int main() {
   Table ct({"n", "W_ideal", "naive/ideal", "eager/ideal", "staged e=1/2",
             "staged e=1/4"});
   for (std::uint64_t n : {64ull, 256ull, 1024ull, 4096ull}) {
-    const std::uint64_t m = isqrt(n);
-    std::vector<std::uint64_t> counts(n, 1);
-    std::uint64_t ideal = 0;
-    for (std::uint64_t j = 0; j < m; ++j) counts[n - m + j] = j + 2;
-    for (auto c : counts) ideal += c;
+    const auto counts = nsc::bench::straggler_counts(n);
+    const std::uint64_t ideal = nsc::bench::straggler_ideal(counts);
     auto arg = Value::nat_seq(counts);
     auto w_of = [&](const Program& p) {
       return sa::run_compiled(p, dom, cod, arg).cost.work;

@@ -1,0 +1,29 @@
+// The Lemma 7.2 straggler adversary, shared by bench_seqwhile and
+// bench_compile so every table labeled "straggler" measures the same
+// workload: n - sqrt(n) elements finish in round 1 and sqrt(n)
+// stragglers finish on distinct rounds 2..sqrt(n)+1.  W_ideal =
+// sum_i t_i = O(n), but a schedule that re-touches finished elements
+// pays up to Theta(n^1.5) -- the Lemma 7.2 bad case.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/checked.hpp"
+
+namespace nsc::bench {
+
+inline std::vector<std::uint64_t> straggler_counts(std::uint64_t n) {
+  const std::uint64_t m = isqrt(n);
+  std::vector<std::uint64_t> counts(n, 1);
+  for (std::uint64_t j = 0; j < m; ++j) counts[n - m + j] = j + 2;
+  return counts;
+}
+
+/// W_ideal for the adversary: the sum of the per-element round counts.
+inline std::uint64_t straggler_ideal(const std::vector<std::uint64_t>& c) {
+  return std::accumulate(c.begin(), c.end(), std::uint64_t{0});
+}
+
+}  // namespace nsc::bench

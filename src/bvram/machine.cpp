@@ -775,6 +775,25 @@ RunResult Engine::exec() {
             par ? ChunkPlan::make(n) : ChunkPlan::serial(n);
         Buf out;
         std::uint64_t total = 0;
+        if (plan.chunks <= 1 &&
+            (instr.dst == instr.a || operand_dies(pc, 0))) {
+          // The source dies here (or doubles as dst): pack in place over
+          // its own buffer.  The write index never passes the read index
+          // (total <= i), so the unconditional store stays behind the
+          // scan and inside the buffer -- no slack slot, no acquire.
+          std::uint64_t* po = a.data();
+          for (std::size_t i = 0; i < n; ++i) {
+            po[total] = pa[i];
+            total += pa[i] != 0 ? 1 : 0;
+          }
+          a.reset_size(static_cast<std::size_t>(total));  // shrink: free
+          charge(n);
+          charge(total);
+          if (instr.dst != instr.a) {
+            set_reg(instr.dst, std::move(a), instr);
+          }
+          break;
+        }
         if (plan.chunks <= 1) {
           // One-pass branchless pack into an upper-bound buffer (plus one
           // slack slot for the unconditional store); shrinking afterwards

@@ -219,8 +219,9 @@ struct RunConfig {
 // run() executes programs with a pooled register file: freed buffers are
 // recycled instead of returned to the allocator, Move executes as a buffer
 // swap when Program::last_use proves the source dead, and Arith /
-// Enumerate / ScanPlus write their result in place over a dead source
-// operand.  None of this can be observed through the paper's semantics:
+// Enumerate / ScanPlus / Select (the serial pack never writes past its
+// read index) write their result in place over a dead source operand.
+// None of this can be observed through the paper's semantics:
 //
 //   * T charges 1 per executed instruction and W charges the *lengths* of
 //     the registers an instruction touches (section 2).  Both are functions

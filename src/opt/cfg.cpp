@@ -88,6 +88,223 @@ std::vector<bool> Cfg::reachable() const {
   return seen;
 }
 
+DomTree DomTree::build(const Cfg& cfg) {
+  const std::size_t nb = cfg.blocks.size();
+  DomTree dt;
+  dt.idom.assign(nb, kNoBlock);
+  dt.children.assign(nb, {});
+  dt.pre.assign(nb, 0);
+  dt.post.assign(nb, 0);
+  if (nb == 0) return dt;
+
+  // Reverse postorder over the CFG from the entry block.
+  std::vector<std::size_t> rpo_num(nb, kNoBlock);
+  std::vector<std::size_t> order;  // postorder
+  {
+    std::vector<bool> seen(nb, false);
+    struct Frame {
+      std::size_t block;
+      std::size_t next_succ;
+    };
+    std::vector<Frame> stack{{0, 0}};
+    seen[0] = true;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& succs = cfg.blocks[f.block].succs;
+      if (f.next_succ < succs.size()) {
+        const std::size_t s = succs[f.next_succ++];
+        if (!seen[s]) {
+          seen[s] = true;
+          stack.push_back({s, 0});
+        }
+      } else {
+        order.push_back(f.block);
+        stack.pop_back();
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());  // now reverse postorder
+  for (std::size_t i = 0; i < order.size(); ++i) rpo_num[order[i]] = i;
+
+  // Cooper–Harvey–Kennedy: intersect walks both fingers up to the common
+  // dominator, comparing RPO numbers.
+  auto intersect = [&](std::size_t a, std::size_t b) {
+    while (a != b) {
+      while (rpo_num[a] > rpo_num[b]) a = dt.idom[a];
+      while (rpo_num[b] > rpo_num[a]) b = dt.idom[b];
+    }
+    return a;
+  };
+  dt.idom[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      const std::size_t b = order[i];
+      std::size_t new_idom = kNoBlock;
+      for (std::size_t p : cfg.blocks[b].preds) {
+        if (dt.idom[p] == kNoBlock) continue;  // not processed yet
+        new_idom = new_idom == kNoBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNoBlock && dt.idom[b] != new_idom) {
+        dt.idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const std::size_t b = order[i];
+    if (dt.idom[b] != kNoBlock) dt.children[dt.idom[b]].push_back(b);
+  }
+
+  // Entry/exit stamps over the dominator tree for O(1) dominates().
+  std::size_t clock = 0;
+  struct Frame {
+    std::size_t block;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  dt.pre[0] = clock++;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < dt.children[f.block].size()) {
+      const std::size_t c = dt.children[f.block][f.next_child++];
+      dt.pre[c] = clock++;
+      stack.push_back({c, 0});
+    } else {
+      dt.post[f.block] = clock++;
+      stack.pop_back();
+    }
+  }
+  return dt;
+}
+
+LoopForest LoopForest::build(const Cfg& cfg, const DomTree& dom) {
+  const std::size_t nb = cfg.blocks.size();
+  LoopForest f;
+  f.loop_of.assign(nb, kNoBlock);
+
+  // Back edges b -> h with h dominating b, grouped by header.
+  std::vector<std::size_t> loop_of_header(nb, kNoBlock);
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::size_t h : cfg.blocks[b].succs) {
+      if (!dom.dominates(h, b)) continue;
+      if (loop_of_header[h] == kNoBlock) {
+        loop_of_header[h] = f.loops.size();
+        f.loops.push_back(Loop{h, {}, {}, {}, kNoBlock, 1});
+      }
+      f.loops[loop_of_header[h]].latches.push_back(b);
+    }
+  }
+
+  // Loop bodies: backward walk from the latches, stopping at the header.
+  // The header is seeded as visited but never pushed: a latch equal to
+  // the header (single-block self-loop) must not have its predecessors
+  // walked, or the "body" would absorb everything upstream of the loop.
+  for (Loop& l : f.loops) {
+    std::vector<bool> in(nb, false);
+    in[l.header] = true;
+    std::vector<std::size_t> stack;
+    for (std::size_t b : l.latches) {
+      if (!in[b]) {
+        in[b] = true;
+        stack.push_back(b);
+      }
+    }
+    while (!stack.empty()) {
+      const std::size_t b = stack.back();
+      stack.pop_back();
+      for (std::size_t p : cfg.blocks[b].preds) {
+        if (!in[p] && dom.reached(p)) {
+          in[p] = true;
+          stack.push_back(p);
+        }
+      }
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (!in[b]) continue;
+      l.blocks.push_back(b);
+      bool leaves = cfg.blocks[b].falls_to_exit;
+      for (std::size_t s : cfg.blocks[b].succs) leaves |= !in[s];
+      if (leaves) l.exits.push_back(b);
+    }
+  }
+
+  // Nesting: the innermost containing loop is the smallest loop (by
+  // block count) other than the loop itself that includes its header.
+  std::vector<std::vector<bool>> member(f.loops.size(),
+                                        std::vector<bool>(nb, false));
+  for (std::size_t i = 0; i < f.loops.size(); ++i) {
+    for (std::size_t b : f.loops[i].blocks) member[i][b] = true;
+  }
+  for (std::size_t i = 0; i < f.loops.size(); ++i) {
+    for (std::size_t j = 0; j < f.loops.size(); ++j) {
+      if (i == j || !member[j][f.loops[i].header]) continue;
+      if (f.loops[i].parent == kNoBlock ||
+          f.loops[j].blocks.size() <
+              f.loops[f.loops[i].parent].blocks.size()) {
+        f.loops[i].parent = j;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < f.loops.size(); ++i) {
+    std::size_t d = 1;
+    for (std::size_t l = f.loops[i].parent; l != kNoBlock;
+         l = f.loops[l].parent) {
+      ++d;
+    }
+    f.loops[i].depth = d;
+  }
+  // block -> innermost loop: the smallest loop containing it.
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::size_t i = 0; i < f.loops.size(); ++i) {
+      if (!member[i][b]) continue;
+      if (f.loop_of[b] == kNoBlock ||
+          f.loops[i].blocks.size() < f.loops[f.loop_of[b]].blocks.size()) {
+        f.loop_of[b] = i;
+      }
+    }
+  }
+  return f;
+}
+
+bool insert_before(Program& p, const std::vector<std::vector<Instr>>& ins,
+                   const std::vector<bool>& land_after,
+                   std::vector<std::size_t>* new_index) {
+  const std::size_t n = p.code.size();
+  // pre[t]: new position of the run inserted before t; post[t]: new
+  // position of original instruction t.  pre[n] == the exit.
+  std::vector<std::size_t> pre(n + 1), post(n + 1);
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pre[i] = i + added;
+    added += i < ins.size() ? ins[i].size() : 0;
+    post[i] = i + added;
+  }
+  pre[n] = post[n] = n + added;
+  if (new_index != nullptr) {
+    new_index->assign(post.begin(), post.begin() + n);
+  }
+  if (added == 0) return false;
+
+  std::vector<Instr> out;
+  out.reserve(n + added);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < ins.size()) {
+      for (const Instr& extra : ins[i]) out.push_back(extra);
+    }
+    Instr in = p.code[i];
+    if (in.is_jump()) {
+      const std::size_t t = std::min(in.target, n);
+      in.target = land_after[i] ? post[t] : pre[t];
+    }
+    out.push_back(in);
+  }
+  p.code = std::move(out);
+  return true;
+}
+
 bool erase_unkept(Program& p, const std::vector<bool>& keep) {
   const std::size_t n = p.code.size();
   // new_pos[i] = number of kept instructions before i; new_pos[n] = total.

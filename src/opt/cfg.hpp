@@ -1,15 +1,21 @@
 // Basic-block control-flow graph over a bvram::Program, shared by the
-// dataflow passes.  Control flow in the BVRAM is Goto / GotoIfEmpty /
-// Halt; "instruction index == code.size()" is a legal jump destination
-// meaning "exit", which the CFG models as the virtual exit block.
+// dataflow passes, plus the loop-aware analyses layered on top of it:
+// dominator tree, natural-loop forest, and the preheader insertion
+// utility that LICM uses to place hoisted code.  Control flow in the
+// BVRAM is Goto / GotoIfEmpty / Halt; "instruction index == code.size()"
+// is a legal jump destination meaning "exit", which the CFG models as
+// the virtual exit block.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "bvram/machine.hpp"
 
 namespace nsc::opt {
+
+inline constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
 
 struct Block {
   std::size_t begin = 0;  ///< first instruction index
@@ -35,6 +41,69 @@ struct Cfg {
 /// dropped.
 bool erase_unkept(bvram::Program& p, const std::vector<bool>& keep);
 
+/// Insert ins[i] (possibly empty) immediately before instruction i,
+/// remapping every jump target of the *original* code: the jump at old
+/// index j lands *after* the run inserted at its target iff
+/// land_after[j] (back edges into a loop header skip the preheader
+/// code), and at the start of the run otherwise (entry edges flow
+/// through it).  code.size() stays the exit.  The inserted instructions
+/// must not be jumps (their targets are not remapped).  If `new_index`
+/// is non-null it receives, for every original instruction, its
+/// position in the rewritten code.  Returns true if anything was
+/// inserted.
+bool insert_before(bvram::Program& p,
+                   const std::vector<std::vector<bvram::Instr>>& ins,
+                   const std::vector<bool>& land_after,
+                   std::vector<std::size_t>* new_index = nullptr);
+
+/// Dominator tree (iterative Cooper–Harvey–Kennedy over a reverse
+/// postorder of the CFG).  Blocks unreachable from the entry have
+/// idom == kNoBlock and do not appear in the tree.
+struct DomTree {
+  std::vector<std::size_t> idom;  ///< immediate dominator; entry -> itself
+  std::vector<std::vector<std::size_t>> children;  ///< dom-tree edges
+  /// DFS entry/exit stamps over the dominator tree, for O(1) queries.
+  std::vector<std::size_t> pre, post;
+
+  static DomTree build(const Cfg& cfg);
+
+  bool reached(std::size_t b) const { return idom[b] != kNoBlock; }
+
+  /// a dominates b (reflexively).  False if either block is unreachable.
+  bool dominates(std::size_t a, std::size_t b) const {
+    return reached(a) && reached(b) && pre[a] <= pre[b] && post[b] <= post[a];
+  }
+};
+
+/// One natural loop: the target of one or more back edges (edges b -> h
+/// where h dominates b), with all back edges sharing a header merged.
+struct Loop {
+  std::size_t header = kNoBlock;
+  std::vector<std::size_t> blocks;   ///< member blocks, header included
+  std::vector<std::size_t> latches;  ///< back-edge source blocks
+  /// Blocks with an edge leaving the loop (incl. falling to the exit).
+  std::vector<std::size_t> exits;
+  std::size_t parent = kNoBlock;  ///< innermost enclosing loop, if any
+  std::size_t depth = 1;          ///< nesting depth; outermost = 1
+};
+
+/// The natural-loop forest of a CFG (reducible or not: loops whose
+/// header does not dominate the back-edge source are simply absent).
+struct LoopForest {
+  std::vector<Loop> loops;
+  /// block -> innermost containing loop id, or kNoBlock.
+  std::vector<std::size_t> loop_of;
+
+  static LoopForest build(const Cfg& cfg, const DomTree& dom);
+
+  bool contains(std::size_t loop, std::size_t block) const {
+    for (std::size_t l = loop_of[block]; l != kNoBlock; l = loops[l].parent) {
+      if (l == loop) return true;
+    }
+    return false;
+  }
+};
+
 /// Generic forward dataflow fixpoint over the CFG, shared by copy-prop
 /// and the peephole constant analysis.  Block out-states start at TOP
 /// ("uncomputed", the identity of the meet), so must-problems converge
@@ -45,11 +114,23 @@ bool erase_unkept(bvram::Program& p, const std::vector<bool>& keep);
 ///   State unreached() const;                    // all-bottom fallback
 ///   void meet_into(State&, const State&) const;
 ///   void transfer(const bvram::Instr&, State&) const;
+/// and optionally (detected by a requires-expression, both required
+/// together)
+///   bool edge_refines(const bvram::Program&, const Cfg&, std::size_t pred,
+///                     std::size_t succ) const;
+///   void edge_refine(const bvram::Program&, const Cfg&, std::size_t pred,
+///                    std::size_t succ, State&) const;
+/// which sharpen a predecessor's out-state along one specific CFG edge
+/// before the meet -- the hook behind branch-sensitive constant
+/// propagation (on the taken edge of a GotoIfEmpty the tested register
+/// is known empty).  edge_refines is the cheap guard: only edges it
+/// accepts pay for the out-state copy that refinement needs.
 template <typename State, typename Domain>
 class ForwardDataflow {
  public:
   ForwardDataflow(const bvram::Program& p, const Cfg& cfg, const Domain& dom)
-      : cfg_(cfg),
+      : p_(p),
+        cfg_(cfg),
         dom_(dom),
         out_(cfg.blocks.size()),
         have_out_(cfg.blocks.size(), false) {
@@ -91,11 +172,31 @@ class ForwardDataflow {
     }
     for (std::size_t pred : cfg_.blocks[b].preds) {
       if (!have_out_[pred]) continue;  // TOP: identity for the meet
-      if (first) {
-        s = out_[pred];
-        first = false;
-      } else {
-        dom_.meet_into(s, out_[pred]);
+      bool refined = false;
+      if constexpr (requires(State& ps) {
+                      dom_.edge_refine(p_, cfg_, pred, b, ps);
+                    }) {
+        if (dom_.edge_refines(p_, cfg_, pred, b)) {
+          State ps = out_[pred];
+          dom_.edge_refine(p_, cfg_, pred, b, ps);
+          if (first) {
+            s = std::move(ps);
+            first = false;
+          } else {
+            dom_.meet_into(s, ps);
+          }
+          refined = true;
+        }
+      }
+      if (!refined) {
+        // No refinement on this edge: meet straight from the stored
+        // out-state, no copy.
+        if (first) {
+          s = out_[pred];
+          first = false;
+        } else {
+          dom_.meet_into(s, out_[pred]);
+        }
       }
     }
     if (first) s = dom_.unreached();  // only TOP preds (unreached block)
@@ -103,6 +204,7 @@ class ForwardDataflow {
   }
 
  private:
+  const bvram::Program& p_;
   const Cfg& cfg_;
   const Domain& dom_;
   std::vector<State> out_;

@@ -12,7 +12,8 @@
 // deleted, and every rewrite is chosen so that the executed T and W
 // never increase on any input.
 //
-// Pass suite:
+// Pass suite (the loop-aware global pipeline; O2 runs copy-prop -> gvn
+// -> licm -> peephole -> dce -> reg-compact to a fixpoint):
 //   verify      structural well-formedness (register bounds incl. the
 //               SbmRoute imm operand, jump targets, I/O arity) -- run
 //               before and between passes, so an ill-formed program is a
@@ -21,13 +22,26 @@
 //               dataflow); uses of a copied register are rewritten to
 //               the original, which turns the compiler's staging moves
 //               into dead code and exposes move coalescing.
+//   gvn         dominator-tree-scoped global value numbering: redundant
+//               recomputations (Length / Enumerate / ScanPlus / Arith /
+//               Append / the routes) fuse with the dominating original
+//               even across branch diamonds -- the repeated scan/route
+//               subgraphs the flattening compiler emits per segment-
+//               descriptor level collapse here -- and the all-ones route
+//               algebra discharges bm-route certificates by value
+//               equality (select of ones is a copy, an all-ones route
+//               is a Move at half the W).
+//   licm        loop-invariant code motion over the natural-loop forest
+//               (opt/cfg.hpp): invariant, provably-non-trapping
+//               instructions -- including the catalog's ones_like /
+//               broadcast masks, whose route certificate is discharged
+//               through the value table -- move to a preheader that
+//               entry edges flow through and back edges skip.
 //   peephole    constant folding (LoadConst/LoadEmpty algebra over a
 //               per-register {unknown, empty, [n]} lattice, seeded with
-//               "non-input registers start empty"), branch
-//               simplification, and local common-subexpression
-//               elimination per basic block (redundant Length /
-//               Enumerate / ScanPlus / Arith recomputations become
-//               Moves).
+//               "non-input registers start empty" and branch-sensitive:
+//               the taken edge of a GotoIfEmpty knows the tested
+//               register is empty) and branch simplification.
 //   dce         unreachable-code elimination plus liveness-based dead
 //               code elimination on the fixed register file.
 //   reg-compact dead-register elimination: renumber the register file so
@@ -38,7 +52,9 @@
 // exports per-instruction last-use masks (opt::annotate_last_use) that the
 // execution engine in bvram/machine.cpp consumes to recycle dead operand
 // buffers; sa::compile_nsa / compile_nsc annotate compiled programs as
-// their final step.
+// their final step.  The abstract-value lattice and the value-numbering
+// table shared by gvn / licm / peephole live in opt/valuetable.hpp; the
+// dominator tree and natural-loop forest in opt/cfg.hpp.
 #pragma once
 
 #include <cstdint>
@@ -52,8 +68,8 @@
 namespace nsc::opt {
 
 /// How hard the pipeline works.  O0 = naive emission untouched (for tests
-/// that assert exact instruction sequences); O1 = one round of local
-/// cleanup (peephole + DCE); O2 = full suite to fixpoint + register
+/// that assert exact instruction sequences); O1 = one cleanup round
+/// (GVN + peephole + DCE); O2 = full suite to fixpoint + register
 /// compaction (the default in sa::compile_nsa / compile_nsc).
 enum class OptLevel { O0, O1, O2 };
 
@@ -118,6 +134,8 @@ class Pass {
 };
 
 std::unique_ptr<Pass> make_copy_prop();
+std::unique_ptr<Pass> make_gvn();
+std::unique_ptr<Pass> make_licm();
 std::unique_ptr<Pass> make_peephole();
 std::unique_ptr<Pass> make_dce();
 std::unique_ptr<Pass> make_reg_compact();

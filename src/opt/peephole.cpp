@@ -1,11 +1,14 @@
-// Constant folding, branch simplification, and local CSE ("peephole
-// fusion").
+// Constant folding and branch simplification.
 //
 // A forward dataflow over the CFG tracks, per register, an abstract
 // value from the lattice {UNKNOWN, EMPTY, CONST(n)} (EMPTY = the empty
-// vector, CONST(n) = the singleton [n]).  The entry state knows that
-// every non-input register starts empty -- the machine zero-initializes
-// the register file -- which seeds a surprising amount of folding.
+// vector, CONST(n) = the singleton [n]) -- the shared AvDomain of
+// opt/valuetable.hpp.  The entry state knows that every non-input
+// register starts empty (the machine zero-initializes the register
+// file), and the dataflow is *branch-sensitive*: on the taken edge of a
+// GotoIfEmpty the tested register is known empty, so code downstream of
+// an emptiness test folds even when nothing else is known about the
+// register (AvDomain::edge_refine).
 //
 // The rewrite walk then applies, per basic block:
 //   * constant folds: LoadConst+Arith -> folded LoadConst, Length /
@@ -15,37 +18,21 @@
 //     known-singleton -> deleted; Goto-to-next and trailing Halt
 //     deleted;
 //   * self-moves (V_i <- V_i, typically produced by copy propagation)
-//     and re-loads of a value a register already holds, deleted;
-//   * local common-subexpression elimination by value numbering: a
-//     recomputation of Length/Enumerate/ScanPlus/Select/Arith/Append/
-//     routes with operands whose values are unchanged becomes a Move
-//     from the earlier result (copy propagation then forwards it and
-//     DCE deletes the Move).  Re-executing a trapping instruction on
-//     identical operand values cannot trap if the first execution did
-//     not, so CSE of Arith/routes is trap-safe.
-//   * route algebra (ROADMAP): a `bm-route` whose data register is a
-//     known singleton [1] is the catalog's broadcast of 1 -- its result
-//     is an all-ones vector the length of the bound register.  These
-//     "ones" facts (tracked per value number, alongside the VN table)
-//     discharge the route certificates statically: select of an
-//     all-ones register is a copy (sigma drops nothing, same W), and
-//     `bm-route(bound, counts, data)` with counts all-ones-of-X,
-//     data value-equal to X, and bound value-equal to counts
-//     replicates every element exactly once -- a Move at half the W.
-//     Length/Enumerate of an all-ones register canonicalize to the
-//     broadcast source, so `enumerate`-of-`bm-route` chains fuse with
-//     the source's own enumerate via ordinary CSE.
+//     and re-loads of a value a register already holds, deleted.
+//
+// Common-subexpression elimination and the all-ones route algebra,
+// which lived here through PR 3, moved to the dominator-tree-scoped
+// opt/gvn.cpp; this pass is purely local again.
 //
 // Every rewrite here is chosen so that the *executed* T and W never
 // increase on any input (e.g. Arith of two known-empties becomes a Move
 // of an empty register, work 0, rather than a LoadEmpty, work 1).
 #include <cstdint>
-#include <map>
-#include <tuple>
 #include <vector>
 
 #include "opt/cfg.hpp"
 #include "opt/opt.hpp"
+#include "opt/valuetable.hpp"
 
 namespace nsc::opt {
 namespace {
@@ -55,283 +42,6 @@ using bvram::Op;
 using bvram::Program;
 using lang::ArithOp;
 
-// ---------------------------------------------------------------------------
-// abstract values
-// ---------------------------------------------------------------------------
-
-struct AV {
-  enum Kind : std::uint8_t { Unknown, Empty, Const } kind = Unknown;
-  std::uint64_t n = 0;
-
-  bool operator==(const AV&) const = default;
-  static AV unknown() { return {Unknown, 0}; }
-  static AV empty() { return {Empty, 0}; }
-  static AV konst(std::uint64_t n) { return {Const, n}; }
-};
-
-// The dataflow state is a vector over "slots": only registers that can
-// ever hold a statically-known value get one (the closure of LoadConst /
-// LoadEmpty / never-written registers under the foldable operations).
-// Registers without a slot are Unknown everywhere, which is exactly what
-// a dense analysis would compute for them -- naive compiled programs are
-// large, and this keeps the per-block state small.
-constexpr std::uint32_t kNoSlot = 0xffffffff;
-
-using State = std::vector<AV>;  // indexed by slot
-
-struct SlotMap {
-  std::vector<std::uint32_t> slot_of;  // reg -> slot or kNoSlot
-  std::uint32_t num_slots = 0;
-
-  AV get(const State& s, std::uint32_t r) const {
-    const std::uint32_t slot = slot_of[r];
-    return slot == kNoSlot ? AV::unknown() : s[slot];
-  }
-  void set(State& s, std::uint32_t r, AV v) const {
-    const std::uint32_t slot = slot_of[r];
-    if (slot != kNoSlot) s[slot] = v;
-  }
-};
-
-AV meet(AV a, AV b) { return a == b ? a : AV::unknown(); }
-
-bool foldable_op(Op op) {
-  switch (op) {
-    case Op::LoadEmpty:
-    case Op::LoadConst:
-    case Op::Move:
-    case Op::Arith:
-    case Op::Append:
-    case Op::Length:
-    case Op::Enumerate:
-    case Op::Select:
-    case Op::ScanPlus:
-      return true;
-    default:
-      return false;
-  }
-}
-
-/// Registers whose abstract value can ever be non-Unknown: never-written
-/// non-input registers (they stay empty), LoadConst/LoadEmpty targets,
-/// closed under the foldable operations applied to tracked sources.
-SlotMap build_slots(const Program& p) {
-  std::vector<bool> written(p.num_regs, false);
-  for (const Instr& in : p.code) {
-    if (in.has_dst()) written[in.dst] = true;
-  }
-  std::vector<bool> tracked(p.num_regs, false);
-  for (std::size_t r = p.num_inputs; r < p.num_regs; ++r) {
-    if (!written[r]) tracked[r] = true;
-  }
-  bool grew = true;
-  while (grew) {
-    grew = false;
-    for (const Instr& in : p.code) {
-      if (!in.has_dst() || tracked[in.dst] || !foldable_op(in.op)) continue;
-      bool all_tracked = true;
-      for (std::uint32_t r : in.srcs()) all_tracked &= tracked[r];
-      if (all_tracked) {
-        tracked[in.dst] = true;
-        grew = true;
-      }
-    }
-  }
-  SlotMap m;
-  m.slot_of.assign(p.num_regs, kNoSlot);
-  for (std::size_t r = 0; r < p.num_regs; ++r) {
-    if (tracked[r]) m.slot_of[r] = m.num_slots++;
-  }
-  return m;
-}
-
-/// Abstract result of an instruction given the pre-state (has_dst only).
-AV eval(const Instr& in, const State& s, const SlotMap& m) {
-  auto A = [&] { return m.get(s, in.a); };
-  auto B = [&] { return m.get(s, in.b); };
-  switch (in.op) {
-    case Op::LoadEmpty:
-      return AV::empty();
-    case Op::LoadConst:
-      return AV::konst(in.imm);
-    case Op::Move:
-      return A();
-    case Op::Arith: {
-      if (A().kind == AV::Empty && B().kind == AV::Empty) return AV::empty();
-      if (A().kind == AV::Const && B().kind == AV::Const) {
-        try {
-          return AV::konst(lang::arith_apply(in.aop, A().n, B().n));
-        } catch (const Error&) {
-          return AV::unknown();  // would trap at run time: leave it be
-        }
-      }
-      return AV::unknown();
-    }
-    case Op::Append: {
-      if (A().kind == AV::Empty) return B();
-      if (B().kind == AV::Empty) return A();
-      return AV::unknown();  // two non-empties: length >= 2
-    }
-    case Op::Length: {
-      if (A().kind == AV::Empty) return AV::konst(0);
-      if (A().kind == AV::Const) return AV::konst(1);
-      return AV::unknown();
-    }
-    case Op::Enumerate: {
-      if (A().kind == AV::Empty) return AV::empty();
-      if (A().kind == AV::Const) return AV::konst(0);
-      return AV::unknown();
-    }
-    case Op::Select: {
-      if (A().kind == AV::Empty) return AV::empty();
-      if (A().kind == AV::Const) {
-        return A().n == 0 ? AV::empty() : AV::konst(A().n);
-      }
-      return AV::unknown();
-    }
-    case Op::ScanPlus: {
-      if (A().kind == AV::Empty) return AV::empty();
-      if (A().kind == AV::Const) return AV::konst(0);
-      return AV::unknown();
-    }
-    default:
-      return AV::unknown();  // routes: not tracked
-  }
-}
-
-/// Domain for the shared ForwardDataflow driver.
-struct AvDomain {
-  const Program* p = nullptr;
-  const SlotMap* m = nullptr;
-
-  State entry() const {
-    State s(m->num_slots, AV::empty());  // non-input registers start empty
-    for (std::size_t r = 0; r < p->num_inputs && r < p->num_regs; ++r) {
-      m->set(s, r, AV::unknown());
-    }
-    return s;
-  }
-  State unreached() const { return State(m->num_slots, AV::unknown()); }
-  void meet_into(State& a, const State& b) const {
-    for (std::size_t i = 0; i < a.size(); ++i) a[i] = meet(a[i], b[i]);
-  }
-  void transfer(const Instr& in, State& s) const {
-    if (in.has_dst()) m->set(s, in.dst, eval(in, s, *m));
-  }
-};
-
-// ---------------------------------------------------------------------------
-// local value numbering (per basic block)
-// ---------------------------------------------------------------------------
-
-// Key: (op, aop, imm-for-LoadConst, value numbers of the source regs).
-using VnKey = std::tuple<std::uint8_t, std::uint8_t, std::uint64_t,
-                         std::uint64_t, std::uint64_t, std::uint64_t,
-                         std::uint64_t>;
-
-// The table is shared by every block and scoped with an undo log: the
-// rewrite walk visits blocks depth-first over the unique-predecessor
-// tree (extended basic blocks), pushing each block's mutations onto the
-// log and rolling them back on the way out.  Everything known at the
-// end of the only way into a block still holds at its top; join points
-// and loop heads start from the nearest tree ancestor.
-struct VnEntry {
-  std::uint32_t reg = 0;
-  std::uint64_t vn = 0;
-};
-
-struct VnTable {
-  std::vector<std::uint64_t> reg_vn;  // register -> current value number
-  std::uint64_t next_vn;
-  std::map<VnKey, VnEntry> exprs;
-
-  struct UndoRecord {
-    enum Kind : std::uint8_t { Reg, ExprSet, ExprNew } kind;
-    std::uint32_t reg = 0;
-    std::uint64_t old_vn = 0;
-    VnKey key{};
-    VnEntry old_entry{};
-  };
-  std::vector<UndoRecord> undo;
-
-  explicit VnTable(std::size_t num_regs)
-      : reg_vn(num_regs), next_vn(num_regs) {
-    for (std::size_t r = 0; r < num_regs; ++r) reg_vn[r] = r;
-  }
-
-  std::size_t mark() const { return undo.size(); }
-
-  void set_reg_vn(std::uint32_t r, std::uint64_t v) {
-    if (reg_vn[r] == v) return;
-    undo.push_back({UndoRecord::Reg, r, reg_vn[r], {}, {}});
-    reg_vn[r] = v;
-  }
-
-  void set_expr(const VnKey& key, VnEntry e) {
-    auto [it, inserted] = exprs.emplace(key, e);
-    if (inserted) {
-      undo.push_back({UndoRecord::ExprNew, 0, 0, key, {}});
-    } else {
-      undo.push_back({UndoRecord::ExprSet, 0, 0, key, it->second});
-      it->second = e;
-    }
-  }
-
-  void rollback(std::size_t to_mark) {
-    while (undo.size() > to_mark) {
-      const UndoRecord& u = undo.back();
-      switch (u.kind) {
-        case UndoRecord::Reg:
-          reg_vn[u.reg] = u.old_vn;
-          break;
-        case UndoRecord::ExprSet:
-          exprs[u.key] = u.old_entry;
-          break;
-        case UndoRecord::ExprNew:
-          exprs.erase(u.key);
-          break;
-      }
-      undo.pop_back();
-    }
-  }
-
-  VnKey key_of(const Instr& in) const {
-    const auto srcs = in.srcs();
-    std::uint64_t vn[4] = {0, 0, 0, 0};
-    for (std::size_t i = 0; i < srcs.n; ++i) vn[i] = reg_vn[srcs.regs[i]] + 1;
-    const std::uint64_t imm = in.op == Op::LoadConst ? in.imm : 0;
-    return {static_cast<std::uint8_t>(in.op),
-            static_cast<std::uint8_t>(in.aop),
-            imm,
-            vn[0],
-            vn[1],
-            vn[2],
-            vn[3]};
-  }
-};
-
-bool cse_eligible(const Instr& in) {
-  switch (in.op) {
-    case Op::LoadEmpty:
-    case Op::LoadConst:
-    case Op::Arith:
-    case Op::Append:
-    case Op::Length:
-    case Op::Enumerate:
-    case Op::BmRoute:
-    case Op::SbmRoute:
-    case Op::Select:
-    case Op::ScanPlus:
-      return true;
-    default:
-      return false;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// the pass
-// ---------------------------------------------------------------------------
-
 class Peephole final : public Pass {
  public:
   const char* name() const override { return "peephole"; }
@@ -339,30 +49,20 @@ class Peephole final : public Pass {
   bool run(Program& p) override {
     if (p.code.empty() || p.num_regs == 0) return false;
     const Cfg cfg = Cfg::build(p);
-    const std::size_t nb = cfg.blocks.size();
-    const SlotMap m = build_slots(p);
+    const SlotMap m = build_av_slots(p);
 
     // Forward abstract-value analysis over the shared dataflow driver.
     AvDomain dom{&p, &m};
-    const ForwardDataflow<State, AvDomain> flow(p, cfg, dom);
+    const ForwardDataflow<AvState, AvDomain> flow(p, cfg, dom);
 
     // Rewrite walk.
     bool changed = false;
     std::vector<bool> keep(p.code.size(), true);
-    VnTable vn(p.num_regs);
-    // vn of an all-ones vector -> vn of the register it was broadcast
-    // over (same length by the route certificate).  Keyed by value
-    // number, so no undo log is needed: value numbers are never reused,
-    // and a rolled-back subtree's numbers are unreachable from sibling
-    // scopes.  A fact is only derived from an executed (kept) bm-route,
-    // so everything downstream of it in the EBB may rely on its
-    // certificates having held.
-    std::map<std::uint64_t, std::uint64_t> ones_of;
-    auto process_block = [&](std::size_t b) {
-      State s = flow.in_state_of(b);
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      AvState s = flow.in_state_of(b);
       for (std::size_t i = cfg.blocks[b].begin; i < cfg.blocks[b].end; ++i) {
         Instr& in = p.code[i];
-        const AV result = in.has_dst() ? eval(in, s, m) : AV::unknown();
+        const AV result = in.has_dst() ? av_eval(in, s, m) : AV::unknown();
 
         auto drop = [&] {
           keep[i] = false;
@@ -445,162 +145,17 @@ class Peephole final : public Pass {
               }
             }
             // (Select of a known nonzero singleton is covered by the
-            // Const branch above: eval returns konst(n).)
+            // Const branch above: av_eval returns konst(n).)
             break;
           default:
             break;
         }
 
-        // Route algebra over the ones facts (see the header comment).
-        if (keep[i]) {
-          const Instr& cur = p.code[i];
-          if (cur.op == Op::Select && ones_of.count(vn.reg_vn[cur.a]) > 0) {
-            // sigma of an all-ones vector drops nothing: a copy.  W is
-            // unchanged (|in| + |out| = 2n either way), and Select never
-            // traps.
-            replace({Op::Move, ArithOp::Add, cur.dst, cur.a, 0, 0, 0, 0});
-          } else if (cur.op == Op::BmRoute) {
-            const auto it = ones_of.find(vn.reg_vn[cur.b]);
-            if (it != ones_of.end() &&
-                vn.reg_vn[cur.a] == vn.reg_vn[cur.b] &&
-                vn.reg_vn[cur.c] == it->second) {
-              // All-ones counts replicate each element once, and both
-              // certificates are discharged statically: |counts| =
-              // |broadcast source| = |data| (value-equal registers), and
-              // sum(counts) = |counts| = |bound| (bound value-equal to
-              // counts).  The Move charges 2n against the route's 4n.
-              replace({Op::Move, ArithOp::Add, cur.dst, cur.c, 0, 0, 0, 0});
-            }
-          }
-        }
-
-        // Length and Enumerate depend only on their operand's *length*,
-        // and an all-ones vector has its broadcast source's length: key
-        // them under the source's value number so e.g. enumerate(ones(x))
-        // fuses with enumerate(x) via ordinary CSE.
-        auto canon_key = [&](const Instr& ins) {
-          VnKey key = vn.key_of(ins);
-          if (ins.op == Op::Length || ins.op == Op::Enumerate) {
-            const auto it = ones_of.find(vn.reg_vn[ins.a]);
-            if (it != ones_of.end()) std::get<3>(key) = it->second + 1;
-          }
-          return key;
-        };
-
-        // Local CSE on whatever the instruction now is.  A hit normally
-        // becomes a Move from the earlier result -- every eligible op's
-        // executed work is >= the Move's on any input, EXCEPT: LoadConst
-        // (work 1 < the Move's 2), Length (work |src|+1, which is 1 < 2
-        // when the source is empty at run time), and SbmRoute (the only
-        // expanding op: |out| = sum counts*segs can exceed the combined
-        // operand lengths, which only certify sum counts and sum segs).
-        // Those are kept as-is but their destination is given the same
-        // value number as the earlier result, so downstream expressions
-        // over either register still fuse.
-        std::uint64_t alias_vn = 0;
-        bool aliased = false;
-        if (keep[i] && cse_eligible(p.code[i])) {
-          const Instr& cur = p.code[i];
-          const VnKey key = canon_key(cur);
-          auto it = vn.exprs.find(key);
-          if (it != vn.exprs.end() &&
-              vn.reg_vn[it->second.reg] == it->second.vn) {
-            const std::uint32_t e = it->second.reg;
-            if (e == cur.dst) {
-              drop();  // recomputes the value dst already holds
-            } else if (cur.op == Op::LoadConst || cur.op == Op::Length ||
-                       cur.op == Op::SbmRoute) {
-              alias_vn = it->second.vn;
-              aliased = true;
-            } else {
-              replace({Op::Move, ArithOp::Add, cur.dst, e, 0, 0, 0, 0});
-            }
-          }
-        }
-
-        // Value-number and abstract-state bookkeeping for the (possibly
-        // rewritten) instruction.
+        // Abstract-state bookkeeping for the (possibly rewritten)
+        // instruction; dropped instructions leave dst's value unchanged.
         const Instr& fin = p.code[i];
-        // An executed bm-route whose data is the known singleton [1] is
-        // the catalog's ones_like broadcast: its result is all-ones with
-        // the bound register's length.  Capture the bound's vn before the
-        // dst assignment below possibly renumbers it.
-        const bool broadcasts_ones =
-            keep[i] && fin.op == Op::BmRoute &&
-            m.get(s, fin.c) == AV::konst(1);
-        const std::uint64_t broadcast_like_vn =
-            broadcasts_ones ? vn.reg_vn[fin.a] : 0;
-        if (fin.has_dst()) {
-          if (keep[i]) {
-            if (fin.op == Op::Move) {
-              vn.set_reg_vn(fin.dst, vn.reg_vn[fin.a]);
-            } else if (aliased) {
-              // Same value as the recorded expression; keep its entry.
-              vn.set_reg_vn(fin.dst, alias_vn);
-            } else if (cse_eligible(fin)) {
-              const VnKey key = canon_key(fin);
-              const std::uint64_t v = vn.next_vn++;
-              vn.set_reg_vn(fin.dst, v);
-              vn.set_expr(key, {fin.dst, v});
-            } else {
-              vn.set_reg_vn(fin.dst, vn.next_vn++);
-            }
-            if (broadcasts_ones) {
-              ones_of[vn.reg_vn[fin.dst]] = broadcast_like_vn;
-            }
-          }
-          // Dropped instructions leave dst's value (and number) unchanged.
-          if (keep[i]) m.set(s, fin.dst, eval(fin, s, m));
-        }
+        if (fin.has_dst() && keep[i]) m.set(s, fin.dst, av_eval(fin, s, m));
       }
-    };
-
-    // Visit blocks depth-first over the unique-predecessor tree so the
-    // shared VN table carries over into extended basic blocks; rollback
-    // restores the parent's scope.  Join points and loop heads are tree
-    // roots and start from the base table.
-    std::vector<std::vector<std::size_t>> children(nb);
-    std::vector<bool> has_parent(nb, false);
-    for (std::size_t b = 0; b < nb; ++b) {
-      const auto& preds = cfg.blocks[b].preds;
-      // Block 0 never gets a parent: it always has the implicit
-      // program-entry edge in addition to any CFG predecessors.
-      if (b != 0 && preds.size() == 1 && preds[0] != b) {
-        children[preds[0]].push_back(b);
-        has_parent[b] = true;
-      }
-    }
-    std::vector<bool> visited(nb, false);
-    struct Frame {
-      std::size_t block;
-      std::size_t mark;
-      std::size_t next_child;
-    };
-    auto visit_tree = [&](std::size_t root) {
-      std::vector<Frame> stack{{root, vn.mark(), 0}};
-      visited[root] = true;
-      process_block(root);
-      while (!stack.empty()) {
-        Frame& f = stack.back();
-        if (f.next_child < children[f.block].size()) {
-          const std::size_t c = children[f.block][f.next_child++];
-          if (visited[c]) continue;
-          stack.push_back({c, vn.mark(), 0});
-          visited[c] = true;
-          process_block(c);
-        } else {
-          vn.rollback(f.mark);
-          stack.pop_back();
-        }
-      }
-    };
-    for (std::size_t b = 0; b < nb; ++b) {
-      if (!has_parent[b]) visit_tree(b);
-    }
-    for (std::size_t b = 0; b < nb; ++b) {
-      // Single-predecessor cycles of unreachable code never hang off a
-      // root; give them a fresh scope of their own.
-      if (!visited[b]) visit_tree(b);
     }
 
     const bool erased = erase_unkept(p, keep);

@@ -1,0 +1,190 @@
+#include "opt/valuetable.hpp"
+
+namespace nsc::opt {
+
+using bvram::Instr;
+using bvram::Op;
+using bvram::Program;
+
+namespace {
+
+bool foldable_op(Op op) {
+  switch (op) {
+    case Op::LoadEmpty:
+    case Op::LoadConst:
+    case Op::Move:
+    case Op::Arith:
+    case Op::Append:
+    case Op::Length:
+    case Op::Enumerate:
+    case Op::Select:
+    case Op::ScanPlus:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+SlotMap build_av_slots(const Program& p) {
+  std::vector<bool> written(p.num_regs, false);
+  for (const Instr& in : p.code) {
+    if (in.has_dst()) written[in.dst] = true;
+  }
+  std::vector<bool> tracked(p.num_regs, false);
+  for (std::size_t r = p.num_inputs; r < p.num_regs; ++r) {
+    if (!written[r]) tracked[r] = true;
+  }
+  // Branch-tested registers gain an Empty fact on the taken edge even
+  // when nothing else is known about them.
+  for (const Instr& in : p.code) {
+    if (in.op == Op::GotoIfEmpty) tracked[in.a] = true;
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const Instr& in : p.code) {
+      if (!in.has_dst() || tracked[in.dst] || !foldable_op(in.op)) continue;
+      bool all_tracked = true;
+      for (std::uint32_t r : in.srcs()) all_tracked &= tracked[r];
+      if (all_tracked) {
+        tracked[in.dst] = true;
+        grew = true;
+      }
+    }
+  }
+  SlotMap m;
+  m.slot_of.assign(p.num_regs, kNoSlot);
+  for (std::size_t r = 0; r < p.num_regs; ++r) {
+    if (tracked[r]) m.slot_of[r] = m.num_slots++;
+  }
+  return m;
+}
+
+AV av_eval(const Instr& in, const AvState& s, const SlotMap& m) {
+  auto A = [&] { return m.get(s, in.a); };
+  auto B = [&] { return m.get(s, in.b); };
+  switch (in.op) {
+    case Op::LoadEmpty:
+      return AV::empty();
+    case Op::LoadConst:
+      return AV::konst(in.imm);
+    case Op::Move:
+      return A();
+    case Op::Arith: {
+      if (A().kind == AV::Empty && B().kind == AV::Empty) return AV::empty();
+      if (A().kind == AV::Const && B().kind == AV::Const) {
+        try {
+          return AV::konst(lang::arith_apply(in.aop, A().n, B().n));
+        } catch (const Error&) {
+          return AV::unknown();  // would trap at run time: leave it be
+        }
+      }
+      return AV::unknown();
+    }
+    case Op::Append: {
+      if (A().kind == AV::Empty) return B();
+      if (B().kind == AV::Empty) return A();
+      return AV::unknown();  // two non-empties: length >= 2
+    }
+    case Op::Length: {
+      if (A().kind == AV::Empty) return AV::konst(0);
+      if (A().kind == AV::Const) return AV::konst(1);
+      return AV::unknown();
+    }
+    case Op::Enumerate: {
+      if (A().kind == AV::Empty) return AV::empty();
+      if (A().kind == AV::Const) return AV::konst(0);
+      return AV::unknown();
+    }
+    case Op::Select: {
+      if (A().kind == AV::Empty) return AV::empty();
+      if (A().kind == AV::Const) {
+        return A().n == 0 ? AV::empty() : AV::konst(A().n);
+      }
+      return AV::unknown();
+    }
+    case Op::ScanPlus: {
+      if (A().kind == AV::Empty) return AV::empty();
+      if (A().kind == AV::Const) return AV::konst(0);
+      return AV::unknown();
+    }
+    default:
+      return AV::unknown();  // routes: not tracked
+  }
+}
+
+bool AvDomain::edge_refines(const Program& prog, const Cfg& cfg,
+                            std::size_t pred, std::size_t succ) const {
+  const Instr& last = prog.code[cfg.blocks[pred].end - 1];
+  if (last.op != Op::GotoIfEmpty) return false;
+  const std::size_t n = prog.code.size();
+  const std::size_t taken =
+      last.target < n ? cfg.block_of[last.target] : kNoBlock;
+  const std::size_t fall =
+      cfg.blocks[pred].end < n ? cfg.block_of[cfg.blocks[pred].end]
+                               : kNoBlock;
+  // Only the unambiguously-taken edge carries a fact (if both edges
+  // land on the same block, nothing is known).
+  return taken == succ && fall != succ;
+}
+
+void AvDomain::edge_refine(const Program& prog, const Cfg& cfg,
+                           std::size_t pred, std::size_t succ,
+                           AvState& s) const {
+  if (!edge_refines(prog, cfg, pred, succ)) return;
+  m->set(s, prog.code[cfg.blocks[pred].end - 1].a, AV::empty());
+}
+
+void VnTable::rollback(std::size_t to_mark) {
+  while (undo.size() > to_mark) {
+    const UndoRecord& u = undo.back();
+    switch (u.kind) {
+      case UndoRecord::Reg:
+        reg_vn[u.reg] = u.old_vn;
+        break;
+      case UndoRecord::ExprSet:
+        exprs[u.key] = u.old_entry;
+        break;
+      case UndoRecord::ExprNew:
+        exprs.erase(u.key);
+        break;
+    }
+    undo.pop_back();
+  }
+}
+
+VnKey VnTable::key_of(const Instr& in) const {
+  const auto srcs = in.srcs();
+  std::uint64_t vn[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < srcs.n; ++i) vn[i] = reg_vn[srcs.regs[i]] + 1;
+  const std::uint64_t imm = in.op == Op::LoadConst ? in.imm : 0;
+  return {static_cast<std::uint8_t>(in.op),
+          static_cast<std::uint8_t>(in.aop),
+          imm,
+          vn[0],
+          vn[1],
+          vn[2],
+          vn[3]};
+}
+
+bool cse_eligible(const Instr& in) {
+  switch (in.op) {
+    case Op::LoadEmpty:
+    case Op::LoadConst:
+    case Op::Arith:
+    case Op::Append:
+    case Op::Length:
+    case Op::Enumerate:
+    case Op::BmRoute:
+    case Op::SbmRoute:
+    case Op::Select:
+    case Op::ScanPlus:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace nsc::opt

@@ -968,8 +968,15 @@ class Compiler {
     auto step_l = a_.fresh_label();
     auto restore = a_.fresh_label();
 
-    a_.bind(top);
+    // Rotated entry guard: the emptiness test runs once, *outside* the
+    // loop.  It would be redundant on later iterations anyway -- the
+    // step preserves the active count and the extraction path re-checks
+    // before looping -- and keeping it out of the body makes the
+    // predicate block the loop header, so the optimizer's LICM can move
+    // the per-iteration invariant code of the predicate into a
+    // preheader that empty-population entries never execute.
     a_.jump_if_empty(probe(act), restore);
+    a_.bind(top);
     Regs pflags = emitL(f->f(), act);  // SEQREP(B): bits first
     R bits = pflags[0];
     R fin = inv_bits(bits);
@@ -1075,10 +1082,12 @@ class Compiler {
 }  // namespace
 
 bvram::Program compile_nsa(const nsa::NsaRef& f, opt::OptLevel opt,
-                           const opt::WhileSchedule& sched) {
+                           const opt::WhileSchedule& sched,
+                           opt::PipelineStats* stats) {
   Compiler c(sched);
   bvram::Program p = c.compile(f);
-  opt::optimize(p, opt);
+  opt::PipelineStats s = opt::optimize(p, opt);
+  if (stats != nullptr) *stats = std::move(s);
   // Attach the per-instruction last-use masks as the final step: the
   // execution engine uses them to recycle dead operand buffers
   // (Move-as-swap, in-place kernels) without touching the T/W accounting.
@@ -1087,8 +1096,9 @@ bvram::Program compile_nsa(const nsa::NsaRef& f, opt::OptLevel opt,
 }
 
 bvram::Program compile_nsc(const lang::FuncRef& f, opt::OptLevel opt,
-                           const opt::WhileSchedule& sched) {
-  return compile_nsa(nsa::from_closed_func(f), opt, sched);
+                           const opt::WhileSchedule& sched,
+                           opt::PipelineStats* stats) {
+  return compile_nsa(nsa::from_closed_func(f), opt, sched, stats);
 }
 
 CompiledRun run_compiled(const bvram::Program& program, const TypeRef& dom,

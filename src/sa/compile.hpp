@@ -54,16 +54,20 @@ class CompileError : public Error {
 /// optimized by the src/opt/ pass pipeline; pass OptLevel::O0 to get the
 /// naive catalog emission (exact instruction sequences, for tests).
 /// `sched` picks the lifted-while schedule (Lemma 7.2); the default naive
-/// schedule matches the historical emission exactly.
+/// schedule matches the historical emission exactly.  A non-null `stats`
+/// receives the optimizer pipeline's per-pass statistics (bench_compile
+/// reports them alongside the T/W measurements).
 bvram::Program compile_nsa(const nsa::NsaRef& f,
                            opt::OptLevel opt = opt::OptLevel::O2,
-                           const opt::WhileSchedule& sched = {});
+                           const opt::WhileSchedule& sched = {},
+                           opt::PipelineStats* stats = nullptr);
 
 /// Full pipeline: closed NSC function -> NSA (variable elimination) ->
 /// BVRAM (flattening) -> optimizer.
 bvram::Program compile_nsc(const lang::FuncRef& f,
                            opt::OptLevel opt = opt::OptLevel::O2,
-                           const opt::WhileSchedule& sched = {});
+                           const opt::WhileSchedule& sched = {},
+                           opt::PipelineStats* stats = nullptr);
 
 struct CompiledRun {
   ValueRef value;

@@ -397,6 +397,26 @@ TEST(Backend, ControlFlowLoop) {
   expect_identical(p, {Vec{}, Vec{0}});
 }
 
+TEST(Backend, SelectInPlaceOverDeadSource) {
+  // The serial engine packs in place when the source dies at the select
+  // (last_use annotation) or doubles as the destination; all six
+  // configurations must still agree bit-for-bit on outputs, T, W.
+  Assembler a;
+  auto x = a.reg();  // V0: input and final output
+  auto t = a.reg();
+  a.enumerate(t, x);
+  a.arith(t, ArithOp::Mul, t, x);
+  a.select(x, t);  // t dead afterwards: steal its buffer
+  a.select(x, x);  // dst == src: pack in place outright
+  a.halt();
+  auto p = a.finish(1, 1);
+  for (std::size_t n : kSizes) {
+    expect_identical(p, {iota_mod(n, 3)});  // ~1/3 zeros
+    expect_identical(p, {Vec(n, 0)});
+    expect_identical(p, {Vec(n, 9)});
+  }
+}
+
 TEST(Backend, PoolReuseAcrossGrowShrink) {
   // Registers repeatedly grow (append) and shrink (select of zeros),
   // churning the buffer pool.

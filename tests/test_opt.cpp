@@ -417,6 +417,538 @@ TEST(Passes, RouteAlgebraKeepsUnprovableCertificates) {
 }
 
 // ---------------------------------------------------------------------------
+// dominators, loop forest, preheader insertion (opt/cfg.hpp)
+// ---------------------------------------------------------------------------
+
+std::size_t executed_ops(const bvram::RunResult& r, Op op) {
+  std::size_t n = 0;
+  for (const auto& t : r.trace) n += t.op == op ? 1 : 0;
+  return n;
+}
+
+TEST(Analysis, DominatorsOfADiamond) {
+  // 0: branch; 1/2: arms; 3: join.  The branch dominates everything, the
+  // arms dominate nothing but themselves.
+  Assembler a;
+  a.reserve_regs(2);
+  auto v = a.reg();
+  auto join = a.fresh_label(), el = a.fresh_label();
+  a.jump_if_empty(1, el);
+  a.enumerate(v, 0);
+  a.jump(join);
+  a.bind(el);
+  a.length(v, 0);
+  a.bind(join);
+  a.move(0, v);
+  a.halt();
+  Program p = a.finish(2, 1);
+  const Cfg cfg = Cfg::build(p);
+  const DomTree dom = DomTree::build(cfg);
+  const std::size_t b0 = cfg.block_of[0];  // the branch
+  const std::size_t arm1 = cfg.block_of[1];
+  const std::size_t arm2 = cfg.block_of[3];
+  const std::size_t join_b = cfg.block_of[4];
+  EXPECT_TRUE(dom.dominates(b0, arm1));
+  EXPECT_TRUE(dom.dominates(b0, arm2));
+  EXPECT_TRUE(dom.dominates(b0, join_b));
+  EXPECT_FALSE(dom.dominates(arm1, join_b));
+  EXPECT_FALSE(dom.dominates(arm2, join_b));
+  EXPECT_EQ(dom.idom[join_b], b0);
+  EXPECT_TRUE(dom.dominates(join_b, join_b));
+}
+
+TEST(Analysis, LoopForestOfAWhile) {
+  Assembler a;
+  a.reserve_regs(2);
+  auto one = a.reg(), nz = a.reg();
+  a.load_const(one, 1);
+  auto top = a.fresh_label(), done = a.fresh_label();
+  a.bind(top);
+  a.select(nz, 1);
+  a.jump_if_empty(nz, done);
+  a.arith(1, ArithOp::Monus, 1, one);
+  a.jump(top);
+  a.bind(done);
+  a.move(0, 1);
+  a.halt();
+  Program p = a.finish(2, 1);
+  const Cfg cfg = Cfg::build(p);
+  const DomTree dom = DomTree::build(cfg);
+  const LoopForest loops = LoopForest::build(cfg, dom);
+  ASSERT_EQ(loops.loops.size(), 1u);
+  const Loop& l = loops.loops[0];
+  EXPECT_EQ(l.header, cfg.block_of[1]);  // the select at `top`
+  EXPECT_EQ(l.depth, 1u);
+  EXPECT_EQ(l.parent, kNoBlock);
+  ASSERT_EQ(l.latches.size(), 1u);
+  EXPECT_EQ(l.latches[0], cfg.block_of[4]);  // the jump back
+  ASSERT_EQ(l.exits.size(), 1u);
+  EXPECT_EQ(l.exits[0], cfg.block_of[1]);  // the conditional exit
+  EXPECT_EQ(l.blocks.size(), 2u);          // header + body
+  EXPECT_TRUE(loops.contains(0, cfg.block_of[3]));
+  EXPECT_EQ(loops.loop_of[cfg.block_of[0]], kNoBlock);  // preheader code
+}
+
+TEST(Analysis, LoopForestNesting) {
+  // while (!empty V1) { while (!empty V2) { V2 -= 1 } V1 -= 1 }
+  Assembler a;
+  a.reserve_regs(3);
+  auto one = a.reg(), nz = a.reg();
+  a.load_const(one, 1);
+  auto otop = a.fresh_label(), odone = a.fresh_label();
+  auto itop = a.fresh_label(), idone = a.fresh_label();
+  a.bind(otop);
+  a.jump_if_empty(1, odone);
+  a.bind(itop);
+  a.select(nz, 2);
+  a.jump_if_empty(nz, idone);
+  a.arith(2, ArithOp::Monus, 2, one);
+  a.jump(itop);
+  a.bind(idone);
+  a.arith(1, ArithOp::Monus, 1, one);
+  a.select(nz, 1);
+  a.move(1, nz);
+  a.jump(otop);
+  a.bind(odone);
+  a.move(0, 1);
+  a.halt();
+  Program p = a.finish(3, 1);
+  const Cfg cfg = Cfg::build(p);
+  const LoopForest loops = LoopForest::build(cfg, DomTree::build(cfg));
+  ASSERT_EQ(loops.loops.size(), 2u);
+  const std::size_t outer = loops.loops[0].depth == 1 ? 0 : 1;
+  const std::size_t inner = 1 - outer;
+  EXPECT_EQ(loops.loops[inner].depth, 2u);
+  EXPECT_EQ(loops.loops[inner].parent, outer);
+  EXPECT_EQ(loops.loops[outer].parent, kNoBlock);
+  EXPECT_GT(loops.loops[outer].blocks.size(),
+            loops.loops[inner].blocks.size());
+  // The inner header belongs to the inner loop, the outer header only to
+  // the outer one.
+  EXPECT_EQ(loops.loop_of[loops.loops[inner].header], inner);
+  EXPECT_EQ(loops.loop_of[loops.loops[outer].header], outer);
+}
+
+TEST(Analysis, SingleBlockSelfLoop) {
+  // A latch that IS the header (one-block loop ending in a conditional
+  // back edge): the body must be exactly the header block, not
+  // everything upstream of it.
+  Assembler a;
+  a.reserve_regs(2);  // V0: invariant data, output; V1 unused
+  auto one = a.reg(), k = a.reg(), cnt = a.reg(), inv = a.reg(),
+       d = a.reg(), t = a.reg();
+  a.load_const(one, 1);
+  a.load_const(k, 3);
+  a.load_const(cnt, 0);
+  auto top = a.fresh_label();
+  a.bind(top);
+  a.enumerate(inv, 0);  // invariant, hoistable
+  a.arith(cnt, ArithOp::Add, cnt, one);
+  a.arith(d, ArithOp::Monus, cnt, k);
+  a.select(t, d);
+  a.jump_if_empty(t, top);  // back while cnt <= k; falls through to exit
+  a.move(0, inv);
+  a.halt();
+  Program p = a.finish(2, 1);
+  const Cfg cfg = Cfg::build(p);
+  const LoopForest loops = LoopForest::build(cfg, DomTree::build(cfg));
+  ASSERT_EQ(loops.loops.size(), 1u);
+  const Loop& l = loops.loops[0];
+  EXPECT_EQ(l.header, cfg.block_of[3]);  // the enumerate at `top`
+  EXPECT_EQ(l.blocks, (std::vector<std::size_t>{l.header}));
+  EXPECT_EQ(l.latches, (std::vector<std::size_t>{l.header}));
+  EXPECT_EQ(l.exits, (std::vector<std::size_t>{l.header}));
+  EXPECT_EQ(loops.loop_of[cfg.block_of[0]], kNoBlock);
+
+  // LICM works on self-loops too: the invariant enumerate hoists.
+  bvram::RunConfig rc;
+  rc.record_trace = true;
+  const auto before = bvram::run(p, {{7, 7}, {}}, rc);
+  optimize(p);
+  const auto after = bvram::run(p, {{7, 7}, {}}, rc);
+  EXPECT_EQ(after.outputs[0], before.outputs[0]);
+  EXPECT_LE(after.cost.work, before.cost.work);
+  EXPECT_EQ(executed_ops(before, Op::Enumerate), 4u);  // once per iteration
+  EXPECT_EQ(executed_ops(after, Op::Enumerate), 1u);   // hoisted
+}
+
+TEST(Analysis, InsertBeforeRoutesEntryAndBackEdges) {
+  // A one-block loop; code inserted before the header must run on entry
+  // (fall-through) but be skipped by the back-edge jump.
+  Assembler a;
+  a.reserve_regs(2);
+  auto one = a.reg(), nz = a.reg();
+  a.load_const(one, 1);
+  auto top = a.fresh_label(), done = a.fresh_label();
+  a.bind(top);                            // instruction 1
+  a.select(nz, 1);
+  a.jump_if_empty(nz, done);
+  a.arith(1, ArithOp::Monus, 1, one);
+  a.jump(top);                            // instruction 4: the back edge
+  a.bind(done);
+  a.move(0, 1);
+  a.halt();
+  Program p = a.finish(2, 1);
+  const auto want = bvram::run(p, {{}, {3}});
+
+  std::vector<std::vector<bvram::Instr>> ins(p.code.size());
+  // Insert "V_fresh <- [7]" before the header.  It must execute exactly
+  // once even though the loop iterates three times.
+  Program q = p;
+  q.num_regs += 1;
+  const auto fresh = static_cast<std::uint32_t>(q.num_regs - 1);
+  ins[1].push_back({Op::LoadConst, ArithOp::Add, fresh, 0, 0, 0, 7, 0});
+  std::vector<bool> land_after(p.code.size(), false);
+  land_after[4] = true;  // the back edge skips the inserted run
+  EXPECT_TRUE(insert_before(q, ins, land_after));
+  ASSERT_EQ(q.code.size(), p.code.size() + 1);
+  EXPECT_EQ(q.code[1].op, Op::LoadConst);  // sits where the header was
+  EXPECT_EQ(q.code[5].op, Op::Goto);
+  EXPECT_EQ(q.code[5].target, 2u);  // back edge lands after the insertion
+  const auto got = bvram::run(q, {{}, {3}});
+  EXPECT_EQ(got.outputs[0], want.outputs[0]);
+  // 3 iterations, 1 inserted instruction executed once.
+  EXPECT_EQ(got.cost.time, want.cost.time + 1);
+}
+
+// ---------------------------------------------------------------------------
+// global value numbering (opt/gvn.cpp)
+// ---------------------------------------------------------------------------
+
+TEST(Gvn, RecomputationAfterAJoinFuses) {
+  // Length(V0) is computed before a branch diamond and again after the
+  // join.  The EBB-scoped CSE of PR 1-3 lost all facts at the join; the
+  // dominator-scoped GVN fuses the second Length (and the Arith over it)
+  // with the originals.
+  Assembler a;
+  a.reserve_regs(2);
+  auto l1 = a.reg(), t1 = a.reg(), m = a.reg(), l2 = a.reg(), t2 = a.reg(),
+       q = a.reg(), r = a.reg();
+  a.length(l1, 0);
+  a.arith(t1, ArithOp::Add, l1, l1);
+  auto el = a.fresh_label(), join = a.fresh_label();
+  a.jump_if_empty(1, el);
+  a.enumerate(m, 0);
+  a.jump(join);
+  a.bind(el);
+  a.load_empty(m);
+  a.bind(join);
+  a.length(l2, 0);  // recomputation across the join: fuses
+  a.arith(t2, ArithOp::Add, l2, l2);
+  a.append(q, t1, t2);
+  a.append(r, q, m);
+  a.move(0, r);
+  a.halt();
+  Program p = a.finish(2, 1);
+  const auto want = bvram::run(p, {{4, 5, 6}, {1}});
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Length), 1u);
+  EXPECT_EQ(count_op(p, Op::Arith), 1u);
+  EXPECT_EQ(bvram::run(p, {{4, 5, 6}, {1}}).outputs[0], want.outputs[0]);
+  EXPECT_EQ(want.outputs[0], (std::vector<std::uint64_t>{6, 6, 0, 1, 2}));
+  EXPECT_EQ(bvram::run(p, {{4, 5, 6}, {}}).outputs[0],
+            (std::vector<std::uint64_t>{6, 6}));
+}
+
+TEST(Gvn, LoopRedefinitionBlocksFusion) {
+  // Length(V0) before the loop and at the loop header, with V0 doubled
+  // inside the loop: the header recomputation must NOT fuse with the
+  // pre-loop value (the loop body's definitions are killed at the
+  // header), or the second output entry would read 2 instead of 4.
+  Assembler a;
+  a.reserve_regs(2);
+  auto l1 = a.reg(), l2 = a.reg(), s = a.reg();
+  a.length(l1, 0);
+  auto top = a.fresh_label(), exit = a.fresh_label();
+  a.bind(top);
+  a.length(l2, 0);  // V0 changes per iteration: stays
+  a.jump_if_empty(1, exit);
+  a.append(0, 0, 0);
+  a.load_empty(1);
+  a.jump(top);
+  a.bind(exit);
+  a.append(s, l1, l2);
+  a.move(0, s);
+  a.halt();
+  Program p = a.finish(2, 1);
+  const auto want = bvram::run(p, {{7, 8}, {1}}).outputs[0];
+  optimize(p);
+  EXPECT_EQ(bvram::run(p, {{7, 8}, {1}}).outputs[0], want);
+  EXPECT_EQ(want, (std::vector<std::uint64_t>{2, 4}));
+  EXPECT_EQ(count_op(p, Op::Length), 2u);
+}
+
+TEST(Gvn, SiblingBranchesDoNotShareFacts) {
+  // The same expression computed in the two arms of a diamond must not
+  // fuse across arms (neither dominates the other).
+  Assembler a;
+  a.reserve_regs(2);
+  auto x = a.reg(), y = a.reg();
+  auto el = a.fresh_label(), join = a.fresh_label();
+  a.jump_if_empty(1, el);
+  a.enumerate(x, 0);
+  a.move(0, x);
+  a.jump(join);
+  a.bind(el);
+  a.enumerate(y, 0);  // same expression, sibling arm: must survive
+  a.move(0, y);
+  a.bind(join);
+  a.halt();
+  Program p = a.finish(2, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Enumerate), 2u);
+  EXPECT_EQ(bvram::run(p, {{5, 5}, {}}).outputs[0],
+            (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(bvram::run(p, {{5, 5}, {1}}).outputs[0],
+            (std::vector<std::uint64_t>{0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// branch-sensitive constant propagation
+// ---------------------------------------------------------------------------
+
+TEST(BranchSensitive, TakenEdgeKnowsTheRegisterIsEmpty)
+{
+  // The block reached only by the taken edge of `if empty?(V1)` knows V1
+  // is empty, so Length(V1) folds to [0] even though V1 is an input with
+  // no global fact.
+  Assembler a;
+  a.reserve_regs(2);
+  auto l = a.reg();
+  auto taken = a.fresh_label();
+  a.jump_if_empty(1, taken);
+  a.move(0, 1);
+  a.halt();
+  a.bind(taken);
+  a.length(l, 1);
+  a.move(0, l);
+  a.halt();
+  Program p = a.finish(2, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Length), 0u);
+  EXPECT_EQ(bvram::run(p, {{}, {}}).outputs[0],
+            (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(bvram::run(p, {{}, {5}}).outputs[0],
+            (std::vector<std::uint64_t>{5}));
+}
+
+TEST(BranchSensitive, FallThroughEdgeLearnsNothing) {
+  // On the fall-through edge the register is non-empty, which the
+  // lattice cannot represent: downstream code must stay.
+  Assembler a;
+  a.reserve_regs(2);
+  auto l = a.reg();
+  auto taken = a.fresh_label();
+  a.jump_if_empty(1, taken);
+  a.length(l, 1);
+  a.move(0, l);
+  a.halt();
+  a.bind(taken);
+  a.load_const(l, 99);
+  a.move(0, l);
+  a.halt();
+  Program p = a.finish(2, 1);
+  optimize(p);
+  EXPECT_EQ(count_op(p, Op::Length), 1u);
+  EXPECT_EQ(bvram::run(p, {{}, {5, 6}}).outputs[0],
+            (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(bvram::run(p, {{}, {}}).outputs[0],
+            (std::vector<std::uint64_t>{99}));
+}
+
+// ---------------------------------------------------------------------------
+// loop-invariant code motion (opt/licm.cpp)
+// ---------------------------------------------------------------------------
+
+TEST(Licm, InvariantHeaderCodeHoists) {
+  // enumerate(V0) sits in the loop header with V0 never written inside:
+  // it must execute once per run, not once per iteration.
+  Assembler a;
+  a.reserve_regs(2);
+  auto one = a.reg(), inv = a.reg(), nz = a.reg();
+  a.load_const(one, 1);
+  auto top = a.fresh_label(), exit = a.fresh_label();
+  a.bind(top);
+  a.enumerate(inv, 0);  // invariant, in the header block
+  a.select(nz, 1);
+  a.jump_if_empty(nz, exit);
+  a.arith(1, ArithOp::Monus, 1, one);
+  a.jump(top);
+  a.bind(exit);
+  a.move(0, inv);
+  a.halt();
+  Program p = a.finish(2, 1);
+  bvram::RunConfig cfg;
+  cfg.record_trace = true;
+  const auto before = bvram::run(p, {{9, 9, 9}, {3}}, cfg);
+  optimize(p);
+  const auto after = bvram::run(p, {{9, 9, 9}, {3}}, cfg);
+  EXPECT_EQ(after.outputs[0], before.outputs[0]);
+  EXPECT_LE(after.cost.time, before.cost.time);
+  EXPECT_LE(after.cost.work, before.cost.work);
+  EXPECT_EQ(executed_ops(before, Op::Enumerate), 4u);  // per header visit
+  EXPECT_EQ(executed_ops(after, Op::Enumerate), 1u);   // hoisted
+}
+
+TEST(Licm, NothingHoistsOntoTheZeroTripPath) {
+  // The same loop entered with V1 already empty: the loop still exits
+  // immediately and the optimized program must not spend more than the
+  // naive one (no speculation).
+  Assembler a;
+  a.reserve_regs(2);
+  auto one = a.reg(), inv = a.reg(), nz = a.reg();
+  a.load_const(one, 1);
+  auto top = a.fresh_label(), exit = a.fresh_label();
+  a.bind(top);
+  a.enumerate(inv, 0);
+  a.select(nz, 1);
+  a.jump_if_empty(nz, exit);
+  a.arith(1, ArithOp::Monus, 1, one);
+  a.jump(top);
+  a.bind(exit);
+  a.move(0, inv);
+  a.halt();
+  Program p = a.finish(2, 1);
+  const auto before = bvram::run(p, {{9, 9}, {}});
+  optimize(p);
+  const auto after = bvram::run(p, {{9, 9}, {}});
+  EXPECT_EQ(after.outputs[0], before.outputs[0]);
+  EXPECT_LE(after.cost.time, before.cost.time);
+  EXPECT_LE(after.cost.work, before.cost.work);
+}
+
+TEST(Licm, VaryingOperandsStay) {
+  // enumerate(V1) with V1 stepped in the loop is not invariant.
+  Assembler a;
+  a.reserve_regs(2);
+  auto one = a.reg(), e = a.reg(), nz = a.reg();
+  a.load_const(one, 1);
+  auto top = a.fresh_label(), exit = a.fresh_label();
+  a.bind(top);
+  a.enumerate(e, 1);
+  a.select(nz, 1);
+  a.jump_if_empty(nz, exit);
+  a.arith(1, ArithOp::Monus, 1, one);
+  a.jump(top);
+  a.bind(exit);
+  a.move(0, e);
+  a.halt();
+  Program p = a.finish(2, 1);
+  bvram::RunConfig cfg;
+  cfg.record_trace = true;
+  const auto before = bvram::run(p, {{}, {2}}, cfg);
+  optimize(p);
+  const auto after = bvram::run(p, {{}, {2}}, cfg);
+  EXPECT_EQ(after.outputs[0], before.outputs[0]);
+  EXPECT_EQ(executed_ops(after, Op::Enumerate), 3u);  // per header visit
+}
+
+TEST(Licm, InvariantBroadcastCertificateDischarges) {
+  // The catalog's ones_like(V0): LoadConst 1, Length(V0), bm-route with
+  // bound == the Length's source.  All three are invariant and the route
+  // certificate is provable, so the whole mask hoists out of the loop.
+  Assembler a;
+  a.reserve_regs(2);
+  auto stepc = a.reg(), one = a.reg(), lenx = a.reg(), mask = a.reg(),
+       nz = a.reg();
+  a.load_const(stepc, 1);
+  auto top = a.fresh_label(), exit = a.fresh_label();
+  a.bind(top);
+  a.load_const(one, 1);
+  a.length(lenx, 0);
+  a.bm_route(mask, 0, lenx, one);  // ones_like(V0), invariant
+  a.select(nz, 1);
+  a.jump_if_empty(nz, exit);
+  a.arith(1, ArithOp::Monus, 1, stepc);
+  a.jump(top);
+  a.bind(exit);
+  a.move(0, mask);
+  a.halt();
+  Program p = a.finish(2, 1);
+  bvram::RunConfig cfg;
+  cfg.record_trace = true;
+  const auto before = bvram::run(p, {{4, 0, 6}, {2}}, cfg);
+  optimize(p);
+  const auto after = bvram::run(p, {{4, 0, 6}, {2}}, cfg);
+  EXPECT_EQ(after.outputs[0], before.outputs[0]);
+  EXPECT_EQ(after.outputs[0], (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_LE(after.cost.work, before.cost.work);
+  EXPECT_EQ(executed_ops(before, Op::BmRoute), 3u);  // per header visit
+  EXPECT_EQ(executed_ops(after, Op::BmRoute), 1u);   // hoisted
+}
+
+TEST(Licm, SelfClobberingLengthDoesNotCertifyRoute) {
+  // length(y, y) overwrites its own source, so "sum(counts) == |bound|"
+  // does not hold for bm_route(m, y, y, c): with y initially empty,
+  // |y| becomes 1 but sum(y) = 0.  The route sits on the loop's only
+  // exit path (its block dominates the exit) while a spin cycle can
+  // keep the loop running forever without reaching it -- hoisting it
+  // would introduce a trap the original program never executes.
+  Assembler a;
+  a.reserve_regs(2);  // V0: out, V1: spin selector
+  auto y = a.reg(), c = a.reg(), m = a.reg();
+  a.load_const(c, 1);
+  a.length(y, y);  // y := [length(y)] : clobbers its own source
+  auto top = a.fresh_label(), route_l = a.fresh_label(),
+       exit = a.fresh_label();
+  a.bind(top);
+  a.jump_if_empty(1, route_l);
+  a.jump(top);  // spin while V1 is non-empty
+  a.bind(route_l);
+  a.bm_route(m, y, y, c);  // certificate fails at run time: 0 != 1
+  a.jump_if_empty(0, exit);
+  a.jump(top);
+  a.bind(exit);
+  a.move(0, m);
+  a.halt();
+  Program p = a.finish(2, 1);
+  bvram::RunConfig fuel;
+  fuel.max_instructions = 1000;
+  // Spinning input: runs out of fuel without ever trapping.
+  EXPECT_THROW(bvram::run(p, {{}, {1}}, fuel), FuelExhausted);
+  // Route input: the certificate trap fires.
+  EXPECT_THROW(bvram::run(p, {{}, {}}, fuel), MachineError);
+  optimize(p);
+  // Both behaviors must survive: the route was NOT hoisted into the
+  // preheader (which the spin path executes).
+  EXPECT_THROW(bvram::run(p, {{}, {1}}, fuel), FuelExhausted);
+  EXPECT_THROW(bvram::run(p, {{}, {}}, fuel), MachineError);
+}
+
+TEST(Licm, UnprovableRouteCertificateStays) {
+  // Same shape but the route's bound is a *different* register than the
+  // Length's source: sum(counts) == |bound| is not provable, so the
+  // (possibly trapping) route must stay in the loop.
+  Assembler a;
+  a.reserve_regs(3);
+  auto one = a.reg(), lenx = a.reg(), mask = a.reg(), nz = a.reg(),
+       stepc = a.reg();
+  a.load_const(stepc, 1);
+  auto top = a.fresh_label(), exit = a.fresh_label();
+  a.bind(top);
+  a.load_const(one, 1);
+  a.length(lenx, 0);
+  a.bm_route(mask, 1, lenx, one);  // bound V1 != Length source V0
+  a.select(nz, 2);
+  a.jump_if_empty(nz, exit);
+  a.arith(2, ArithOp::Monus, 2, stepc);
+  a.jump(top);
+  a.bind(exit);
+  a.move(0, mask);
+  a.halt();
+  Program p = a.finish(3, 1);
+  bvram::RunConfig cfg;
+  cfg.record_trace = true;
+  const auto before = bvram::run(p, {{4}, {9}, {1}}, cfg);
+  optimize(p);
+  const auto after = bvram::run(p, {{4}, {9}, {1}}, cfg);
+  EXPECT_EQ(after.outputs[0], before.outputs[0]);
+  EXPECT_EQ(executed_ops(after, Op::BmRoute), 2u);  // per header visit
+  // The mismatch case still traps identically.
+  EXPECT_THROW(bvram::run(p, {{4, 4}, {9}, {1}}), MachineError);
+}
+
+// ---------------------------------------------------------------------------
 // liveness export (opt/liveness.hpp)
 // ---------------------------------------------------------------------------
 
@@ -694,6 +1226,106 @@ TEST(Differential, ZipMismatchTrapsIdentically) {
                         return L::zip(L::proj1(z), L::proj2(z));
                       }),
                21, 30);
+}
+
+TEST(Differential, WhileWithInvariantComponent) {
+  // while i < bound: (bound, i+1) -- the bound component passes through
+  // the step untouched, so after copy propagation it is loop-invariant
+  // and the predicate's masks over it are LICM fodder.  The usual
+  // contract must hold: identical outputs, non-increasing executed T/W.
+  const TypeRef PT = Type::prod(N, N);
+  auto pred =
+      L::lam(PT, [](L::TermRef s) { return L::lt(L::proj2(s), L::proj1(s)); });
+  auto step = L::lam(PT, [](L::TermRef s) {
+    return L::pair(L::proj1(s), L::add(L::proj2(s), L::nat(1)));
+  });
+  differential(L::lam(PT,
+                      [&](L::TermRef s) {
+                        return L::apply(L::while_f(pred, step), s);
+                      }),
+               22, 10);
+}
+
+// ---------------------------------------------------------------------------
+// hoisting regressions on compiled whiles
+// ---------------------------------------------------------------------------
+
+TEST(Regression, OnesLikeMaskHoistedOutOfCompiledStagedWhile) {
+  // while not(bound == i): (bound, i+1), compiled under the staged
+  // schedule.  The predicate's eq_bits derives ones_like(bound) -- a
+  // LoadConst + Length + bm-route broadcast -- from the invariant bound
+  // component every iteration; after the loop-aware pipeline the mask
+  // must execute a constant number of times, independent of the
+  // iteration count.
+  const TypeRef PT = Type::prod(N, N);
+  auto pred = L::lam(
+      PT, [](L::TermRef s) { return L::neq(L::proj1(s), L::proj2(s)); });
+  auto step = L::lam(PT, [](L::TermRef s) {
+    return L::pair(L::proj1(s), L::add(L::proj2(s), L::nat(1)));
+  });
+  auto f = L::lam(PT, [&](L::TermRef s) {
+    return L::apply(L::while_f(pred, step), s);
+  });
+  auto [dom, cod] = L::check_func(f);
+  auto p0 = sa::compile_nsc(f, OptLevel::O0, WhileSchedule::staged({1, 2}));
+  auto p2 = sa::compile_nsc(f, OptLevel::O2, WhileSchedule::staged({1, 2}));
+
+  bvram::RunConfig cfg;
+  cfg.record_trace = true;
+  auto run_k = [&](const Program& p, std::uint64_t k) {
+    auto inputs = sa::encode_value(
+        Value::pair(Value::nat(k), Value::nat(0)), dom);
+    return bvram::run(p, inputs, cfg);
+  };
+  const auto o0_3 = run_k(p0, 3), o0_7 = run_k(p0, 7);
+  const auto o2_3 = run_k(p2, 3), o2_7 = run_k(p2, 7);
+  EXPECT_EQ(o2_3.outputs, o0_3.outputs);
+  EXPECT_EQ(o2_7.outputs, o0_7.outputs);
+  // Naive emission re-derives the mask per iteration...
+  EXPECT_GT(executed_ops(o0_7, Op::BmRoute), executed_ops(o0_3, Op::BmRoute));
+  // ...the optimized program does not: every route left in the loop body
+  // was hoisted, so the executed count is iteration-independent.
+  EXPECT_EQ(executed_ops(o2_7, Op::BmRoute), executed_ops(o2_3, Op::BmRoute));
+  EXPECT_LT(executed_ops(o2_7, Op::BmRoute), executed_ops(o0_7, Op::BmRoute));
+}
+
+TEST(Regression, MappedStagedWhileHoistsPredicateConstants) {
+  // map(while 0 < v: v - 1) under the staged schedule: the rotated
+  // buffered-while loop makes the predicate block the loop header, so
+  // its per-iteration LoadConsts hoist.  The per-iteration LoadConst
+  // cost at O2 must be strictly below O0's.
+  auto pred = L::lam(N, [](L::TermRef v) { return L::lt(L::nat(0), v); });
+  auto step =
+      L::lam(N, [](L::TermRef v) { return L::monus_t(v, L::nat(1)); });
+  auto f = L::lam(NSeq, [&](L::TermRef x) {
+    return L::apply(L::map_f(L::lam(N,
+                                    [&](L::TermRef v) {
+                                      return L::apply(
+                                          L::while_f(pred, step), v);
+                                    })),
+                    x);
+  });
+  auto [dom, cod] = L::check_func(f);
+  auto p0 = sa::compile_nsc(f, OptLevel::O0, WhileSchedule::staged({1, 2}));
+  auto p2 = sa::compile_nsc(f, OptLevel::O2, WhileSchedule::staged({1, 2}));
+
+  bvram::RunConfig cfg;
+  cfg.record_trace = true;
+  auto run_k = [&](const Program& p, std::uint64_t k) {
+    auto inputs = sa::encode_value(Value::nat_seq({k}), dom);
+    return bvram::run(p, inputs, cfg);
+  };
+  // One element finishing after k steps: k extra iterations between the
+  // two runs isolate the per-iteration cost.
+  const auto o0_3 = run_k(p0, 3), o0_9 = run_k(p0, 9);
+  const auto o2_3 = run_k(p2, 3), o2_9 = run_k(p2, 9);
+  EXPECT_EQ(o2_3.outputs, o0_3.outputs);
+  EXPECT_EQ(o2_9.outputs, o0_9.outputs);
+  const std::size_t per_iter_o0 =
+      executed_ops(o0_9, Op::LoadConst) - executed_ops(o0_3, Op::LoadConst);
+  const std::size_t per_iter_o2 =
+      executed_ops(o2_9, Op::LoadConst) - executed_ops(o2_3, Op::LoadConst);
+  EXPECT_LT(per_iter_o2, per_iter_o0);
 }
 
 // ---------------------------------------------------------------------------
