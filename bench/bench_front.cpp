@@ -1,0 +1,68 @@
+// Frontend throughput: how fast the textual pipeline (lex -> parse ->
+// resolve -> compile) chews through the .nsc corpus.  Informational --
+// no gating, wall-clock only -- but it keeps parser performance visible
+// as the corpus grows and gives a one-command profile target.
+//
+//   ./build/bench/bench_front [corpus-dir]   (default: tests/corpus)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "front/front.hpp"
+#include "sa/compile.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace F = nsc::front;
+  const std::string dir = argc > 1 ? argv[1] : "tests/corpus";
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".nsc") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "no .nsc files under %s\n", dir.c_str());
+    return 2;
+  }
+  std::printf("%-28s %7s %7s %10s %10s %10s %8s\n", "program", "bytes",
+              "tokens", "parse us", "resolve us", "compile us", "instrs");
+  double total_parse = 0, total_resolve = 0, total_compile = 0;
+  for (const auto& path : files) {
+    const F::SourceFile src = F::load_file(path);
+    const auto t0 = Clock::now();
+    const auto tokens = F::lex(src);
+    const F::Module mod = F::parse_module(src);
+    const double parse_us = us_since(t0);
+    const auto t1 = Clock::now();
+    const F::ResolvedModule resolved = F::resolve(mod, src);
+    const double resolve_us = us_since(t1);
+    const auto t2 = Clock::now();
+    const auto program = nsc::sa::compile_nsc(resolved.main().fn);
+    const double compile_us = us_since(t2);
+    total_parse += parse_us;
+    total_resolve += resolve_us;
+    total_compile += compile_us;
+    std::printf("%-28s %7zu %7zu %10.1f %10.1f %10.1f %8zu\n",
+                std::filesystem::path(path).filename().string().c_str(),
+                src.text().size(), tokens.size(), parse_us, resolve_us,
+                compile_us, program.code.size());
+  }
+  std::printf("%-28s %7s %7s %10.1f %10.1f %10.1f\n", "total", "", "",
+              total_parse, total_resolve, total_compile);
+  return 0;
+}

@@ -458,12 +458,27 @@ RunResult Engine::exec() {
         Buf& b = reg_of(instr.b, instr);
         const std::size_t na = a.size();
         const std::size_t nb = b.size();
-        Buf out = acquire(na + nb);
-        copy_range(out.data(), a.data(), na);
-        copy_range(out.data() + na, b.data(), nb);
         charge(na);
         charge(nb);
         charge(na + nb);
+        if ((instr.dst == instr.a || operand_dies(pc, 0)) &&
+            a.capacity() >= na + nb) {
+          // The left source dies here (or doubles as dst) and its buffer
+          // already has room: keep the first na slots in place and copy
+          // only the right source after them (the Select-in-place
+          // pattern).  b's pointer is read before the size reset; within
+          // capacity the reset never reallocates, so it stays valid even
+          // when b aliases a, and when b aliases dst the displaced buffer
+          // is recycled only after the copy.
+          const std::uint64_t* pb = b.data();
+          a.reset_size(na + nb);
+          copy_range(a.data() + na, pb, nb);
+          if (instr.dst != instr.a) set_reg(instr.dst, std::move(a), instr);
+          break;
+        }
+        Buf out = acquire(na + nb);
+        copy_range(out.data(), a.data(), na);
+        copy_range(out.data() + na, b.data(), nb);
         set_reg(instr.dst, std::move(out), instr);
         break;
       }

@@ -1,0 +1,99 @@
+#include "front/ast.hpp"
+
+namespace nsc::front {
+
+TypeExprPtr TypeExpr::make(TypeKind kind, SrcLoc loc, TypeExprPtr a,
+                           TypeExprPtr b) {
+  auto t = std::make_shared<TypeExpr>();
+  t->kind = kind;
+  t->loc = loc;
+  t->a = std::move(a);
+  t->b = std::move(b);
+  return t;
+}
+
+const char* binop_spelling(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Monus: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Shr: return ">>";
+    case BinOp::Append: return "++";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+  }
+  return "?";
+}
+
+ExprPtr Expr::make(Init init) {
+  auto e = std::make_shared<Expr>();
+  e->kind = init.kind;
+  e->loc = init.loc;
+  e->nat = init.nat;
+  e->bval = init.bval;
+  e->bop = init.bop;
+  e->name = std::move(init.name);
+  e->name2 = std::move(init.name2);
+  e->type = std::move(init.type);
+  e->a = std::move(init.a);
+  e->b = std::move(init.b);
+  e->c = std::move(init.c);
+  e->elems = std::move(init.elems);
+  return e;
+}
+
+bool equal(const TypeExprPtr& a, const TypeExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->kind == b->kind && equal(a->a, b->a) && equal(a->b, b->b);
+}
+
+bool equal(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind || a->nat != b->nat || a->bval != b->bval ||
+      a->bop != b->bop || a->name != b->name || a->name2 != b->name2) {
+    return false;
+  }
+  if (!equal(a->type, b->type)) return false;
+  if (!equal(a->a, b->a) || !equal(a->b, b->b) || !equal(a->c, b->c)) {
+    return false;
+  }
+  if (a->elems.size() != b->elems.size()) return false;
+  for (std::size_t i = 0; i < a->elems.size(); ++i) {
+    if (!equal(a->elems[i], b->elems[i])) return false;
+  }
+  return true;
+}
+
+bool equal(const Decl& a, const Decl& b) {
+  if (a.kind != b.kind || a.name != b.name ||
+      a.params.size() != b.params.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.params.size(); ++i) {
+    if (a.params[i].name != b.params[i].name ||
+        !equal(a.params[i].type, b.params[i].type)) {
+      return false;
+    }
+  }
+  return equal(a.ret, b.ret) && equal(a.body, b.body);
+}
+
+bool equal(const Module& a, const Module& b) {
+  if (a.decls.size() != b.decls.size()) return false;
+  for (std::size_t i = 0; i < a.decls.size(); ++i) {
+    if (!equal(a.decls[i], b.decls[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace nsc::front

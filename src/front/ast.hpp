@@ -1,0 +1,137 @@
+// Surface abstract syntax for the NSC textual frontend.
+//
+// This tree mirrors what the user wrote (comprehensions, operators, named
+// function calls, type ascriptions) rather than the core calculus; the
+// resolver (front/resolve.hpp) lowers it onto the nsc::lang AST.  Every
+// node carries a SrcLoc so resolver-stage type errors can point into the
+// source.  Structural equality (`equal`) ignores locations -- it is the
+// relation under which the pretty-printer round-trips:
+// parse(print(m)) == m.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "front/source.hpp"
+
+namespace nsc::front {
+
+// -- types -------------------------------------------------------------------
+
+enum class TypeKind { Unit, Nat, Bool, Seq, Prod, Sum };
+
+struct TypeExpr;
+using TypeExprPtr = std::shared_ptr<const TypeExpr>;
+
+/// Surface type: t ::= unit | nat | bool | [t] | t * t | t + t.
+/// `bool` is kept distinct from `unit + unit` in the surface tree (so the
+/// printer reproduces what was written) and collapses during resolution.
+struct TypeExpr {
+  TypeKind kind = TypeKind::Unit;
+  SrcLoc loc;
+  TypeExprPtr a;  // Seq element / Prod-Sum left
+  TypeExprPtr b;  // Prod/Sum right
+
+  static TypeExprPtr make(TypeKind kind, SrcLoc loc, TypeExprPtr a = nullptr,
+                          TypeExprPtr b = nullptr);
+};
+
+// -- expressions -------------------------------------------------------------
+
+enum class ExprKind {
+  Var,            // x
+  NatLit,         // 42
+  UnitLit,        // ()
+  BoolLit,        // true / false
+  PairLit,        // (a, b)
+  SeqLit,         // [e0, e1, ...]  (one or more elements)
+  EmptyLit,       // empty[t]
+  OmegaLit,       // omega[t]
+  Inl,            // inl[t](e): t is the *right* summand
+  Inr,            // inr[t](e): t is the *left* summand
+  Unary,          // !e
+  Binary,         // a op b
+  Call,           // f(e0, ..., ek)  -- builtin or declared function
+  Lambda,         // \x : t. e   (function-argument position only)
+  Let,            // let x (: t)? = a in b
+  If,             // if a then b else c
+  While,          // while x = a; b; c
+  Case,           // case a of inl x => b | inr y => c
+  Comprehension,  // [a | x <- b] or [a | x <- b, c]
+};
+
+enum class BinOp {
+  Add, Monus, Mul, Div, Mod, Shr, Append,
+  Eq, Ne, Lt, Le, Gt, Ge, And, Or,
+};
+
+const char* binop_spelling(BinOp op);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::Var;
+  SrcLoc loc;
+  std::uint64_t nat = 0;       // NatLit
+  bool bval = false;           // BoolLit
+  BinOp bop = BinOp::Add;      // Binary
+  std::string name;            // Var / Call callee / binder (Let, Lambda,
+                               // While, Comprehension, Case-inl)
+  std::string name2;           // Case-inr binder
+  TypeExprPtr type;            // Empty/Omega/Inl/Inr annotation, Lambda
+                               // param type, optional Let ascription
+  ExprPtr a, b, c;             // children, by position (see ExprKind)
+  std::vector<ExprPtr> elems;  // SeqLit elements / Call arguments
+
+  struct Init {
+    ExprKind kind = ExprKind::Var;
+    SrcLoc loc;
+    std::uint64_t nat = 0;
+    bool bval = false;
+    BinOp bop = BinOp::Add;
+    std::string name, name2;
+    TypeExprPtr type;
+    ExprPtr a, b, c;
+    std::vector<ExprPtr> elems;
+  };
+  static ExprPtr make(Init init);
+};
+
+// -- declarations ------------------------------------------------------------
+
+struct Param {
+  std::string name;
+  TypeExprPtr type;
+  SrcLoc loc;
+};
+
+enum class DeclKind {
+  Fn,     // fn name(x : t, ...) (: t)? = body
+  Input,  // input expr   (a sample argument for main; used by run/bench)
+};
+
+struct Decl {
+  DeclKind kind = DeclKind::Fn;
+  SrcLoc loc;
+  std::string name;           // Fn
+  std::vector<Param> params;  // Fn
+  TypeExprPtr ret;            // optional result ascription
+  ExprPtr body;               // Fn body / Input expression
+};
+
+struct Module {
+  std::string file;
+  std::vector<Decl> decls;
+};
+
+// -- structural equality (ignores SrcLoc) ------------------------------------
+
+bool equal(const TypeExprPtr& a, const TypeExprPtr& b);
+bool equal(const ExprPtr& a, const ExprPtr& b);
+bool equal(const Decl& a, const Decl& b);
+bool equal(const Module& a, const Module& b);
+
+}  // namespace nsc::front

@@ -1,0 +1,142 @@
+#include "front/doc.hpp"
+
+namespace nsc::front {
+
+std::string language_reference() {
+  return R"DOC(# The NSC surface language
+
+This file is generated from `front::language_reference()` (src/front/doc.cpp)
+and checked against the parser in CI; regenerate it with `nscc doc > docs/nsc-language.md`.
+
+NSC is the paper's Nested Sequence Calculus: a first-order, typed,
+data-parallel language over naturals, pairs, sums, and nested sequences.
+The surface syntax below parses to the core calculus of `src/nsc/ast.hpp`
+(appendix A) and from there compiles through NSA to the BVRAM.
+
+## Modules
+
+A `.nsc` file is a sequence of declarations:
+
+```
+fn name(x : type, ...) : type = expr     -- the ': type' result ascription is optional
+input expr                               -- a sample argument for main
+```
+
+* Functions resolve top-down; recursion is impossible (the core calculus
+  has none -- iterate with `while`).
+* NSC functions are unary: a multi-parameter `fn` takes a right-nested
+  tuple, so `fn f(a : nat, b : [nat])` has domain `nat * [nat]` and
+  `f(x, y)` passes `(x, y)`.
+* The entry point is `main`.  `input` declarations are closed expressions
+  evaluated to sample arguments; `nscc run`/`bench` and the corpus tests
+  feed every input to `main`.
+* `--` starts a line comment.
+
+## Types
+
+```
+t ::= nat | unit | bool | [t] | t * t | t + t | (t)
+```
+
+`*` (product) and `+` (sum) are right-associative; `*` binds tighter.
+`bool` abbreviates `unit + unit` with `true = inl ()`, `false = inr ()`.
+
+## Expressions
+
+```
+e ::= x | 42 | () | true | false              -- atoms
+    | (e1, e2)                                -- pair
+    | [e1, ..., ek]                           -- sequence literal (k >= 1)
+    | empty[t]                                -- [] : [t]
+    | omega[t]                                -- the error value, at type t
+    | inl[tr](e) | inr[tl](e)                 -- injections; the bracket names
+                                              --   the *other* summand
+    | f(e1, ..., ek)                          -- call (declared fn or builtin)
+    | let x = e1 in e2                        -- let x : t = e1 in e2 also legal
+    | if c then e1 else e2
+    | while x = init; cond; step              -- iterate step while cond holds;
+                                              --   value is the final state x
+    | case e of inl x => e1 | inr y => e2
+    | [body | x <- xs]                        -- map comprehension
+    | [body | x <- xs, cond]                  -- filtered map comprehension
+    | \x : t. body                            -- lambda: function-argument
+                                              --   position only (first-order)
+    | e1 op e2 | !e | (e)
+```
+
+### Operators
+
+By loosening precedence:
+
+| level | operators            | meaning                                   |
+|-------|----------------------|-------------------------------------------|
+| 1     | `\|\|`               | boolean or (derived `case`)                |
+| 2     | `&&`                 | boolean and                                |
+| 3     | `== != < <= > >=`    | on `nat`; non-associative (no chaining)    |
+| 4     | `++`                 | sequence append                            |
+| 5     | `+ -`                | add, monus (truncated subtraction)         |
+| 6     | `* / % >>`           | mul, div, mod, right shift (`/ %` are Omega on 0) |
+| 7     | `!`                  | boolean not                                |
+
+Arithmetic is the paper's operation set Sigma on saturating 64-bit
+naturals; comparisons are the section 3 derived forms (`a <= b` iff
+`a - b == 0`).
+
+## Builtin functions
+
+Core primitives (appendix A):
+
+| builtin            | type                        | notes                     |
+|--------------------|-----------------------------|---------------------------|
+| `length(s)`        | `[t] -> nat`                |                           |
+| `flatten(s)`       | `[[t]] -> [t]`              |                           |
+| `get(s)`           | `[t] -> t`                  | Omega unless `length == 1`|
+| `zip(a, b)`        | `[s], [t] -> [s * t]`       | Omega on length mismatch  |
+| `enumerate(s)`     | `[t] -> [nat]`              | `[0, ..., n-1]`           |
+| `split(s, sizes)`  | `[t], [nat] -> [[t]]`       | Omega unless sum matches  |
+| `fst(p)` `snd(p)`  | `s * t -> s` / `-> t`       |                           |
+| `log2(n)`          | `nat -> nat`                | floor log2; `log2(0) = 0` |
+
+Derived prelude (section 3 / Figures 2-3; costs as claimed there):
+
+| builtin                 | type                          | notes                  |
+|-------------------------|-------------------------------|------------------------|
+| `map(f, s)`             | `(s -> t), [s] -> [t]`        | parallel map           |
+| `filter(p, s)`          | `(t -> bool), [t] -> [t]`     |                        |
+| `sum(s)` `max(s)`       | `[nat] -> nat`                | log-depth halving      |
+| `first(s)` `last(s)`    | `[t] -> t`                    | Omega on empty         |
+| `tail(s)` `init(s)`     | `[t] -> [t]`                  | Omega on empty         |
+| `index(c, i)`           | `[t], [nat] -> [t]`           | gather at sorted `i`   |
+| `index_split(c, i)`     | `[t], [nat] -> [[t]]`         | split *at* sorted `i`  |
+| `merge(a, b)`           | `[nat], [nat] -> [nat]`       | both inputs sorted     |
+| `ranks(a, b)`           | `[nat], [nat] -> [nat]`       | rank of each `a` in `b`|
+| `sqrt_positions(s)`     | `[t] -> [t]`                  | every sqrt-th element  |
+| `sqrt_split(s)`         | `[t] -> [[t]]`                | sqrt-size blocks       |
+
+`map` and `filter` (and the eta-expandable unary builtins) accept a
+declared function name, a builtin name, or a lambda as their function
+argument; lambdas may capture enclosing variables (the broadcast cost the
+paper realizes with `p2`).
+
+## Example
+
+```
+-- Keep values below 10, square them, pair each with its position.
+fn small(v : nat) : bool = v < 10
+
+fn main(xs : [nat]) : [nat * nat] =
+  let kept = filter(small, xs) in
+  zip(enumerate(kept), [v * v | v <- kept])
+
+input [4, 25, 7, 1, 13, 9]
+```
+
+`nscc run file.nsc` evaluates `main` on every `input` with the NSC
+evaluator (Definition 3.1 costs) *and* through the compiled BVRAM, and
+checks the results agree; `nscc dump` shows the NSA translation or the
+BVRAM program at any `OptLevel` and while schedule; `nscc bench` emits
+the T/W table as JSON.  See README section "Surface language & nscc".
+)DOC";
+}
+
+}  // namespace nsc::front

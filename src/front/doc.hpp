@@ -1,0 +1,14 @@
+// The NSC surface-language reference, generated alongside the parser so
+// the documentation cannot drift from the implementation: the checked-in
+// docs/nsc-language.md must equal language_reference() byte for byte
+// (asserted by tests/test_front.cpp; regenerate with `nscc doc`).
+#pragma once
+
+#include <string>
+
+namespace nsc::front {
+
+/// The full grammar + prelude reference as markdown.
+std::string language_reference();
+
+}  // namespace nsc::front

@@ -1,0 +1,26 @@
+#include "front/front.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace nsc::front {
+
+SourceFile load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Diagnostic d;
+    d.kind = DiagKind::Lex;
+    d.file = path;
+    d.message = "cannot read file";
+    throw FrontError(std::move(d));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return SourceFile(path, text.str());
+}
+
+ResolvedModule compile_file(const SourceFile& src) {
+  return resolve(parse_module(src), src);
+}
+
+}  // namespace nsc::front

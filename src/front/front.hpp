@@ -1,0 +1,25 @@
+// Facade for the NSC textual frontend: one include for the lexer, parser,
+// resolver, printer and diagnostics, plus file-level conveniences shared
+// by the nscc driver and the tests.
+#pragma once
+
+#include <string>
+
+#include "front/ast.hpp"
+#include "front/doc.hpp"
+#include "front/lexer.hpp"
+#include "front/parser.hpp"
+#include "front/printer.hpp"
+#include "front/resolve.hpp"
+#include "front/source.hpp"
+
+namespace nsc::front {
+
+/// Read a file into a SourceFile.  Throws FrontError (with the file name
+/// in the message) when it cannot be read.
+SourceFile load_file(const std::string& path);
+
+/// parse + resolve in one step.
+ResolvedModule compile_file(const SourceFile& src);
+
+}  // namespace nsc::front

@@ -1,0 +1,327 @@
+#include "front/lexer.hpp"
+
+#include <cctype>
+#include <limits>
+#include <utility>
+
+namespace nsc::front {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::Eof: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::KwFn: return "'fn'";
+    case Tok::KwInput: return "'input'";
+    case Tok::KwLet: return "'let'";
+    case Tok::KwIn: return "'in'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwThen: return "'then'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwCase: return "'case'";
+    case Tok::KwOf: return "'of'";
+    case Tok::KwInl: return "'inl'";
+    case Tok::KwInr: return "'inr'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+    case Tok::KwOmega: return "'omega'";
+    case Tok::KwEmpty: return "'empty'";
+    case Tok::KwNat: return "'nat'";
+    case Tok::KwUnit: return "'unit'";
+    case Tok::KwBool: return "'bool'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Dot: return "'.'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Backslash: return "'\\'";
+    case Tok::FatArrow: return "'=>'";
+    case Tok::LeftArrow: return "'<-'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Shr: return "'>>'";
+    case Tok::PlusPlus: return "'++'";
+    case Tok::EqEq: return "'=='";
+    case Tok::BangEq: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Bang: return "'!'";
+  }
+  return "?";
+}
+
+std::string Token::spelling() const {
+  switch (kind) {
+    case Tok::Eof: return "";
+    case Tok::Ident:
+    case Tok::Number: return text;
+    case Tok::KwFn: return "fn";
+    case Tok::KwInput: return "input";
+    case Tok::KwLet: return "let";
+    case Tok::KwIn: return "in";
+    case Tok::KwIf: return "if";
+    case Tok::KwThen: return "then";
+    case Tok::KwElse: return "else";
+    case Tok::KwWhile: return "while";
+    case Tok::KwCase: return "case";
+    case Tok::KwOf: return "of";
+    case Tok::KwInl: return "inl";
+    case Tok::KwInr: return "inr";
+    case Tok::KwTrue: return "true";
+    case Tok::KwFalse: return "false";
+    case Tok::KwOmega: return "omega";
+    case Tok::KwEmpty: return "empty";
+    case Tok::KwNat: return "nat";
+    case Tok::KwUnit: return "unit";
+    case Tok::KwBool: return "bool";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Comma: return ",";
+    case Tok::Semi: return ";";
+    case Tok::Colon: return ":";
+    case Tok::Dot: return ".";
+    case Tok::Pipe: return "|";
+    case Tok::Backslash: return "\\";
+    case Tok::FatArrow: return "=>";
+    case Tok::LeftArrow: return "<-";
+    case Tok::Assign: return "=";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Percent: return "%";
+    case Tok::Shr: return ">>";
+    case Tok::PlusPlus: return "++";
+    case Tok::EqEq: return "==";
+    case Tok::BangEq: return "!=";
+    case Tok::Lt: return "<";
+    case Tok::Le: return "<=";
+    case Tok::Gt: return ">";
+    case Tok::Ge: return ">=";
+    case Tok::AmpAmp: return "&&";
+    case Tok::PipePipe: return "||";
+    case Tok::Bang: return "!";
+  }
+  return "";
+}
+
+namespace {
+
+struct Keyword {
+  const char* name;
+  Tok tok;
+};
+
+constexpr Keyword kKeywords[] = {
+    {"fn", Tok::KwFn},       {"input", Tok::KwInput}, {"let", Tok::KwLet},
+    {"in", Tok::KwIn},       {"if", Tok::KwIf},       {"then", Tok::KwThen},
+    {"else", Tok::KwElse},   {"while", Tok::KwWhile}, {"case", Tok::KwCase},
+    {"of", Tok::KwOf},       {"inl", Tok::KwInl},     {"inr", Tok::KwInr},
+    {"true", Tok::KwTrue},   {"false", Tok::KwFalse}, {"omega", Tok::KwOmega},
+    {"empty", Tok::KwEmpty}, {"nat", Tok::KwNat},     {"unit", Tok::KwUnit},
+    {"bool", Tok::KwBool},
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const SourceFile& src) : src_(src), text_(src.text()) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_trivia();
+      Token t = next_token();
+      const bool done = t.kind == Tok::Eof;
+      out.push_back(std::move(t));
+      if (done) return out;
+    }
+  }
+
+ private:
+  [[noreturn]] void error(SrcLoc loc, const std::string& message) {
+    Diagnostic d;
+    d.kind = DiagKind::Lex;
+    d.loc = loc;
+    d.file = src_.name();
+    d.message = message;
+    d.source_line = src_.line_text(loc.line);
+    throw FrontError(std::move(d));
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  SrcLoc here() const {
+    return SrcLoc{line_, col_, static_cast<std::uint32_t>(pos_)};
+  }
+
+  void skip_trivia() {
+    for (;;) {
+      if (at_end()) return;
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '-' && peek(1) == '-') {
+        while (!at_end() && peek() != '\n') advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(Tok kind, SrcLoc loc) {
+    Token t;
+    t.kind = kind;
+    t.loc = loc;
+    return t;
+  }
+
+  Token next_token() {
+    const SrcLoc loc = here();
+    if (at_end()) return make(Tok::Eof, loc);
+    const char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name;
+      while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                           peek() == '_')) {
+        name.push_back(advance());
+      }
+      for (const auto& kw : kKeywords) {
+        if (name == kw.name) return make(kw.tok, loc);
+      }
+      Token t = make(Tok::Ident, loc);
+      t.text = std::move(name);
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits.push_back(advance());
+      }
+      std::uint64_t value = 0;
+      for (const char d : digits) {
+        const std::uint64_t digit = static_cast<std::uint64_t>(d - '0');
+        if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+          error(loc, "natural literal '" + digits + "' does not fit in 64 bits");
+        }
+        value = value * 10 + digit;
+      }
+      Token t = make(Tok::Number, loc);
+      t.text = std::move(digits);
+      t.nat = value;
+      return t;
+    }
+    advance();
+    switch (c) {
+      case '(': return make(Tok::LParen, loc);
+      case ')': return make(Tok::RParen, loc);
+      case '[': return make(Tok::LBracket, loc);
+      case ']': return make(Tok::RBracket, loc);
+      case ',': return make(Tok::Comma, loc);
+      case ';': return make(Tok::Semi, loc);
+      case ':': return make(Tok::Colon, loc);
+      case '.': return make(Tok::Dot, loc);
+      case '\\': return make(Tok::Backslash, loc);
+      case '%': return make(Tok::Percent, loc);
+      case '/': return make(Tok::Slash, loc);
+      case '*': return make(Tok::Star, loc);
+      case '+':
+        if (peek() == '+') {
+          advance();
+          return make(Tok::PlusPlus, loc);
+        }
+        return make(Tok::Plus, loc);
+      case '-':  // "--" was consumed as a comment by skip_trivia
+        return make(Tok::Minus, loc);
+      case '=':
+        if (peek() == '=') {
+          advance();
+          return make(Tok::EqEq, loc);
+        }
+        if (peek() == '>') {
+          advance();
+          return make(Tok::FatArrow, loc);
+        }
+        return make(Tok::Assign, loc);
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(Tok::BangEq, loc);
+        }
+        return make(Tok::Bang, loc);
+      case '<':
+        if (peek() == '=') {
+          advance();
+          return make(Tok::Le, loc);
+        }
+        if (peek() == '-') {
+          advance();
+          return make(Tok::LeftArrow, loc);
+        }
+        return make(Tok::Lt, loc);
+      case '>':
+        if (peek() == '=') {
+          advance();
+          return make(Tok::Ge, loc);
+        }
+        if (peek() == '>') {
+          advance();
+          return make(Tok::Shr, loc);
+        }
+        return make(Tok::Gt, loc);
+      case '&':
+        if (peek() == '&') {
+          advance();
+          return make(Tok::AmpAmp, loc);
+        }
+        error(loc, "stray '&' (use '&&' for boolean and)");
+      case '|':
+        if (peek() == '|') {
+          advance();
+          return make(Tok::PipePipe, loc);
+        }
+        return make(Tok::Pipe, loc);
+      default:
+        error(loc, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  const SourceFile& src_;
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const SourceFile& src) { return Lexer(src).run(); }
+
+}  // namespace nsc::front

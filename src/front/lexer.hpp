@@ -1,0 +1,51 @@
+// Lexer for the NSC surface language.
+//
+// Produces a complete token stream (terminated by an Eof token) with a
+// SrcLoc on every token.  `--` starts a line comment.  The only failure
+// mode is FrontError (unknown character, malformed/overflowing number):
+// the lexer never asserts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "front/source.hpp"
+
+namespace nsc::front {
+
+enum class Tok {
+  Eof,
+  Ident,     // variable / function / builtin names
+  Number,    // natural literal (value in Token::nat)
+  // keywords
+  KwFn, KwInput, KwLet, KwIn, KwIf, KwThen, KwElse, KwWhile, KwCase, KwOf,
+  KwInl, KwInr, KwTrue, KwFalse, KwOmega, KwEmpty,
+  KwNat, KwUnit, KwBool,
+  // punctuation
+  LParen, RParen, LBracket, RBracket, Comma, Semi, Colon, Dot, Pipe,
+  Backslash, FatArrow, LeftArrow, Assign,
+  // operators
+  Plus, Minus, Star, Slash, Percent, Shr, PlusPlus,
+  EqEq, BangEq, Lt, Le, Gt, Ge, AmpAmp, PipePipe, Bang,
+};
+
+/// Display name used in diagnostics and expected-token sets, e.g. "'let'",
+/// "identifier", "'=>'".
+const char* tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::Eof;
+  SrcLoc loc;
+  std::string text;       // identifier spelling (Ident) / literal spelling
+  std::uint64_t nat = 0;  // value of a Number token
+
+  /// Canonical source spelling (used by the mutation smoke test to
+  /// re-render mutated token streams as text).
+  std::string spelling() const;
+};
+
+/// Tokenize the whole file.  Throws FrontError on the first lexical error.
+std::vector<Token> lex(const SourceFile& src);
+
+}  // namespace nsc::front

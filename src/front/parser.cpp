@@ -1,0 +1,513 @@
+#include "front/parser.hpp"
+
+#include <initializer_list>
+#include <utility>
+
+#include "front/lexer.hpp"
+
+namespace nsc::front {
+namespace {
+
+/// Recursion guard: deeper nesting than any real program needs, shallow
+/// enough that adversarial input (the mutation smoke test) cannot blow the
+/// stack even under sanitizers.
+constexpr std::size_t kMaxDepth = 400;
+
+class Parser {
+ public:
+  Parser(const SourceFile& src, std::vector<Token> tokens)
+      : src_(src), toks_(std::move(tokens)) {}
+
+  Module parse_module() {
+    Module m;
+    m.file = src_.name();
+    while (!at(Tok::Eof)) {
+      m.decls.push_back(parse_decl());
+    }
+    return m;
+  }
+
+  ExprPtr parse_expression_only() {
+    ExprPtr e = parse_expr();
+    if (!at(Tok::Eof)) {
+      error("unexpected " + std::string(tok_name(peek().kind)) +
+                " after expression",
+            {tok_name(Tok::Eof)});
+    }
+    return e;
+  }
+
+ private:
+  // -- token plumbing -------------------------------------------------------
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return toks_[i < toks_.size() ? i : toks_.size() - 1];
+  }
+  bool at(Tok k) const { return peek().kind == k; }
+  const Token& advance() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool eat(Tok k) {
+    if (!at(k)) return false;
+    advance();
+    return true;
+  }
+
+  [[noreturn]] void error(const std::string& message,
+                          std::vector<std::string> expected = {}) {
+    const Token& t = peek();
+    Diagnostic d;
+    d.kind = DiagKind::Parse;
+    d.loc = t.loc;
+    d.file = src_.name();
+    d.message = message;
+    d.expected = std::move(expected);
+    d.source_line = src_.line_text(t.loc.line);
+    throw FrontError(std::move(d));
+  }
+
+  const Token& expect(Tok k, const std::string& context) {
+    if (!at(k)) {
+      error("unexpected " + std::string(tok_name(peek().kind)) + " " + context,
+            {tok_name(k)});
+    }
+    return advance();
+  }
+
+  std::string expect_name(const std::string& context) {
+    if (!at(Tok::Ident)) {
+      error("unexpected " + std::string(tok_name(peek().kind)) + " " + context,
+            {tok_name(Tok::Ident)});
+    }
+    return advance().text;
+  }
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxDepth) {
+        p_.error("expression nesting deeper than " +
+                 std::to_string(kMaxDepth) + " levels");
+      }
+    }
+    ~DepthGuard() { --p_.depth_; }
+    Parser& p_;
+  };
+
+  // -- declarations ---------------------------------------------------------
+
+  Decl parse_decl() {
+    Decl d;
+    d.loc = peek().loc;
+    if (eat(Tok::KwInput)) {
+      d.kind = DeclKind::Input;
+      d.body = parse_expr();
+      return d;
+    }
+    if (!at(Tok::KwFn)) {
+      error("unexpected " + std::string(tok_name(peek().kind)) +
+                " at top level",
+            {tok_name(Tok::KwFn), tok_name(Tok::KwInput)});
+    }
+    advance();
+    d.kind = DeclKind::Fn;
+    d.name = expect_name("where a function name should be");
+    expect(Tok::LParen, "in function definition (parameter list)");
+    do {
+      Param p;
+      p.loc = peek().loc;
+      p.name = expect_name("where a parameter name should be");
+      expect(Tok::Colon, "after parameter name");
+      p.type = parse_type();
+      d.params.push_back(std::move(p));
+    } while (eat(Tok::Comma));
+    expect(Tok::RParen, "after parameter list");
+    if (eat(Tok::Colon)) d.ret = parse_type();
+    expect(Tok::Assign, "before function body");
+    d.body = parse_expr();
+    return d;
+  }
+
+  // -- types ----------------------------------------------------------------
+
+  TypeExprPtr parse_type() {
+    DepthGuard guard(*this);
+    TypeExprPtr left = parse_type_prod();
+    if (eat(Tok::Plus)) {
+      TypeExprPtr right = parse_type();  // right-assoc
+      return TypeExpr::make(TypeKind::Sum, left->loc, left, right);
+    }
+    return left;
+  }
+
+  TypeExprPtr parse_type_prod() {
+    DepthGuard guard(*this);
+    TypeExprPtr left = parse_type_atom();
+    if (eat(Tok::Star)) {
+      TypeExprPtr right = parse_type_prod();  // right-assoc
+      return TypeExpr::make(TypeKind::Prod, left->loc, left, right);
+    }
+    return left;
+  }
+
+  TypeExprPtr parse_type_atom() {
+    DepthGuard guard(*this);
+    const SrcLoc loc = peek().loc;
+    if (eat(Tok::KwNat)) return TypeExpr::make(TypeKind::Nat, loc);
+    if (eat(Tok::KwUnit)) return TypeExpr::make(TypeKind::Unit, loc);
+    if (eat(Tok::KwBool)) return TypeExpr::make(TypeKind::Bool, loc);
+    if (eat(Tok::LBracket)) {
+      TypeExprPtr elem = parse_type();
+      expect(Tok::RBracket, "after sequence element type");
+      return TypeExpr::make(TypeKind::Seq, loc, elem);
+    }
+    if (eat(Tok::LParen)) {
+      TypeExprPtr t = parse_type();
+      expect(Tok::RParen, "after parenthesized type");
+      return t;
+    }
+    error("unexpected " + std::string(tok_name(peek().kind)) +
+              " where a type should be",
+          {tok_name(Tok::KwNat), tok_name(Tok::KwUnit), tok_name(Tok::KwBool),
+           tok_name(Tok::LBracket), tok_name(Tok::LParen)});
+  }
+
+  // -- expressions ----------------------------------------------------------
+
+  ExprPtr parse_expr() {
+    DepthGuard guard(*this);
+    const SrcLoc loc = peek().loc;
+    switch (peek().kind) {
+      case Tok::KwLet: {
+        advance();
+        Expr::Init init;
+        init.kind = ExprKind::Let;
+        init.loc = loc;
+        init.name = expect_name("where a let binder should be");
+        if (eat(Tok::Colon)) init.type = parse_type();
+        expect(Tok::Assign, "in let binding");
+        init.a = parse_expr();
+        expect(Tok::KwIn, "after let binding");
+        init.b = parse_expr();
+        return Expr::make(std::move(init));
+      }
+      case Tok::KwIf: {
+        advance();
+        Expr::Init init;
+        init.kind = ExprKind::If;
+        init.loc = loc;
+        init.a = parse_expr();
+        expect(Tok::KwThen, "in if expression");
+        init.b = parse_expr();
+        expect(Tok::KwElse, "in if expression");
+        init.c = parse_expr();
+        return Expr::make(std::move(init));
+      }
+      case Tok::KwWhile: {
+        advance();
+        Expr::Init init;
+        init.kind = ExprKind::While;
+        init.loc = loc;
+        init.name = expect_name("where the while state binder should be");
+        expect(Tok::Assign, "in while (initial state)");
+        init.a = parse_expr();
+        expect(Tok::Semi, "after while initial state");
+        init.b = parse_expr();
+        expect(Tok::Semi, "after while condition");
+        init.c = parse_expr();
+        return Expr::make(std::move(init));
+      }
+      case Tok::KwCase: {
+        advance();
+        Expr::Init init;
+        init.kind = ExprKind::Case;
+        init.loc = loc;
+        init.a = parse_expr();
+        expect(Tok::KwOf, "in case expression");
+        expect(Tok::KwInl, "at the first case alternative");
+        init.name = expect_name("where the inl binder should be");
+        expect(Tok::FatArrow, "after inl binder");
+        init.b = parse_expr();
+        expect(Tok::Pipe, "between case alternatives");
+        expect(Tok::KwInr, "at the second case alternative");
+        init.name2 = expect_name("where the inr binder should be");
+        expect(Tok::FatArrow, "after inr binder");
+        init.c = parse_expr();
+        return Expr::make(std::move(init));
+      }
+      case Tok::Backslash: {
+        advance();
+        Expr::Init init;
+        init.kind = ExprKind::Lambda;
+        init.loc = loc;
+        init.name = expect_name("where the lambda parameter should be");
+        expect(Tok::Colon, "after lambda parameter (NSC lambdas are typed)");
+        init.type = parse_type();
+        expect(Tok::Dot, "after lambda parameter type");
+        init.a = parse_expr();
+        return Expr::make(std::move(init));
+      }
+      default:
+        return parse_or();
+    }
+  }
+
+  ExprPtr parse_or() {
+    DepthGuard guard(*this);
+    ExprPtr left = parse_and();
+    while (at(Tok::PipePipe)) {
+      const SrcLoc loc = advance().loc;
+      left = binary(BinOp::Or, loc, left, parse_and());
+    }
+    return left;
+  }
+
+  ExprPtr parse_and() {
+    DepthGuard guard(*this);
+    ExprPtr left = parse_cmp();
+    while (at(Tok::AmpAmp)) {
+      const SrcLoc loc = advance().loc;
+      left = binary(BinOp::And, loc, left, parse_cmp());
+    }
+    return left;
+  }
+
+  bool cmp_op(Tok t, BinOp* op) const {
+    switch (t) {
+      case Tok::EqEq: *op = BinOp::Eq; return true;
+      case Tok::BangEq: *op = BinOp::Ne; return true;
+      case Tok::Lt: *op = BinOp::Lt; return true;
+      case Tok::Le: *op = BinOp::Le; return true;
+      case Tok::Gt: *op = BinOp::Gt; return true;
+      case Tok::Ge: *op = BinOp::Ge; return true;
+      default: return false;
+    }
+  }
+
+  ExprPtr parse_cmp() {
+    DepthGuard guard(*this);
+    ExprPtr left = parse_append();
+    BinOp op;
+    if (!cmp_op(peek().kind, &op)) return left;
+    const SrcLoc loc = advance().loc;
+    ExprPtr right = parse_append();
+    BinOp trailing;
+    if (cmp_op(peek().kind, &trailing)) {
+      error("comparison operators do not chain; parenthesize the comparison");
+    }
+    return binary(op, loc, left, right);
+  }
+
+  ExprPtr parse_append() {
+    DepthGuard guard(*this);
+    ExprPtr left = parse_add();
+    while (at(Tok::PlusPlus)) {
+      const SrcLoc loc = advance().loc;
+      left = binary(BinOp::Append, loc, left, parse_add());
+    }
+    return left;
+  }
+
+  ExprPtr parse_add() {
+    DepthGuard guard(*this);
+    ExprPtr left = parse_mul();
+    for (;;) {
+      if (at(Tok::Plus)) {
+        const SrcLoc loc = advance().loc;
+        left = binary(BinOp::Add, loc, left, parse_mul());
+      } else if (at(Tok::Minus)) {
+        const SrcLoc loc = advance().loc;
+        left = binary(BinOp::Monus, loc, left, parse_mul());
+      } else {
+        return left;
+      }
+    }
+  }
+
+  ExprPtr parse_mul() {
+    DepthGuard guard(*this);
+    ExprPtr left = parse_unary();
+    for (;;) {
+      BinOp op;
+      if (at(Tok::Star)) {
+        op = BinOp::Mul;
+      } else if (at(Tok::Slash)) {
+        op = BinOp::Div;
+      } else if (at(Tok::Percent)) {
+        op = BinOp::Mod;
+      } else if (at(Tok::Shr)) {
+        op = BinOp::Shr;
+      } else {
+        return left;
+      }
+      const SrcLoc loc = advance().loc;
+      left = binary(op, loc, left, parse_unary());
+    }
+  }
+
+  ExprPtr parse_unary() {
+    DepthGuard guard(*this);
+    if (at(Tok::Bang)) {
+      const SrcLoc loc = advance().loc;
+      Expr::Init init;
+      init.kind = ExprKind::Unary;
+      init.loc = loc;
+      init.a = parse_unary();
+      return Expr::make(std::move(init));
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    DepthGuard guard(*this);
+    const SrcLoc loc = peek().loc;
+    switch (peek().kind) {
+      case Tok::Number: {
+        Expr::Init init;
+        init.kind = ExprKind::NatLit;
+        init.loc = loc;
+        init.nat = advance().nat;
+        return Expr::make(std::move(init));
+      }
+      case Tok::KwTrue:
+      case Tok::KwFalse: {
+        Expr::Init init;
+        init.kind = ExprKind::BoolLit;
+        init.loc = loc;
+        init.bval = advance().kind == Tok::KwTrue;
+        return Expr::make(std::move(init));
+      }
+      case Tok::Ident: {
+        Expr::Init init;
+        init.loc = loc;
+        init.name = advance().text;
+        if (at(Tok::LParen)) {
+          advance();
+          init.kind = ExprKind::Call;
+          if (!at(Tok::RParen)) {
+            do {
+              init.elems.push_back(parse_expr());
+            } while (eat(Tok::Comma));
+          }
+          expect(Tok::RParen, "after call arguments");
+        } else {
+          init.kind = ExprKind::Var;
+        }
+        return Expr::make(std::move(init));
+      }
+      case Tok::KwEmpty:
+      case Tok::KwOmega: {
+        Expr::Init init;
+        init.kind =
+            peek().kind == Tok::KwEmpty ? ExprKind::EmptyLit : ExprKind::OmegaLit;
+        init.loc = loc;
+        const char* what =
+            peek().kind == Tok::KwEmpty ? "'empty'" : "'omega'";
+        advance();
+        expect(Tok::LBracket,
+               std::string("after ") + what + " (its type argument)");
+        init.type = parse_type();
+        expect(Tok::RBracket, std::string("after the ") + what +
+                                  " type argument");
+        return Expr::make(std::move(init));
+      }
+      case Tok::KwInl:
+      case Tok::KwInr: {
+        Expr::Init init;
+        init.kind = peek().kind == Tok::KwInl ? ExprKind::Inl : ExprKind::Inr;
+        const bool left = peek().kind == Tok::KwInl;
+        init.loc = loc;
+        advance();
+        expect(Tok::LBracket, left ? "after 'inl' (the right-summand type)"
+                                   : "after 'inr' (the left-summand type)");
+        init.type = parse_type();
+        expect(Tok::RBracket, "after the injection type argument");
+        expect(Tok::LParen, "before the injected value");
+        init.a = parse_expr();
+        expect(Tok::RParen, "after the injected value");
+        return Expr::make(std::move(init));
+      }
+      case Tok::LParen: {
+        advance();
+        if (eat(Tok::RParen)) {
+          Expr::Init init;
+          init.kind = ExprKind::UnitLit;
+          init.loc = loc;
+          return Expr::make(std::move(init));
+        }
+        ExprPtr first = parse_expr();
+        if (eat(Tok::Comma)) {
+          Expr::Init init;
+          init.kind = ExprKind::PairLit;
+          init.loc = loc;
+          init.a = first;
+          init.b = parse_expr();
+          expect(Tok::RParen, "after pair components");
+          return Expr::make(std::move(init));
+        }
+        expect(Tok::RParen, "after parenthesized expression");
+        return first;
+      }
+      case Tok::LBracket: {
+        advance();
+        if (at(Tok::RBracket)) {
+          error(
+              "an empty sequence literal has no element type; "
+              "write empty[t] instead of []");
+        }
+        ExprPtr first = parse_expr();
+        if (eat(Tok::Pipe)) {
+          Expr::Init init;
+          init.kind = ExprKind::Comprehension;
+          init.loc = loc;
+          init.a = first;
+          init.name = expect_name("where the comprehension binder should be");
+          expect(Tok::LeftArrow, "after comprehension binder");
+          init.b = parse_expr();
+          if (eat(Tok::Comma)) init.c = parse_expr();
+          expect(Tok::RBracket, "after comprehension");
+          return Expr::make(std::move(init));
+        }
+        Expr::Init init;
+        init.kind = ExprKind::SeqLit;
+        init.loc = loc;
+        init.elems.push_back(first);
+        while (eat(Tok::Comma)) init.elems.push_back(parse_expr());
+        expect(Tok::RBracket, "after sequence literal");
+        return Expr::make(std::move(init));
+      }
+      default:
+        error("unexpected " + std::string(tok_name(peek().kind)) +
+                  " where an expression should be",
+              {tok_name(Tok::Number), tok_name(Tok::Ident), tok_name(Tok::LParen),
+               tok_name(Tok::LBracket), tok_name(Tok::KwLet), tok_name(Tok::KwIf),
+               tok_name(Tok::KwWhile), tok_name(Tok::KwCase),
+               tok_name(Tok::Backslash)});
+    }
+  }
+
+  static ExprPtr binary(BinOp op, SrcLoc loc, ExprPtr a, ExprPtr b) {
+    Expr::Init init;
+    init.kind = ExprKind::Binary;
+    init.loc = loc;
+    init.bop = op;
+    init.a = std::move(a);
+    init.b = std::move(b);
+    return Expr::make(std::move(init));
+  }
+
+  const SourceFile& src_;
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+Module parse_module(const SourceFile& src) {
+  return Parser(src, lex(src)).parse_module();
+}
+
+ExprPtr parse_expression(const SourceFile& src) {
+  return Parser(src, lex(src)).parse_expression_only();
+}
+
+}  // namespace nsc::front

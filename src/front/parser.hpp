@@ -1,0 +1,43 @@
+// Recursive-descent parser for the NSC surface language.
+//
+// Grammar (authoritative reference: front/doc.cpp, surfaced as
+// docs/nsc-language.md and `nscc doc`):
+//
+//   module  := { decl }
+//   decl    := 'fn' name '(' param {',' param} ')' [':' type] '=' expr
+//            | 'input' expr
+//   param   := name ':' type
+//   type    := tprod ['+' type]                       -- sum, right-assoc
+//   tprod   := tatom ['*' tprod]                      -- product, right-assoc
+//   tatom   := 'nat' | 'unit' | 'bool' | '[' type ']' | '(' type ')'
+//   expr    := 'let' name [':' type] '=' expr 'in' expr
+//            | 'if' expr 'then' expr 'else' expr
+//            | 'while' name '=' expr ';' expr ';' expr
+//            | 'case' expr 'of' 'inl' name '=>' expr '|' 'inr' name '=>' expr
+//            | '\' name ':' type '.' expr
+//            | binary-operator expression over unary/primary
+//   primary := number | 'true' | 'false' | '(' ')' | '(' expr [',' expr] ')'
+//            | name [ '(' expr {',' expr} ')' ]
+//            | 'empty' '[' type ']' | 'omega' '[' type ']'
+//            | ('inl' | 'inr') '[' type ']' '(' expr ')'
+//            | '[' expr {',' expr} ']'
+//            | '[' expr '|' name '<-' expr [',' expr] ']'
+//
+// All failures are FrontError diagnostics with line:col, a source snippet
+// and an expected-token set; the parser never asserts and guards its
+// recursion depth, so arbitrarily malformed input cannot crash it.
+#pragma once
+
+#include "front/ast.hpp"
+#include "front/source.hpp"
+
+namespace nsc::front {
+
+/// Parse a whole module (sequence of declarations up to end of input).
+Module parse_module(const SourceFile& src);
+
+/// Parse a single expression spanning the whole input (the nscc driver
+/// uses this for --input values).
+ExprPtr parse_expression(const SourceFile& src);
+
+}  // namespace nsc::front

@@ -1,0 +1,279 @@
+#include "front/printer.hpp"
+
+#include <sstream>
+
+namespace nsc::front {
+namespace {
+
+// Expression precedence, mirroring the parser's ladder:
+//   0 statement-like forms (let / if / while / case / lambda)
+//   1 ||    2 &&    3 comparisons    4 ++    5 + -    6 * / % >>
+//   7 unary !    8 primary
+int prec_of(const ExprPtr& e) {
+  switch (e->kind) {
+    case ExprKind::Let:
+    case ExprKind::If:
+    case ExprKind::While:
+    case ExprKind::Case:
+    case ExprKind::Lambda:
+      return 0;
+    case ExprKind::Unary:
+      return 7;
+    case ExprKind::Binary:
+      switch (e->bop) {
+        case BinOp::Or: return 1;
+        case BinOp::And: return 2;
+        case BinOp::Eq:
+        case BinOp::Ne:
+        case BinOp::Lt:
+        case BinOp::Le:
+        case BinOp::Gt:
+        case BinOp::Ge:
+          return 3;
+        case BinOp::Append: return 4;
+        case BinOp::Add:
+        case BinOp::Monus:
+          return 5;
+        case BinOp::Mul:
+        case BinOp::Div:
+        case BinOp::Mod:
+        case BinOp::Shr:
+          return 6;
+      }
+      return 8;
+    default:
+      return 8;
+  }
+}
+
+class Printer {
+ public:
+  std::string type(const TypeExprPtr& t) {
+    print_type(t, 0);
+    return take();
+  }
+
+  std::string expr(const ExprPtr& e) {
+    print(e, 0, 0);
+    return take();
+  }
+
+  std::string decl(const Decl& d) {
+    print_decl(d);
+    return take();
+  }
+
+  std::string module(const Module& m) {
+    for (std::size_t i = 0; i < m.decls.size(); ++i) {
+      if (i != 0) out_ << "\n";
+      print_decl(m.decls[i]);
+      out_ << "\n";
+    }
+    return take();
+  }
+
+ private:
+  std::string take() {
+    std::string s = out_.str();
+    out_.str("");
+    return s;
+  }
+
+  void newline(int indent) {
+    out_ << "\n";
+    for (int i = 0; i < indent; ++i) out_ << "  ";
+  }
+
+  /// level: 0 = sum position, 1 = product position, 2 = atom position.
+  void print_type(const TypeExprPtr& t, int level) {
+    switch (t->kind) {
+      case TypeKind::Unit: out_ << "unit"; return;
+      case TypeKind::Nat: out_ << "nat"; return;
+      case TypeKind::Bool: out_ << "bool"; return;
+      case TypeKind::Seq:
+        out_ << "[";
+        print_type(t->a, 0);
+        out_ << "]";
+        return;
+      case TypeKind::Prod:
+        if (level > 1) out_ << "(";
+        print_type(t->a, 2);
+        out_ << " * ";
+        print_type(t->b, 1);  // right-assoc
+        if (level > 1) out_ << ")";
+        return;
+      case TypeKind::Sum:
+        if (level > 0) out_ << "(";
+        print_type(t->a, 1);
+        out_ << " + ";
+        print_type(t->b, 0);  // right-assoc
+        if (level > 0) out_ << ")";
+        return;
+    }
+  }
+
+  void print(const ExprPtr& e, int min_prec, int indent) {
+    const bool parens = prec_of(e) < min_prec;
+    if (parens) out_ << "(";
+    print_bare(e, indent);
+    if (parens) out_ << ")";
+  }
+
+  void print_bare(const ExprPtr& e, int indent) {
+    switch (e->kind) {
+      case ExprKind::Var:
+        out_ << e->name;
+        return;
+      case ExprKind::NatLit:
+        out_ << e->nat;
+        return;
+      case ExprKind::UnitLit:
+        out_ << "()";
+        return;
+      case ExprKind::BoolLit:
+        out_ << (e->bval ? "true" : "false");
+        return;
+      case ExprKind::PairLit:
+        out_ << "(";
+        print(e->a, 0, indent);
+        out_ << ", ";
+        print(e->b, 0, indent);
+        out_ << ")";
+        return;
+      case ExprKind::SeqLit:
+        out_ << "[";
+        for (std::size_t i = 0; i < e->elems.size(); ++i) {
+          if (i != 0) out_ << ", ";
+          print(e->elems[i], 0, indent);
+        }
+        out_ << "]";
+        return;
+      case ExprKind::EmptyLit:
+        out_ << "empty[";
+        print_type(e->type, 0);
+        out_ << "]";
+        return;
+      case ExprKind::OmegaLit:
+        out_ << "omega[";
+        print_type(e->type, 0);
+        out_ << "]";
+        return;
+      case ExprKind::Inl:
+      case ExprKind::Inr:
+        out_ << (e->kind == ExprKind::Inl ? "inl[" : "inr[");
+        print_type(e->type, 0);
+        out_ << "](";
+        print(e->a, 0, indent);
+        out_ << ")";
+        return;
+      case ExprKind::Unary:
+        out_ << "!";
+        print(e->a, 7, indent);
+        return;
+      case ExprKind::Binary: {
+        const int p = prec_of(e);
+        // Comparisons are non-associative: both operands print at the
+        // next-tighter level.  Everything else is left-associative.
+        const int left_min = p == 3 ? p + 1 : p;
+        print(e->a, left_min, indent);
+        out_ << " " << binop_spelling(e->bop) << " ";
+        print(e->b, p + 1, indent);
+        return;
+      }
+      case ExprKind::Call:
+        out_ << e->name << "(";
+        for (std::size_t i = 0; i < e->elems.size(); ++i) {
+          if (i != 0) out_ << ", ";
+          print(e->elems[i], 0, indent);
+        }
+        out_ << ")";
+        return;
+      case ExprKind::Lambda:
+        out_ << "\\" << e->name << " : ";
+        print_type(e->type, 0);
+        out_ << ". ";
+        print(e->a, 0, indent);
+        return;
+      case ExprKind::Let:
+        out_ << "let " << e->name;
+        if (e->type != nullptr) {
+          out_ << " : ";
+          print_type(e->type, 0);
+        }
+        out_ << " = ";
+        print(e->a, 0, indent);
+        out_ << " in";
+        newline(indent);
+        print(e->b, 0, indent);
+        return;
+      case ExprKind::If:
+        out_ << "if ";
+        print(e->a, 0, indent);
+        out_ << " then ";
+        print(e->b, 0, indent);
+        out_ << " else ";
+        print(e->c, 0, indent);
+        return;
+      case ExprKind::While:
+        out_ << "while " << e->name << " = ";
+        print(e->a, 0, indent);
+        out_ << "; ";
+        print(e->b, 0, indent);
+        out_ << "; ";
+        print(e->c, 0, indent);
+        return;
+      case ExprKind::Case:
+        out_ << "case ";
+        print(e->a, 0, indent);
+        out_ << " of inl " << e->name << " => ";
+        print(e->b, 0, indent);
+        out_ << " | inr " << e->name2 << " => ";
+        print(e->c, 0, indent);
+        return;
+      case ExprKind::Comprehension:
+        out_ << "[";
+        print(e->a, 0, indent);
+        out_ << " | " << e->name << " <- ";
+        print(e->b, 0, indent);
+        if (e->c != nullptr) {
+          out_ << ", ";
+          print(e->c, 0, indent);
+        }
+        out_ << "]";
+        return;
+    }
+  }
+
+  void print_decl(const Decl& d) {
+    if (d.kind == DeclKind::Input) {
+      out_ << "input ";
+      print(d.body, 0, 1);
+      return;
+    }
+    out_ << "fn " << d.name << "(";
+    for (std::size_t i = 0; i < d.params.size(); ++i) {
+      if (i != 0) out_ << ", ";
+      out_ << d.params[i].name << " : ";
+      print_type(d.params[i].type, 0);
+    }
+    out_ << ")";
+    if (d.ret != nullptr) {
+      out_ << " : ";
+      print_type(d.ret, 0);
+    }
+    out_ << " =";
+    newline(1);
+    print(d.body, 0, 1);
+  }
+
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+std::string print_type(const TypeExprPtr& t) { return Printer().type(t); }
+std::string print_expr(const ExprPtr& e) { return Printer().expr(e); }
+std::string print_decl(const Decl& d) { return Printer().decl(d); }
+std::string print_module(const Module& m) { return Printer().module(m); }
+
+}  // namespace nsc::front

@@ -1,0 +1,21 @@
+// Pretty-printer for the NSC surface AST.
+//
+// Produces canonical, precedence-aware source text (minimal parentheses)
+// that parses back to a structurally identical tree:
+//     parse(print(m)) == m   (front::equal, which ignores locations)
+// -- the round-trip property tested over the whole corpus in
+// tests/test_front.cpp.  `nscc fmt` is a thin wrapper over print_module.
+#pragma once
+
+#include <string>
+
+#include "front/ast.hpp"
+
+namespace nsc::front {
+
+std::string print_type(const TypeExprPtr& t);
+std::string print_expr(const ExprPtr& e);
+std::string print_decl(const Decl& d);
+std::string print_module(const Module& m);
+
+}  // namespace nsc::front

@@ -1,0 +1,752 @@
+#include "front/resolve.hpp"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "nsc/build.hpp"
+#include "nsc/prelude.hpp"
+#include "nsc/typecheck.hpp"
+
+namespace nsc::front {
+
+namespace L = nsc::lang;
+namespace P = nsc::lang::prelude;
+
+const ResolvedFn* ResolvedModule::find(const std::string& name) const {
+  for (const auto& f : fns) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const ResolvedFn& ResolvedModule::main() const {
+  const ResolvedFn* m = find("main");
+  if (m == nullptr) {
+    Diagnostic d;
+    d.kind = DiagKind::Type;
+    d.file = file;
+    d.message = "module defines no 'main' function";
+    throw FrontError(std::move(d));
+  }
+  return *m;
+}
+
+TypeRef resolve_type(const TypeExprPtr& t) {
+  switch (t->kind) {
+    case TypeKind::Unit: return Type::unit();
+    case TypeKind::Nat: return Type::nat();
+    case TypeKind::Bool: return Type::boolean();
+    case TypeKind::Seq: return Type::seq(resolve_type(t->a));
+    case TypeKind::Prod:
+      return Type::prod(resolve_type(t->a), resolve_type(t->b));
+    case TypeKind::Sum:
+      return Type::sum(resolve_type(t->a), resolve_type(t->b));
+  }
+  return Type::unit();
+}
+
+namespace {
+
+/// Builtin functions callable as `name(args...)` (and, for the unary ones,
+/// usable in function-argument position, e.g. map(sum, db)).  Declared
+/// functions may not take these names.
+const std::set<std::string>& builtin_set() {
+  static const std::set<std::string> names = {
+      "length", "flatten", "get", "zip", "enumerate", "split",
+      "fst", "snd", "log2",
+      "sum", "max", "first", "last", "tail", "init",
+      "filter", "map", "index", "index_split",
+      "merge", "ranks", "sqrt_positions", "sqrt_split",
+  };
+  return names;
+}
+
+class Resolver {
+ public:
+  explicit Resolver(const SourceFile& src) : src_(src) {}
+
+  ResolvedModule run(const Module& m) {
+    ResolvedModule out;
+    out.file = m.file;
+    // Collect all declared names up front for better "defined later"
+    // diagnostics (resolution itself is strictly top-down).
+    std::size_t fn_count = 0;
+    for (const auto& d : m.decls) {
+      if (d.kind == DeclKind::Fn) {
+        declared_anywhere_.insert(d.name);
+        ++fn_count;
+      }
+    }
+    // The name table stores pointers into this vector; reserve up front so
+    // push_back never reallocates under them.
+    out.fns.reserve(fn_count);
+    for (const auto& d : m.decls) {
+      if (d.kind == DeclKind::Fn) {
+        out.fns.push_back(resolve_fn(d));
+        fns_[out.fns.back().name] = &out.fns.back();
+      } else {
+        out.inputs.push_back(resolve_input(d));
+      }
+    }
+    if (const ResolvedFn* mn = out.find("main")) {
+      for (const auto& in : out.inputs) {
+        if (!Type::equal(in.type, mn->dom)) {
+          error(in.loc, "input value has type " + in.type->show() +
+                            " but main expects " + mn->dom->show());
+        }
+      }
+    }
+    return out;
+  }
+
+  ResolvedInput resolve_closed_expr(const ExprPtr& e) {
+    L::TypeEnv env;
+    ResolvedInput in;
+    in.loc = e->loc;
+    in.term = lower(e, env);
+    in.type = infer(in.term, env, e->loc);
+    return in;
+  }
+
+ private:
+  // -- diagnostics ----------------------------------------------------------
+
+  [[noreturn]] void error(SrcLoc loc, const std::string& message) {
+    Diagnostic d;
+    d.kind = DiagKind::Type;
+    d.loc = loc;
+    d.file = src_.name();
+    d.message = message;
+    d.source_line = src_.line_text(loc.line);
+    throw FrontError(std::move(d));
+  }
+
+  /// Type of a lowered term, with core TypeErrors re-reported at `loc`.
+  TypeRef infer(const L::TermRef& t, const L::TypeEnv& env, SrcLoc loc) {
+    try {
+      return L::check_term(t, env);
+    } catch (const TypeError& e) {
+      error(loc, e.what());
+    }
+  }
+
+  // -- declarations ---------------------------------------------------------
+
+  ResolvedFn resolve_fn(const Decl& d) {
+    if (builtin_set().count(d.name) != 0) {
+      error(d.loc, "cannot define function '" + d.name +
+                       "': the name is a builtin");
+    }
+    if (fns_.count(d.name) != 0) {
+      error(d.loc, "function '" + d.name + "' is defined twice");
+    }
+    if (d.params.empty()) {
+      error(d.loc, "function '" + d.name +
+                       "' needs at least one parameter (NSC functions are "
+                       "unary; use a unit parameter for constants)");
+    }
+    std::vector<TypeRef> ptypes;
+    L::TypeEnv env;
+    std::set<std::string> seen;
+    for (const auto& p : d.params) {
+      if (!seen.insert(p.name).second) {
+        error(p.loc, "duplicate parameter name '" + p.name + "'");
+      }
+      ptypes.push_back(resolve_type(p.type));
+      env[p.name] = ptypes.back();
+    }
+    L::TermRef body = lower(d.body, env);
+    const TypeRef cod = infer(body, env, d.body->loc);
+    if (d.ret != nullptr) {
+      const TypeRef want = resolve_type(d.ret);
+      if (!Type::equal(cod, want)) {
+        error(d.body->loc, "body of '" + d.name + "' has type " +
+                               cod->show() + " but the declaration says " +
+                               want->show());
+      }
+    }
+    ResolvedFn out;
+    out.name = d.name;
+    out.loc = d.loc;
+    out.cod = cod;
+    if (d.params.size() == 1) {
+      out.dom = ptypes[0];
+      out.fn = L::lambda(d.params[0].name, ptypes[0], body);
+    } else {
+      // Multi-parameter sugar: dom = t0 * (t1 * (... * tk)), and the body
+      // is wrapped in lets projecting each component out of the tuple.
+      const std::size_t k = ptypes.size();
+      TypeRef dom = ptypes[k - 1];
+      for (std::size_t i = k - 1; i-- > 0;) dom = Type::prod(ptypes[i], dom);
+      const std::string arg = L::gensym("arg");
+      L::TermRef wrapped = body;
+      for (std::size_t i = k; i-- > 0;) {
+        L::TermRef proj = L::var(arg);
+        for (std::size_t j = 0; j < i; ++j) proj = L::proj2(proj);
+        if (i + 1 < k) proj = L::proj1(proj);
+        wrapped = L::apply(L::lambda(d.params[i].name, ptypes[i], wrapped),
+                           proj);
+      }
+      out.dom = dom;
+      out.fn = L::lambda(arg, dom, wrapped);
+    }
+    // Belt and braces: the incremental checks above should make this
+    // unfailing, but a resolver bug must surface as a diagnostic, not as
+    // an exception from deeper in the pipeline.
+    try {
+      L::check_func(out.fn);
+    } catch (const TypeError& e) {
+      error(d.loc, std::string("internal: lowered function fails to "
+                               "typecheck: ") +
+                       e.what());
+    }
+    return out;
+  }
+
+  ResolvedInput resolve_input(const Decl& d) {
+    L::TypeEnv env;
+    ResolvedInput in;
+    in.loc = d.loc;
+    in.term = lower(d.body, env);
+    in.type = infer(in.term, env, d.body->loc);
+    return in;
+  }
+
+  // -- expression lowering --------------------------------------------------
+
+  L::TermRef lower(const ExprPtr& e, L::TypeEnv& env) {
+    switch (e->kind) {
+      case ExprKind::Var: {
+        if (env.count(e->name) != 0) return L::var(e->name);
+        if (fns_.count(e->name) != 0 || declared_anywhere_.count(e->name)) {
+          error(e->loc, "function '" + e->name +
+                            "' used as a value (NSC is first-order; call "
+                            "it, or pass it to map/filter)");
+        }
+        error(e->loc, "unbound variable '" + e->name + "'");
+      }
+      case ExprKind::NatLit:
+        return L::nat(e->nat);
+      case ExprKind::UnitLit:
+        return L::unit_v();
+      case ExprKind::BoolLit:
+        return e->bval ? L::tru() : L::fls();
+      case ExprKind::PairLit:
+        return L::pair(lower(e->a, env), lower(e->b, env));
+      case ExprKind::SeqLit: {
+        L::TermRef out = L::singleton(lower(e->elems[0], env));
+        for (std::size_t i = 1; i < e->elems.size(); ++i) {
+          out = L::append(out, L::singleton(lower(e->elems[i], env)));
+        }
+        return out;
+      }
+      case ExprKind::EmptyLit:
+        return L::empty(resolve_type(e->type));
+      case ExprKind::OmegaLit:
+        return L::omega(resolve_type(e->type));
+      case ExprKind::Inl:
+        return L::inj1(lower(e->a, env), resolve_type(e->type));
+      case ExprKind::Inr:
+        return L::inj2(lower(e->a, env), resolve_type(e->type));
+      case ExprKind::Unary: {
+        L::TermRef a = lower(e->a, env);
+        require_bool(a, env, e->a->loc, "operand of '!'");
+        return L::lnot(a);
+      }
+      case ExprKind::Binary:
+        return lower_binary(e, env);
+      case ExprKind::Call:
+        return lower_call(e, env);
+      case ExprKind::Lambda:
+        error(e->loc,
+              "a lambda may only appear as a function argument "
+              "(NSC is first-order)");
+      case ExprKind::Let: {
+        L::TermRef bound = lower(e->a, env);
+        TypeRef t = infer(bound, env, e->a->loc);
+        if (e->type != nullptr) {
+          const TypeRef want = resolve_type(e->type);
+          if (!Type::equal(t, want)) {
+            error(e->a->loc, "let binding '" + e->name + "' has type " +
+                                 t->show() + " but is ascribed " +
+                                 want->show());
+          }
+        }
+        L::TermRef body = with_binding(env, e->name, t,
+                                       [&](L::TypeEnv& inner) {
+                                         return lower(e->b, inner);
+                                       });
+        return L::apply(L::lambda(e->name, t, body), bound);
+      }
+      case ExprKind::If: {
+        L::TermRef cond = lower(e->a, env);
+        require_bool(cond, env, e->a->loc, "if condition");
+        L::TermRef then_t = lower(e->b, env);
+        L::TermRef else_t = lower(e->c, env);
+        const TypeRef tt = infer(then_t, env, e->b->loc);
+        const TypeRef et = infer(else_t, env, e->c->loc);
+        if (!Type::equal(tt, et)) {
+          error(e->loc, "if branches have different types: " + tt->show() +
+                            " vs " + et->show());
+        }
+        return L::ite(cond, then_t, else_t);
+      }
+      case ExprKind::While: {
+        L::TermRef init = lower(e->a, env);
+        const TypeRef state = infer(init, env, e->a->loc);
+        L::TermRef cond, step;
+        with_binding(env, e->name, state, [&](L::TypeEnv& inner) {
+          cond = lower(e->b, inner);
+          require_bool(cond, inner, e->b->loc, "while condition");
+          step = lower(e->c, inner);
+          const TypeRef st = infer(step, inner, e->c->loc);
+          if (!Type::equal(st, state)) {
+            error(e->c->loc, "while step has type " + st->show() +
+                                 " but the state '" + e->name + "' has type " +
+                                 state->show());
+          }
+          return L::TermRef{};
+        });
+        return L::apply(L::while_f(L::lambda(e->name, state, cond),
+                                   L::lambda(e->name, state, step)),
+                        init);
+      }
+      case ExprKind::Case: {
+        L::TermRef scrut = lower(e->a, env);
+        const TypeRef st = infer(scrut, env, e->a->loc);
+        if (!st->is(TypeKind2::Sum)) {
+          error(e->a->loc,
+                "case scrutinee must have a sum type, got " + st->show());
+        }
+        L::TermRef left = with_binding(env, e->name, st->left(),
+                                       [&](L::TypeEnv& inner) {
+                                         return lower(e->b, inner);
+                                       });
+        L::TermRef right = with_binding(env, e->name2, st->right(),
+                                        [&](L::TypeEnv& inner) {
+                                          return lower(e->c, inner);
+                                        });
+        L::TypeEnv lenv = env;
+        lenv[e->name] = st->left();
+        const TypeRef lt = infer(left, lenv, e->b->loc);
+        L::TypeEnv renv = env;
+        renv[e->name2] = st->right();
+        const TypeRef rt = infer(right, renv, e->c->loc);
+        if (!Type::equal(lt, rt)) {
+          error(e->loc, "case alternatives have different types: " +
+                            lt->show() + " vs " + rt->show());
+        }
+        return L::case_of(scrut, e->name, left, e->name2, right);
+      }
+      case ExprKind::Comprehension: {
+        L::TermRef source = lower(e->b, env);
+        const TypeRef st = infer(source, env, e->b->loc);
+        if (!st->is(TypeKind2::Seq)) {
+          error(e->b->loc, "comprehension source must be a sequence, got " +
+                               st->show());
+        }
+        const TypeRef elem = st->elem();
+        if (e->c != nullptr) {
+          L::TermRef cond;
+          with_binding(env, e->name, elem, [&](L::TypeEnv& inner) {
+            cond = lower(e->c, inner);
+            require_bool(cond, inner, e->c->loc, "comprehension filter");
+            return L::TermRef{};
+          });
+          source = L::apply(
+              P::filter(L::lambda(e->name, elem, cond), elem), source);
+        }
+        L::TermRef body = with_binding(env, e->name, elem,
+                                       [&](L::TypeEnv& inner) {
+                                         return lower(e->a, inner);
+                                       });
+        return L::apply(L::map_f(L::lambda(e->name, elem, body)), source);
+      }
+    }
+    error(e->loc, "internal: unhandled expression kind");
+  }
+
+  // std::map-based TypeEnv: extend, run, restore (supports shadowing).
+  template <typename F>
+  L::TermRef with_binding(L::TypeEnv& env, const std::string& name,
+                          const TypeRef& t, F body) {
+    auto it = env.find(name);
+    const bool had = it != env.end();
+    const TypeRef saved = had ? it->second : TypeRef{};
+    env[name] = t;
+    L::TermRef out = body(env);
+    if (had) {
+      env[name] = saved;
+    } else {
+      env.erase(name);
+    }
+    return out;
+  }
+
+  void require_bool(const L::TermRef& t, const L::TypeEnv& env, SrcLoc loc,
+                    const std::string& what) {
+    const TypeRef ty = infer(t, env, loc);
+    if (!ty->is_boolean()) {
+      error(loc, what + " must be bool, got " + ty->show());
+    }
+  }
+
+  void require_nat(const TypeRef& t, SrcLoc loc, const std::string& what) {
+    if (!t->is(TypeKind2::Nat)) {
+      error(loc, what + " must be nat, got " + t->show());
+    }
+  }
+
+  L::TermRef lower_binary(const ExprPtr& e, L::TypeEnv& env) {
+    L::TermRef a = lower(e->a, env);
+    L::TermRef b = lower(e->b, env);
+    const TypeRef ta = infer(a, env, e->a->loc);
+    const TypeRef tb = infer(b, env, e->b->loc);
+    const char* spell = binop_spelling(e->bop);
+    switch (e->bop) {
+      case BinOp::Add:
+      case BinOp::Monus:
+      case BinOp::Mul:
+      case BinOp::Div:
+      case BinOp::Mod:
+      case BinOp::Shr:
+      case BinOp::Eq:
+      case BinOp::Ne:
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        require_nat(ta, e->a->loc,
+                    "left operand of '" + std::string(spell) + "'");
+        require_nat(tb, e->b->loc,
+                    "right operand of '" + std::string(spell) + "'");
+        break;
+      case BinOp::And:
+      case BinOp::Or:
+        require_bool(a, env, e->a->loc,
+                     "left operand of '" + std::string(spell) + "'");
+        require_bool(b, env, e->b->loc,
+                     "right operand of '" + std::string(spell) + "'");
+        break;
+      case BinOp::Append:
+        if (!ta->is(TypeKind2::Seq)) {
+          error(e->a->loc,
+                "left operand of '++' must be a sequence, got " + ta->show());
+        }
+        if (!Type::equal(ta, tb)) {
+          error(e->b->loc, "'++' operands have different types: " +
+                               ta->show() + " vs " + tb->show());
+        }
+        break;
+    }
+    switch (e->bop) {
+      case BinOp::Add: return L::add(a, b);
+      case BinOp::Monus: return L::monus_t(a, b);
+      case BinOp::Mul: return L::mul(a, b);
+      case BinOp::Div: return L::div_t(a, b);
+      case BinOp::Mod: return L::mod_t(a, b);
+      case BinOp::Shr: return L::rsh(a, b);
+      case BinOp::Append: return L::append(a, b);
+      case BinOp::Eq: return L::eq(a, b);
+      case BinOp::Ne: return L::neq(a, b);
+      case BinOp::Lt: return L::lt(a, b);
+      case BinOp::Le: return L::leq(a, b);
+      case BinOp::Gt: return L::lt(b, a);
+      case BinOp::Ge: return L::leq(b, a);
+      case BinOp::And: return L::land(a, b);
+      case BinOp::Or: return L::lor(a, b);
+    }
+    error(e->loc, "internal: unhandled binary operator");
+  }
+
+  // -- calls ----------------------------------------------------------------
+
+  struct Arg {
+    L::TermRef term;
+    TypeRef type;
+    SrcLoc loc;
+  };
+
+  L::TermRef lower_call(const ExprPtr& e, L::TypeEnv& env) {
+    if (builtin_set().count(e->name) != 0) {
+      return lower_builtin(e, env);
+    }
+    auto it = fns_.find(e->name);
+    if (it == fns_.end()) {
+      if (env.count(e->name) != 0) {
+        error(e->loc, "variable '" + e->name + "' is not a function");
+      }
+      if (declared_anywhere_.count(e->name) != 0) {
+        error(e->loc, "function '" + e->name +
+                          "' is defined later in the file (NSC surface "
+                          "modules resolve top-down)");
+      }
+      error(e->loc, "unknown function '" + e->name + "'");
+    }
+    const ResolvedFn& f = *it->second;
+    // Re-derive the per-parameter types from the tupled domain.
+    std::vector<TypeRef> ptypes;
+    TypeRef rest = f.dom;
+    // The declaration's parameter count is not stored; recover it from the
+    // call arity when it matches the tuple shape, preferring the exact
+    // arity the caller used so single-pair-parameter functions stay
+    // callable with one pair argument.
+    const std::size_t arity = e->elems.size();
+    for (std::size_t i = 0; i + 1 < arity && rest->is(TypeKind2::Prod); ++i) {
+      ptypes.push_back(rest->left());
+      rest = rest->right();
+    }
+    ptypes.push_back(rest);
+    if (ptypes.size() != arity) {
+      error(e->loc, "function '" + e->name + "' expects an argument of type " +
+                        f.dom->show() + "; it cannot take " +
+                        std::to_string(arity) + " arguments");
+    }
+    std::vector<Arg> args;
+    for (std::size_t i = 0; i < arity; ++i) {
+      Arg a;
+      a.loc = e->elems[i]->loc;
+      a.term = lower(e->elems[i], env);
+      a.type = infer(a.term, env, a.loc);
+      args.push_back(std::move(a));
+    }
+    for (std::size_t i = 0; i < arity; ++i) {
+      if (!Type::equal(args[i].type, ptypes[i])) {
+        error(args[i].loc, "argument " + std::to_string(i + 1) + " of '" +
+                               e->name + "' has type " +
+                               args[i].type->show() + " but the function "
+                               "expects " + ptypes[i]->show());
+      }
+    }
+    L::TermRef tuple = args[arity - 1].term;
+    for (std::size_t i = arity - 1; i-- > 0;) {
+      tuple = L::pair(args[i].term, tuple);
+    }
+    return L::apply(f.fn, tuple);
+  }
+
+  /// Resolve an expression in function-argument position (map/filter and
+  /// friends): a typed lambda, the name of a declared function, or one of
+  /// the unary builtins (eta-expanded at the expected domain).
+  L::FuncRef lower_fn_arg(const ExprPtr& e, const TypeRef& dom,
+                          L::TypeEnv& env, const std::string& what) {
+    if (e->kind == ExprKind::Lambda) {
+      const TypeRef pt = resolve_type(e->type);
+      if (!Type::equal(pt, dom)) {
+        error(e->loc, "lambda parameter has type " + pt->show() + " but " +
+                          what + " needs a function on " + dom->show());
+      }
+      L::TermRef body = with_binding(env, e->name, pt,
+                                     [&](L::TypeEnv& inner) {
+                                       return lower(e->a, inner);
+                                     });
+      return L::lambda(e->name, pt, body);
+    }
+    if (e->kind == ExprKind::Var) {
+      auto it = fns_.find(e->name);
+      if (it != fns_.end()) {
+        const ResolvedFn& f = *it->second;
+        if (!Type::equal(f.dom, dom)) {
+          error(e->loc, "function '" + e->name + "' has domain " +
+                            f.dom->show() + " but " + what +
+                            " needs a function on " + dom->show());
+        }
+        return f.fn;
+      }
+      if (builtin_set().count(e->name) != 0) {
+        // Eta-expand a unary builtin at the expected domain.
+        const std::string x = L::gensym("x");
+        Expr::Init var;
+        var.kind = ExprKind::Var;
+        var.loc = e->loc;
+        var.name = x;
+        Expr::Init call;
+        call.kind = ExprKind::Call;
+        call.loc = e->loc;
+        call.name = e->name;
+        call.elems.push_back(Expr::make(std::move(var)));
+        const ExprPtr call_e = Expr::make(std::move(call));
+        L::TermRef body = with_binding(env, x, dom, [&](L::TypeEnv& inner) {
+          return lower(call_e, inner);
+        });
+        return L::lambda(x, dom, body);
+      }
+      if (env.count(e->name) != 0) {
+        error(e->loc, "variable '" + e->name + "' used where " + what +
+                          " needs a function");
+      }
+      error(e->loc, "unknown function '" + e->name + "'");
+    }
+    error(e->loc, what + " needs a function argument: a lambda "
+                      "(\\x : t. e) or a function name");
+  }
+
+  void need_args(const ExprPtr& e, std::size_t n) {
+    if (e->elems.size() != n) {
+      error(e->loc, "builtin '" + e->name + "' takes " + std::to_string(n) +
+                        (n == 1 ? " argument" : " arguments") + ", got " +
+                        std::to_string(e->elems.size()));
+    }
+  }
+
+  Arg lower_arg(const ExprPtr& e, L::TypeEnv& env) {
+    Arg a;
+    a.loc = e->loc;
+    a.term = lower(e, env);
+    a.type = infer(a.term, env, e->loc);
+    return a;
+  }
+
+  TypeRef require_seq(const Arg& a, const std::string& what) {
+    if (!a.type->is(TypeKind2::Seq)) {
+      error(a.loc, what + " must be a sequence, got " + a.type->show());
+    }
+    return a.type->elem();
+  }
+
+  void require_nat_seq(const Arg& a, const std::string& what) {
+    if (!a.type->is(TypeKind2::Seq) || !a.type->elem()->is(TypeKind2::Nat)) {
+      error(a.loc, what + " must be a sequence of nat, got " + a.type->show());
+    }
+  }
+
+  L::TermRef lower_builtin(const ExprPtr& e, L::TypeEnv& env) {
+    const std::string& n = e->name;
+    // Function-argument builtins first (their first argument is special).
+    if (n == "map" || n == "filter") {
+      need_args(e, 2);
+      Arg seq = lower_arg(e->elems[1], env);
+      const TypeRef elem =
+          require_seq(seq, "second argument of '" + n + "'");
+      L::FuncRef f = lower_fn_arg(e->elems[0], elem, env, "'" + n + "'");
+      if (n == "filter") {
+        // check_func under the ambient env: the predicate may capture
+        // enclosing variables (the broadcast pattern).
+        TypeRef cod;
+        try {
+          cod = L::check_func(f, env).second;
+        } catch (const TypeError& err) {
+          error(e->elems[0]->loc, err.what());
+        }
+        if (!cod->is_boolean()) {
+          error(e->elems[0]->loc,
+                "'filter' needs a bool-valued predicate, got codomain " +
+                    cod->show());
+        }
+        return L::apply(P::filter(f, elem), seq.term);
+      }
+      return L::apply(L::map_f(f), seq.term);
+    }
+    if (n == "length" || n == "flatten" || n == "get" || n == "enumerate" ||
+        n == "first" || n == "last" || n == "tail" || n == "init" ||
+        n == "sum" || n == "max" || n == "sqrt_positions" ||
+        n == "sqrt_split" || n == "fst" || n == "snd" || n == "log2") {
+      need_args(e, 1);
+      Arg a = lower_arg(e->elems[0], env);
+      if (n == "length") {
+        require_seq(a, "argument of 'length'");
+        return L::length(a.term);
+      }
+      if (n == "flatten") {
+        const TypeRef elem = require_seq(a, "argument of 'flatten'");
+        if (!elem->is(TypeKind2::Seq)) {
+          error(a.loc, "argument of 'flatten' must be a sequence of "
+                       "sequences, got " + a.type->show());
+        }
+        return L::flatten(a.term);
+      }
+      if (n == "get") {
+        require_seq(a, "argument of 'get'");
+        return L::get(a.term);
+      }
+      if (n == "enumerate") {
+        require_seq(a, "argument of 'enumerate'");
+        return L::enumerate(a.term);
+      }
+      if (n == "fst" || n == "snd") {
+        if (!a.type->is(TypeKind2::Prod)) {
+          error(a.loc, "argument of '" + n + "' must be a pair, got " +
+                           a.type->show());
+        }
+        return n == "fst" ? L::proj1(a.term) : L::proj2(a.term);
+      }
+      if (n == "log2") {
+        require_nat(a.type, a.loc, "argument of 'log2'");
+        return L::log2_t(a.term);
+      }
+      if (n == "sum" || n == "max") {
+        require_nat_seq(a, "argument of '" + n + "'");
+        return L::apply(n == "sum" ? P::sum_nats() : P::max_nats(), a.term);
+      }
+      // first / last / tail / init / sqrt_positions / sqrt_split
+      const TypeRef elem = require_seq(a, "argument of '" + n + "'");
+      if (n == "first") return L::apply(P::first(elem), a.term);
+      if (n == "last") return L::apply(P::last(elem), a.term);
+      if (n == "tail") return L::apply(P::tail(elem), a.term);
+      if (n == "init") return L::apply(P::remove_last(elem), a.term);
+      if (n == "sqrt_positions") {
+        return L::apply(P::sqrt_positions(elem), a.term);
+      }
+      return L::apply(P::sqrt_split(elem), a.term);
+    }
+    if (n == "zip" || n == "split" || n == "index" || n == "index_split" ||
+        n == "merge" || n == "ranks") {
+      need_args(e, 2);
+      Arg a = lower_arg(e->elems[0], env);
+      Arg b = lower_arg(e->elems[1], env);
+      if (n == "zip") {
+        require_seq(a, "first argument of 'zip'");
+        require_seq(b, "second argument of 'zip'");
+        return L::zip(a.term, b.term);
+      }
+      if (n == "split") {
+        require_seq(a, "first argument of 'split'");
+        require_nat_seq(b, "second argument of 'split'");
+        return L::split(a.term, b.term);
+      }
+      if (n == "index" || n == "index_split") {
+        const TypeRef elem =
+            require_seq(a, "first argument of '" + n + "'");
+        require_nat_seq(b, "second argument of '" + n + "'");
+        const L::FuncRef f =
+            n == "index" ? P::index(elem) : P::index_split(elem);
+        return L::apply(f, L::pair(a.term, b.term));
+      }
+      // merge / ranks
+      require_nat_seq(a, "first argument of '" + n + "'");
+      require_nat_seq(b, "second argument of '" + n + "'");
+      const L::FuncRef f = n == "merge" ? P::direct_merge() : P::direct_rank();
+      return L::apply(f, L::pair(a.term, b.term));
+    }
+    error(e->loc, "internal: builtin '" + n + "' has no lowering");
+  }
+
+  using TypeKind2 = nsc::TypeKind;
+
+  const SourceFile& src_;
+  std::map<std::string, const ResolvedFn*> fns_;
+  std::set<std::string> declared_anywhere_;
+};
+
+}  // namespace
+
+ResolvedModule resolve(const Module& m, const SourceFile& src) {
+  return Resolver(src).run(m);
+}
+
+ResolvedInput resolve_expression(const ExprPtr& e, const SourceFile& src) {
+  return Resolver(src).resolve_closed_expr(e);
+}
+
+bool is_builtin_function(const std::string& name) {
+  return builtin_set().count(name) != 0;
+}
+
+const std::vector<std::string>& builtin_function_names() {
+  static const std::vector<std::string> names(builtin_set().begin(),
+                                              builtin_set().end());
+  return names;
+}
+
+}  // namespace nsc::front

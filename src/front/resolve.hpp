@@ -1,0 +1,69 @@
+// Resolver: lowers a parsed surface Module onto the core nsc::lang AST.
+//
+// Each `fn` declaration becomes a *closed* lang::FuncRef (multi-parameter
+// functions take a right-nested tuple; calls to earlier declarations are
+// inlined, so the result needs no global environment and feeds directly
+// into lang::check_func, lang::apply_fn and sa::compile_nsc).  Surface
+// sugar -- comprehensions, boolean/comparison operators, the prelude
+// builtins (filter/map/sum/index/...) -- expands to the section 3 derived
+// forms of nsc/build.hpp and nsc/prelude.hpp.
+//
+// The resolver typechecks as it lowers (using lang::check_term on the
+// lowered sub-terms), so every type error is reported as a FrontError
+// with the line:col of the offending *surface* node, not an exception
+// from deep inside the core typechecker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "front/ast.hpp"
+#include "front/source.hpp"
+#include "nsc/ast.hpp"
+#include "object/type.hpp"
+
+namespace nsc::front {
+
+struct ResolvedFn {
+  std::string name;
+  SrcLoc loc;
+  lang::FuncRef fn;  ///< closed core function
+  TypeRef dom, cod;
+};
+
+struct ResolvedInput {
+  SrcLoc loc;
+  lang::TermRef term;  ///< closed core term
+  TypeRef type;
+};
+
+struct ResolvedModule {
+  std::string file;
+  std::vector<ResolvedFn> fns;       // declaration order
+  std::vector<ResolvedInput> inputs;
+
+  /// nullptr when absent.
+  const ResolvedFn* find(const std::string& name) const;
+  /// The entry point; throws FrontError when the module defines no main.
+  const ResolvedFn& main() const;
+};
+
+/// Lower + typecheck a whole module.  Throws FrontError on any semantic
+/// error (unknown names, arity or type mismatches, first-order violations,
+/// inputs not matching main's domain).
+ResolvedModule resolve(const Module& m, const SourceFile& src);
+
+/// Lower + typecheck a standalone closed expression (nscc --input values).
+ResolvedInput resolve_expression(const ExprPtr& e, const SourceFile& src);
+
+/// Lower a surface type.
+TypeRef resolve_type(const TypeExprPtr& t);
+
+/// True iff `name` is a reserved builtin function name (length, map,
+/// filter, sum, ...).  Declared functions may not shadow these.
+bool is_builtin_function(const std::string& name);
+
+/// The builtin-function names, for documentation and diagnostics.
+const std::vector<std::string>& builtin_function_names();
+
+}  // namespace nsc::front

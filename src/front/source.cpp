@@ -1,0 +1,44 @@
+#include "front/source.hpp"
+
+#include <sstream>
+
+namespace nsc::front {
+
+SourceFile::SourceFile(std::string name, std::string text)
+    : name_(std::move(name)), text_(std::move(text)) {
+  line_starts_.push_back(0);
+  for (std::uint32_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n') line_starts_.push_back(i + 1);
+  }
+}
+
+std::string SourceFile::line_text(std::uint32_t line) const {
+  if (line == 0 || line > line_starts_.size()) return "";
+  const std::uint32_t start = line_starts_[line - 1];
+  std::uint32_t end = start;
+  while (end < text_.size() && text_[end] != '\n') ++end;
+  return text_.substr(start, end - start);
+}
+
+std::string Diagnostic::render() const {
+  std::ostringstream out;
+  out << file << ":" << loc.line << ":" << loc.col << ": error: " << message;
+  if (!expected.empty()) {
+    out << "; expected ";
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      if (i != 0) out << (i + 1 == expected.size() ? " or " : ", ");
+      out << expected[i];
+    }
+  }
+  if (!source_line.empty()) {
+    out << "\n  " << source_line << "\n  ";
+    // Tabs keep their width in the caret line so it stays aligned.
+    for (std::uint32_t i = 1; i < loc.col && i <= source_line.size(); ++i) {
+      out << (source_line[i - 1] == '\t' ? '\t' : ' ');
+    }
+    out << "^";
+  }
+  return out.str();
+}
+
+}  // namespace nsc::front

@@ -1,0 +1,78 @@
+// Source management and structured diagnostics for the NSC surface
+// language (the textual frontend in src/front/).
+//
+// Every token and surface-AST node carries a SrcLoc; every frontend
+// failure -- lexical, syntactic, or semantic (a type error located at a
+// surface node) -- is reported as a FrontError carrying a structured
+// Diagnostic: the 1-based line:col position, the offending source line,
+// a caret snippet, and (for parse errors) the set of tokens that would
+// have been accepted.  Nothing in the frontend asserts or aborts on bad
+// input: malformed programs always surface as FrontError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace nsc::front {
+
+/// A position in a source file.  Lines and columns are 1-based (editor
+/// convention); `offset` is the 0-based byte offset into the text.
+struct SrcLoc {
+  std::uint32_t line = 1;
+  std::uint32_t col = 1;
+  std::uint32_t offset = 0;
+};
+
+/// A source file: name (for diagnostics) plus full text.  Owns the line
+/// index used to render snippets.
+class SourceFile {
+ public:
+  SourceFile() = default;
+  SourceFile(std::string name, std::string text);
+
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+
+  /// The full text of the (1-based) line containing `loc`, without the
+  /// trailing newline.  Out-of-range lines yield "".
+  std::string line_text(std::uint32_t line) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::uint32_t> line_starts_;  // byte offset of each line
+};
+
+enum class DiagKind { Lex, Parse, Type };
+
+/// A structured frontend diagnostic.
+struct Diagnostic {
+  DiagKind kind = DiagKind::Parse;
+  SrcLoc loc;
+  std::string file;             ///< source file name
+  std::string message;          ///< what went wrong
+  std::vector<std::string> expected;  ///< expected-token set (parse errors)
+  std::string source_line;      ///< the offending line, for the snippet
+
+  /// Render as "file:line:col: error: message" plus a caret snippet and,
+  /// when non-empty, an "expected ..." list.
+  std::string render() const;
+};
+
+/// The frontend's only failure mode.  Inherits nsc::Error so existing
+/// catch sites (tests, the nscc driver) handle it uniformly.
+class FrontError : public Error {
+ public:
+  explicit FrontError(Diagnostic diag)
+      : Error(diag.render()), diag_(std::move(diag)) {}
+
+  const Diagnostic& diag() const { return diag_; }
+
+ private:
+  Diagnostic diag_;
+};
+
+}  // namespace nsc::front

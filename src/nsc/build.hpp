@@ -3,7 +3,9 @@
 // This plays the role of the "user-friendly language with block structure"
 // the paper sketches at the start of section 4: the combinators below are a
 // thin construction layer that produces plain NSC ASTs (nothing here adds
-// expressive power).  `let_` is the standard sugar
+// expressive power).  The *textual* construction interface is the surface
+// language in src/front/ (see docs/nsc-language.md), whose resolver lowers
+// onto these same builders.  `let_` is the standard sugar
 //   let x = M in N  ==  (\x. N)(M)
 // and named function definitions are simply C++ variables holding FuncRefs.
 #pragma once

@@ -1,0 +1,25 @@
+// Shared corpus discovery for the frontend test suites: every .nsc file
+// under tests/corpus/ (NSCC_CORPUS_DIR is injected by tests/CMakeLists),
+// sorted for deterministic iteration order.
+#pragma once
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace nsc::testing {
+
+inline std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(NSCC_CORPUS_DIR)) {
+    if (entry.path().extension() == ".nsc") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace nsc::testing

@@ -1,0 +1,127 @@
+// Corpus differential execution: every tests/corpus/*.nsc program is
+// parsed, resolved, evaluated with the NSC evaluator (Definition 3.1
+// semantics) on every `input` declaration, and compiled + executed on the
+// BVRAM at every OptLevel x WhileSchedule -- O0/O1/O2 x naive/eager/
+// staged(1/2) -- with bit-for-bit agreement required on values and on
+// traps (the Omega programs must trap identically everywhere).  This is
+// the acceptance gate that turns "find a workload" into "add a .nsc
+// file": anything dropped into tests/corpus/ is automatically held to
+// the full pipeline contract.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "front/front.hpp"
+#include "nsc/eval.hpp"
+#include "object/value.hpp"
+#include "opt/opt.hpp"
+#include "sa/compile.hpp"
+#include "support/error.hpp"
+#include "corpus_files.hpp"
+
+namespace nsc {
+namespace {
+
+namespace F = nsc::front;
+namespace L = nsc::lang;
+
+using nsc::testing::corpus_files;
+
+struct Outcome {
+  bool trapped = false;
+  ValueRef value;
+};
+
+Outcome eval_outcome(const L::FuncRef& f, const ValueRef& arg) {
+  Outcome o;
+  try {
+    o.value = L::apply_fn(f, arg).value;
+  } catch (const Error&) {
+    o.trapped = true;
+  }
+  return o;
+}
+
+Outcome compiled_outcome(const bvram::Program& p, const TypeRef& dom,
+                         const TypeRef& cod, const ValueRef& arg) {
+  Outcome o;
+  try {
+    o.value = sa::run_compiled(p, dom, cod, arg).value;
+  } catch (const Error&) {
+    o.trapped = true;
+  }
+  return o;
+}
+
+TEST(Corpus, MeetsTheAcceptanceFloor) {
+  const auto files = corpus_files();
+  EXPECT_GE(files.size(), 10u);
+  std::size_t inputs = 0, traps = 0;
+  for (const auto& path : files) {
+    const F::SourceFile src = F::load_file(path);
+    const F::ResolvedModule mod = F::compile_file(src);
+    const F::ResolvedFn& main_fn = mod.main();
+    EXPECT_GE(mod.inputs.size(), 2u) << path << ": too few inputs";
+    inputs += mod.inputs.size();
+    for (const auto& in : mod.inputs) {
+      try {
+        const auto r = L::eval(in.term);
+        if (eval_outcome(main_fn.fn, r.value).trapped) ++traps;
+      } catch (const Error&) {
+        ++traps;
+      }
+    }
+  }
+  EXPECT_GE(inputs, 30u);
+  EXPECT_GE(traps, 1u) << "the corpus should include trapping runs";
+}
+
+TEST(Corpus, DifferentialAcrossOptLevelsAndSchedules) {
+  const opt::OptLevel levels[] = {opt::OptLevel::O0, opt::OptLevel::O1,
+                                  opt::OptLevel::O2};
+  const struct {
+    const char* name;
+    opt::WhileSchedule sched;
+  } scheds[] = {
+      {"naive", opt::WhileSchedule::naive()},
+      {"eager", opt::WhileSchedule::eager()},
+      {"staged(1/2)", opt::WhileSchedule::staged({1, 2})},
+  };
+  const auto files = corpus_files();
+  ASSERT_GE(files.size(), 10u);
+  for (const auto& path : files) {
+    SCOPED_TRACE(path);
+    const F::SourceFile src = F::load_file(path);
+    const F::ResolvedModule mod = F::compile_file(src);
+    const F::ResolvedFn& main_fn = mod.main();
+    ASSERT_FALSE(mod.inputs.empty()) << path << " has no input declarations";
+    std::vector<ValueRef> args;
+    for (const auto& in : mod.inputs) args.push_back(L::eval(in.term).value);
+    std::vector<Outcome> expected;
+    for (const auto& a : args) expected.push_back(eval_outcome(main_fn.fn, a));
+    for (const auto level : levels) {
+      for (const auto& s : scheds) {
+        SCOPED_TRACE(std::string("opt ") + std::to_string(int(level)) +
+                     " sched " + s.name);
+        bvram::Program program;
+        ASSERT_NO_THROW(program = sa::compile_nsc(main_fn.fn, level, s.sched));
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          SCOPED_TRACE("input " + std::to_string(i));
+          const Outcome got = compiled_outcome(program, main_fn.dom,
+                                               main_fn.cod, args[i]);
+          ASSERT_EQ(expected[i].trapped, got.trapped);
+          if (!expected[i].trapped) {
+            EXPECT_TRUE(Value::equal(expected[i].value, got.value))
+                << "eval: " << expected[i].value->show()
+                << "\ncompiled: " << got.value->show();
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nsc

@@ -1,0 +1,411 @@
+// Tests for the NSC textual frontend (src/front/): lexer locations,
+// printer round-trips (parse(print(m)) == m over the whole corpus and
+// over precedence-heavy expressions), golden line:col diagnostics for
+// representative parse and type errors, the docs/nsc-language.md drift
+// check, and the parser robustness smoke (random token-stream mutations
+// of corpus files must produce a FrontError diagnostic or parse cleanly
+// -- never crash, assert, or leak another exception type; run under
+// ASan/UBSan in CI).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "front/front.hpp"
+#include "nsc/eval.hpp"
+#include "support/prng.hpp"
+#include "corpus_files.hpp"
+
+namespace nsc::front {
+namespace {
+
+using nsc::testing::corpus_files;
+
+std::string first_line(const std::string& s) {
+  const std::size_t nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TracksLineAndColumn) {
+  SourceFile src("t.nsc", "fn f(x : nat) =\n  x + 10 -- tail\n");
+  const auto toks = lex(src);
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, Tok::KwFn);
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.col, 1u);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].text, "f");
+  EXPECT_EQ(toks[1].loc.col, 4u);
+  // "x" on line 2 at col 3; the comment disappears.
+  bool saw_x2 = false;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::Ident && t.text == "x" && t.loc.line == 2) {
+      EXPECT_EQ(t.loc.col, 3u);
+      saw_x2 = true;
+    }
+    EXPECT_NE(t.kind, Tok::Minus);  // '--' comment, not minus
+  }
+  EXPECT_TRUE(saw_x2);
+  EXPECT_EQ(toks.back().kind, Tok::Eof);
+}
+
+TEST(Lexer, NumberOverflowIsDiagnosed) {
+  SourceFile src("t.nsc", "fn f(x : nat) = 99999999999999999999999");
+  try {
+    lex(src);
+    FAIL() << "expected FrontError";
+  } catch (const FrontError& e) {
+    EXPECT_EQ(e.diag().loc.line, 1u);
+    EXPECT_EQ(e.diag().loc.col, 17u);
+    EXPECT_NE(std::string(e.what()).find("does not fit"), std::string::npos);
+  }
+}
+
+TEST(Lexer, SpellingsRoundTrip) {
+  // Re-lexing the spellings reproduces the token kinds -- the property the
+  // mutation smoke test's re-rendering relies on.
+  SourceFile src("t.nsc",
+                 "fn f(x : nat * bool) = [x | y <- z, a <= b] ++ c >> 2");
+  const auto toks = lex(src);
+  std::string rendered;
+  for (const auto& t : toks) {
+    rendered += t.spelling();
+    rendered += ' ';
+  }
+  const auto relexed = lex(SourceFile("t.nsc", rendered));
+  ASSERT_EQ(relexed.size(), toks.size());
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    EXPECT_EQ(relexed[i].kind, toks[i].kind) << "token " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Printer round-trip
+// ---------------------------------------------------------------------------
+
+TEST(RoundTrip, WholeCorpus) {
+  const auto files = corpus_files();
+  ASSERT_GE(files.size(), 10u) << "corpus went missing";
+  for (const auto& path : files) {
+    SCOPED_TRACE(path);
+    const SourceFile src = load_file(path);
+    const Module m = parse_module(src);
+    const std::string printed = print_module(m);
+    const Module again = parse_module(SourceFile(path + "<printed>", printed));
+    EXPECT_TRUE(equal(m, again)) << printed;
+    // And printing is canonical: a second round is byte-identical.
+    EXPECT_EQ(printed, print_module(again));
+  }
+}
+
+TEST(RoundTrip, CorpusStillResolvesAfterPrinting) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const SourceFile src = load_file(path);
+    const std::string printed = print_module(parse_module(src));
+    const SourceFile psrc(path + "<printed>", printed);
+    EXPECT_NO_THROW({ resolve(parse_module(psrc), psrc); });
+  }
+}
+
+TEST(RoundTrip, PrecedenceHeavyExpressions) {
+  const char* exprs[] = {
+      "a + b * c",
+      "(a + b) * c",
+      "a - b - c",
+      "a - (b - c)",
+      "a >> b % c * d",
+      "x ++ y ++ [1, 2]",
+      "(x ++ y) ++ z",
+      "a < b && c == d || !e",
+      "!(a < b)",
+      "(a || b) && c",
+      "[x * x | x <- xs, x % 2 == 0]",
+      "[case s of inl x => x | inr y => y + 1 | s <- ss]",
+      "(if a < 1 then b else c) + 2",
+      "let u = while s = (xs, 0); fst(s) == snd(s); s in fst(u)",
+      "inl[nat + bool](inr[[nat]](x))",
+      "f(a, (b, c), [d])",
+      "(empty[nat * (nat + unit)], omega[[bool]])",
+      "zip(enumerate(k), map(square, k))",
+  };
+  for (const char* s : exprs) {
+    SCOPED_TRACE(s);
+    const SourceFile src("e.nsc", s);
+    const ExprPtr e = parse_expression(src);
+    const std::string printed = print_expr(e);
+    const ExprPtr again = parse_expression(SourceFile("e2.nsc", printed));
+    EXPECT_TRUE(equal(e, again)) << "printed as: " << printed;
+  }
+}
+
+TEST(RoundTrip, PrinterDropsRedundantParens) {
+  const SourceFile src("e.nsc", "((a)) + (b * c)");
+  EXPECT_EQ(print_expr(parse_expression(src)), "a + b * c");
+}
+
+// ---------------------------------------------------------------------------
+// Golden diagnostics: exact file:line:col + message
+// ---------------------------------------------------------------------------
+
+std::string diagnose(const std::string& text) {
+  const SourceFile src("g.nsc", text);
+  try {
+    const Module m = parse_module(src);
+    resolve(m, src);
+  } catch (const FrontError& e) {
+    return first_line(e.what());
+  }
+  return "(no error)";
+}
+
+TEST(Diagnostics, Golden) {
+  struct Case {
+    const char* name;
+    const char* source;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"lex: unknown character",
+       "fn f(x : nat) = x ? 2",
+       "g.nsc:1:19: error: unexpected character '?'"},
+      {"parse: unclosed parameter list",
+       "fn f(x : nat = x",
+       "g.nsc:1:14: error: unexpected '=' after parameter list; expected ')'"},
+      {"parse: empty sequence literal",
+       "fn f(x : nat) = length([])",
+       "g.nsc:1:25: error: an empty sequence literal has no element type; "
+       "write empty[t] instead of []"},
+      {"parse: chained comparison",
+       "fn f(x : nat) = x < 2 < 3",
+       "g.nsc:1:23: error: comparison operators do not chain; parenthesize "
+       "the comparison"},
+      {"parse: missing operand",
+       "fn f(x : nat) = x +\nfn g(y : nat) = y",
+       "g.nsc:2:1: error: unexpected 'fn' where an expression should be; "
+       "expected number, identifier, '(', '[', 'let', 'if', 'while', 'case' "
+       "or '\\'"},
+      {"parse: missing type",
+       "fn f(x : ) = x",
+       "g.nsc:1:10: error: unexpected ')' where a type should be; expected "
+       "'nat', 'unit', 'bool', '[' or '('"},
+      {"type: unbound variable",
+       "fn f(x : nat) = x + y",
+       "g.nsc:1:21: error: unbound variable 'y'"},
+      {"type: if branches disagree",
+       "fn f(x : nat) = if x < 1 then [x] else x",
+       "g.nsc:1:17: error: if branches have different types: [N] vs N"},
+      {"type: arith on a sequence",
+       "fn f(xs : [nat]) = xs + 1",
+       "g.nsc:1:20: error: left operand of '+' must be nat, got [N]"},
+      {"type: first-order violation",
+       "fn f(x : nat) = \\y : nat. y",
+       "g.nsc:1:17: error: a lambda may only appear as a function argument "
+       "(NSC is first-order)"},
+      {"type: forward reference",
+       "fn f(x : nat) = g(x)\nfn g(x : nat) = x",
+       "g.nsc:1:17: error: function 'g' is defined later in the file (NSC "
+       "surface modules resolve top-down)"},
+      {"type: while step changes the state type",
+       "fn f(x : nat) = while s = x; s < 10; [s]",
+       "g.nsc:1:38: error: while step has type [N] but the state 's' has "
+       "type N"},
+      {"type: input does not match main",
+       "fn main(xs : [nat]) = xs\ninput 3",
+       "g.nsc:2:1: error: input value has type N but main expects [N]"},
+      {"type: wrong argument type",
+       "fn f(a : nat, b : [nat]) = a + length(b)\n"
+       "fn main(x : nat) = f(x, x)",
+       "g.nsc:2:25: error: argument 2 of 'f' has type N but the function "
+       "expects [N]"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    EXPECT_EQ(diagnose(c.source), c.expect);
+  }
+}
+
+TEST(Diagnostics, SnippetHasCaret) {
+  const SourceFile src("g.nsc", "fn f(x : nat) =\n  x + yy\n");
+  try {
+    resolve(parse_module(src), src);
+    FAIL() << "expected FrontError";
+  } catch (const FrontError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "g.nsc:2:7: error: unbound variable 'yy'\n"
+              "    x + yy\n"
+              "        ^");
+    EXPECT_EQ(e.diag().loc.line, 2u);
+    EXPECT_EQ(e.diag().loc.col, 7u);
+    EXPECT_EQ(e.diag().source_line, "  x + yy");
+  }
+}
+
+TEST(Diagnostics, ExpectedTokenSetIsStructured) {
+  const SourceFile src("g.nsc", "fn f(x : ) = x");
+  try {
+    parse_module(src);
+    FAIL() << "expected FrontError";
+  } catch (const FrontError& e) {
+    const auto& exp = e.diag().expected;
+    ASSERT_EQ(exp.size(), 5u);
+    EXPECT_EQ(exp[0], "'nat'");
+    EXPECT_EQ(exp[4], "'('");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resolver semantics spot checks
+// ---------------------------------------------------------------------------
+
+TEST(Resolve, ComprehensionMatchesMapFilter) {
+  const char* text =
+      "fn a(xs : [nat]) = [x * x | x <- xs, 0 < x]\n"
+      "fn b(xs : [nat]) = map(\\x : nat. x * x, "
+      "filter(\\x : nat. 0 < x, xs))\n";
+  const SourceFile src("r.nsc", text);
+  const ResolvedModule mod = resolve(parse_module(src), src);
+  const auto in = Value::nat_seq({3, 0, 1, 4, 0, 2});
+  const auto ra = lang::apply_fn(mod.find("a")->fn, in);
+  const auto rb = lang::apply_fn(mod.find("b")->fn, in);
+  EXPECT_TRUE(Value::equal(ra.value, rb.value));
+  EXPECT_EQ(ra.cost.time, rb.cost.time);
+  EXPECT_EQ(ra.cost.work, rb.cost.work);
+}
+
+TEST(Resolve, MultiParamFunctionsTupleRight) {
+  const char* text =
+      "fn f(a : nat, b : nat, c : [nat]) = a * 100 + b * 10 + length(c)\n"
+      "fn main(x : nat) = f(x, x + 1, [x])\n";
+  const SourceFile src("r.nsc", text);
+  const ResolvedModule mod = resolve(parse_module(src), src);
+  EXPECT_EQ(mod.find("f")->dom->show(), "(N x (N x [N]))");
+  const auto r = lang::apply_fn(mod.main().fn, Value::nat(4));
+  EXPECT_EQ(r.value->as_nat(), 4 * 100 + 5 * 10 + 1u);
+}
+
+TEST(Resolve, BuiltinNameInFunctionPosition) {
+  // Eta-expansion: map(sum, db) == [sum(d) | d <- db].
+  const char* text = "fn main(db : [[nat]]) = map(sum, db)\n";
+  const SourceFile src("r.nsc", text);
+  const ResolvedModule mod = resolve(parse_module(src), src);
+  const auto db = Value::seq({Value::nat_seq({1, 2, 3}), Value::nat_seq({}),
+                              Value::nat_seq({10, 20})});
+  const auto r = lang::apply_fn(mod.main().fn, db);
+  EXPECT_TRUE(Value::equal(r.value, Value::nat_seq({6, 0, 30})));
+}
+
+TEST(Resolve, ShadowingRestoresOuterBinding) {
+  const char* text =
+      "fn main(x : nat) = let y = x + 1 in (let y = [x] in length(y)) + y\n";
+  const SourceFile src("r.nsc", text);
+  const ResolvedModule mod = resolve(parse_module(src), src);
+  const auto r = lang::apply_fn(mod.main().fn, Value::nat(5));
+  EXPECT_EQ(r.value->as_nat(), 1 + 6u);
+}
+
+TEST(Resolve, BuiltinNamesAreReserved) {
+  EXPECT_EQ(diagnose("fn sum(x : nat) = x"),
+            "g.nsc:1:1: error: cannot define function 'sum': the name is a "
+            "builtin");
+  EXPECT_TRUE(is_builtin_function("sum"));
+  EXPECT_FALSE(is_builtin_function("main"));
+}
+
+// ---------------------------------------------------------------------------
+// Documentation drift
+// ---------------------------------------------------------------------------
+
+TEST(Docs, LanguageReferenceMatchesCheckedInFile) {
+  const std::string path = std::string(NSCC_REPO_DIR) + "/docs/nsc-language.md";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing " << path
+                  << " -- regenerate with: nscc doc > docs/nsc-language.md";
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_EQ(text.str(), language_reference())
+      << "docs/nsc-language.md drifted from front::language_reference(); "
+         "regenerate with: nscc doc > docs/nsc-language.md";
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: mutated token streams never crash the frontend
+// ---------------------------------------------------------------------------
+
+TEST(Robustness, MutatedCorpusNeverCrashes) {
+  // Lex every corpus file, apply random token-stream mutations (drop,
+  // duplicate, swap, replace), re-render as text, and push the result
+  // through the full frontend.  Outcomes are binary: a clean parse+resolve
+  // or a FrontError diagnostic.  Any other exception -- or a crash, which
+  // ASan/UBSan in CI would turn into a hard failure -- fails the test.
+  SplitMix64 rng(20260727);
+  const char* extra_spellings[] = {
+      "fn", "input", "let", "in", "if", "then", "else", "while", "case",
+      "of", "inl", "inr", "(", ")", "[", "]", ",", ";", ":", ".", "|",
+      "\\", "=>", "<-", "=", "+", "-", "*", "/", "%", ">>", "++", "==",
+      "!=", "<", "<=", ">", ">=", "&&", "||", "!", "0",
+      "18446744073709551615", "xyz", "empty", "omega", "nat", "bool",
+      "unit", "true", "false", "map", "filter", "sum", "main",
+  };
+  std::size_t diagnostics = 0, clean = 0;
+  for (const auto& path : corpus_files()) {
+    const SourceFile orig = load_file(path);
+    const std::vector<Token> toks = lex(orig);
+    const std::size_t n = toks.size();  // includes Eof
+    for (int trial = 0; trial < 250; ++trial) {
+      std::vector<std::string> spellings;
+      spellings.reserve(n);
+      for (const auto& t : toks) {
+        if (t.kind != Tok::Eof) spellings.push_back(t.spelling());
+      }
+      // 1-4 random mutations.
+      const int mutations = 1 + static_cast<int>(rng.below(4));
+      for (int mu = 0; mu < mutations && !spellings.empty(); ++mu) {
+        const std::size_t at = rng.below(spellings.size());
+        switch (rng.below(4)) {
+          case 0:
+            spellings.erase(spellings.begin() + static_cast<long>(at));
+            break;
+          case 1:
+            spellings.insert(spellings.begin() + static_cast<long>(at),
+                             spellings[at]);
+            break;
+          case 2:
+            std::swap(spellings[at], spellings[rng.below(spellings.size())]);
+            break;
+          default:
+            spellings[at] = extra_spellings[rng.below(
+                sizeof(extra_spellings) / sizeof(extra_spellings[0]))];
+            break;
+        }
+      }
+      std::string text;
+      for (const auto& s : spellings) {
+        text += s;
+        text += ' ';
+      }
+      const SourceFile src(path + "<mutated>", text);
+      try {
+        const Module m = parse_module(src);
+        resolve(m, src);
+        ++clean;
+      } catch (const FrontError&) {
+        ++diagnostics;
+      }
+      // Anything else propagates and fails the test.
+    }
+  }
+  // The mutations overwhelmingly produce diagnostics; both outcomes occur.
+  EXPECT_GT(diagnostics, 0u);
+  SUCCEED() << diagnostics << " diagnostics, " << clean << " clean parses";
+}
+
+}  // namespace
+}  // namespace nsc::front

@@ -417,6 +417,52 @@ TEST(Backend, SelectInPlaceOverDeadSource) {
   }
 }
 
+TEST(Backend, AppendInPlaceOverDeadSource) {
+  // The engine extends the left source's buffer in place when it dies at
+  // the append (or doubles as the destination) and its capacity suffices;
+  // all six configurations must agree bit-for-bit on outputs, T, W.  The
+  // select of a zero-free vector shrinks the register without shrinking
+  // its capacity, which is exactly the headroom the in-place path needs.
+  Assembler a;
+  auto x = a.reg();  // V0: input and final output
+  auto y = a.reg();
+  auto z = a.reg();
+  auto one = a.reg();
+  a.load_const(one, 1);
+  a.arith(y, ArithOp::Add, x, x);
+  a.select(z, y);      // z's buffer gets capacity >= |y|
+  a.append(z, z, one); // dst == left source: in place when capacity allows
+  a.append(x, z, y);   // z dead afterwards: steal its buffer if it fits
+  a.append(x, x, x);   // both sources alias dst
+  a.halt();
+  auto p = a.finish(1, 1);
+  for (std::size_t n : kSizes) {
+    expect_identical(p, {iota_mod(n, 97)});   // ~1/97 zeros
+    expect_identical(p, {Vec(n, 3)});         // zero-free: select keeps all
+    expect_identical(p, {Vec(n, 0)});         // select empties z
+  }
+}
+
+TEST(Backend, AppendInPlaceTightCapacity) {
+  // A dying source whose capacity is exactly its size must take the copy
+  // path; a previously shrunk one takes the in-place path.  Differential
+  // over both, plus append onto an empty dying source.
+  Assembler a;
+  auto x = a.reg();
+  auto y = a.reg();
+  auto z = a.reg();
+  a.enumerate(y, x);
+  a.append(z, y, x);   // y dies; fresh enumerate buffer, no slack
+  a.select(z, z);      // shrink in place: capacity headroom appears
+  a.append(x, z, x);   // z dies with headroom
+  a.halt();
+  auto p = a.finish(1, 1);
+  for (std::size_t n : kSizes) {
+    expect_identical(p, {iota_mod(n, 5)});
+    expect_identical(p, {Vec(n, 0)});
+  }
+}
+
 TEST(Backend, PoolReuseAcrossGrowShrink) {
   // Registers repeatedly grow (append) and shrink (select of zeros),
   // churning the buffer pool.

@@ -1,0 +1,441 @@
+// nscc: the driver CLI for the NSC surface language (src/front/).
+//
+//   nscc check FILE.nsc                 parse + typecheck; print fn types
+//   nscc eval  FILE.nsc [options]       NSC evaluator (Definition 3.1 T/W)
+//   nscc run   FILE.nsc [options]       evaluator AND compiled BVRAM,
+//                                       differentially (exit 1 on mismatch)
+//   nscc dump  FILE.nsc [options]       surface / core / NSA / BVRAM form
+//   nscc bench FILE.nsc [options]       static + executed T/W as JSON
+//   nscc fmt   FILE.nsc                 canonical formatting (the printer)
+//   nscc doc                            the language reference markdown
+//
+// Shared options:
+//   --input EXPR    add an argument for main (repeatable; parsed with the
+//                   expression grammar, so '[1, 2, 3]' or '([1,2], 4)')
+//   --opt LEVEL     O0 | O1 | O2                     (default O2)
+//   --sched S       naive | eager | staged[:NUM/DEN] (default naive;
+//                   staged defaults to eps = 1/2)
+//   --fn NAME       entry point (default main)
+//   --stage S       dump stage: surface | core | nsa | bvram (default bvram)
+//   --stats         dump: also print optimizer pipeline statistics
+//   --json PATH     bench: write the JSON there instead of stdout
+//
+// Every diagnostic goes to stderr as file:line:col with a caret snippet;
+// malformed input exits 1, it never aborts.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "front/front.hpp"
+#include "nsa/from_nsc.hpp"
+#include "nsc/eval.hpp"
+#include "nsc/typecheck.hpp"
+#include "object/value.hpp"
+#include "opt/opt.hpp"
+#include "sa/compile.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace nsc;
+namespace F = nsc::front;
+namespace L = nsc::lang;
+
+struct Options {
+  std::string command;
+  std::string file;
+  std::vector<std::string> inputs;  // --input expressions
+  opt::OptLevel opt = opt::OptLevel::O2;
+  opt::WhileSchedule sched = opt::WhileSchedule::naive();
+  std::string entry = "main";
+  std::string stage = "bvram";
+  std::string json_path;
+  bool stats = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s {check|eval|run|dump|bench|fmt} FILE.nsc "
+               "[--input EXPR] [--opt O0|O1|O2] "
+               "[--sched naive|eager|staged[:N/D]] [--fn NAME] "
+               "[--stage surface|core|nsa|bvram] [--stats] [--json PATH]\n"
+               "       %s doc\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "nscc: %s\n", message.c_str());
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  Options o;
+  o.command = argv[1];
+  int i = 2;
+  if (o.command != "doc") {
+    if (i >= argc) usage(argv[0]);
+    o.file = argv[i++];
+  }
+  auto need_value = [&](const char* flag) -> std::string {
+    if (i >= argc) fail(std::string(flag) + " needs a value");
+    return argv[i++];
+  };
+  while (i < argc) {
+    const std::string arg = argv[i++];
+    if (arg == "--input") {
+      o.inputs.push_back(need_value("--input"));
+    } else if (arg == "--opt") {
+      const std::string v = need_value("--opt");
+      if (v == "O0") {
+        o.opt = opt::OptLevel::O0;
+      } else if (v == "O1") {
+        o.opt = opt::OptLevel::O1;
+      } else if (v == "O2") {
+        o.opt = opt::OptLevel::O2;
+      } else {
+        fail("unknown --opt level '" + v + "' (use O0, O1 or O2)");
+      }
+    } else if (arg == "--sched") {
+      const std::string v = need_value("--sched");
+      if (v == "naive") {
+        o.sched = opt::WhileSchedule::naive();
+      } else if (v == "eager") {
+        o.sched = opt::WhileSchedule::eager();
+      } else if (v == "staged" || v.rfind("staged:", 0) == 0) {
+        Rational eps{1, 2};
+        if (v.size() > 7) {
+          const std::string spec = v.substr(7);
+          // Strict digits[/digits] syntax: std::stoull would silently wrap
+          // a negative component instead of rejecting it.
+          const std::size_t slash = spec.find('/');
+          const std::string num_s =
+              slash == std::string::npos ? spec : spec.substr(0, slash);
+          const std::string den_s =
+              slash == std::string::npos ? "1" : spec.substr(slash + 1);
+          auto all_digits = [](const std::string& s) {
+            if (s.empty() || s.size() > 18) return false;
+            for (const char c : s) {
+              if (c < '0' || c > '9') return false;
+            }
+            return true;
+          };
+          if (!all_digits(num_s) || !all_digits(den_s)) {
+            fail("bad staged eps '" + spec + "' (use NUM or NUM/DEN)");
+          }
+          eps = {std::stoull(num_s), std::stoull(den_s)};
+          if (eps.den == 0 || eps.num == 0) {
+            fail("staged eps must be a positive rational");
+          }
+        }
+        o.sched = opt::WhileSchedule::staged(eps);
+      } else {
+        fail("unknown --sched '" + v +
+             "' (use naive, eager, or staged[:N/D])");
+      }
+    } else if (arg == "--fn") {
+      o.entry = need_value("--fn");
+    } else if (arg == "--stage") {
+      o.stage = need_value("--stage");
+    } else if (arg == "--stats") {
+      o.stats = true;
+    } else if (arg == "--json") {
+      o.json_path = need_value("--json");
+    } else {
+      fail("unknown option '" + arg + "'");
+    }
+  }
+  return o;
+}
+
+const char* sched_name(const opt::WhileSchedule& s) {
+  switch (s.kind) {
+    case opt::WhileScheduleKind::Naive: return "naive";
+    case opt::WhileScheduleKind::Eager: return "eager";
+    case opt::WhileScheduleKind::Staged: return "staged";
+  }
+  return "?";
+}
+
+const char* opt_name(opt::OptLevel l) {
+  switch (l) {
+    case opt::OptLevel::O0: return "O0";
+    case opt::OptLevel::O1: return "O1";
+    case opt::OptLevel::O2: return "O2";
+  }
+  return "?";
+}
+
+const F::ResolvedFn& entry_of(const F::ResolvedModule& mod,
+                              const Options& o) {
+  if (o.entry == "main") return mod.main();
+  const F::ResolvedFn* f = mod.find(o.entry);
+  if (f == nullptr) fail("no function named '" + o.entry + "' in " + o.file);
+  return *f;
+}
+
+/// The arguments to feed the entry point: every `input` declaration in the
+/// module plus every --input expression, all typechecked against dom.
+std::vector<ValueRef> gather_inputs(const F::ResolvedModule& mod,
+                                    const F::ResolvedFn& entry,
+                                    const Options& o) {
+  std::vector<ValueRef> values;
+  for (const auto& in : mod.inputs) {
+    // `input` declarations are validated against main at resolve time;
+    // under --fn they only apply when the type fits the chosen entry.
+    if (!Type::equal(in.type, entry.dom)) continue;
+    values.push_back(L::eval(in.term).value);
+  }
+  for (std::size_t k = 0; k < o.inputs.size(); ++k) {
+    const F::SourceFile src("--input " + std::to_string(k + 1), o.inputs[k]);
+    const F::ExprPtr e = F::parse_expression(src);
+    const F::ResolvedInput in = F::resolve_expression(e, src);
+    if (!Type::equal(in.type, entry.dom)) {
+      fail("--input value has type " + in.type->show() + " but " +
+           entry.name + " expects " + entry.dom->show());
+    }
+    values.push_back(L::eval(in.term).value);
+  }
+  return values;
+}
+
+struct RunOutcome {
+  bool trapped = false;
+  std::string error;
+  ValueRef value;
+  Cost cost;
+};
+
+RunOutcome eval_outcome(const F::ResolvedFn& f, const ValueRef& arg) {
+  RunOutcome o;
+  try {
+    auto r = L::apply_fn(f.fn, arg);
+    o.value = r.value;
+    o.cost = r.cost;
+  } catch (const Error& e) {
+    o.trapped = true;
+    o.error = e.what();
+  }
+  return o;
+}
+
+RunOutcome compiled_outcome(const bvram::Program& program,
+                            const F::ResolvedFn& f, const ValueRef& arg) {
+  RunOutcome o;
+  try {
+    auto r = sa::run_compiled(program, f.dom, f.cod, arg);
+    o.value = r.value;
+    o.cost = r.cost;
+  } catch (const Error& e) {
+    o.trapped = true;
+    o.error = e.what();
+  }
+  return o;
+}
+
+void print_outcome(const char* label, const RunOutcome& o) {
+  if (o.trapped) {
+    std::printf("%s: trap (%s)\n", label, o.error.c_str());
+  } else {
+    std::printf("%s: %s  (T=%llu W=%llu)\n", label, o.value->show().c_str(),
+                static_cast<unsigned long long>(o.cost.time),
+                static_cast<unsigned long long>(o.cost.work));
+  }
+}
+
+int cmd_check(const F::SourceFile& src, const Options&) {
+  const F::ResolvedModule mod = F::compile_file(src);
+  for (const auto& f : mod.fns) {
+    std::printf("fn %-16s : %s -> %s\n", f.name.c_str(),
+                f.dom->show().c_str(), f.cod->show().c_str());
+  }
+  for (const auto& in : mod.inputs) {
+    std::printf("input            : %s\n", in.type->show().c_str());
+  }
+  return 0;
+}
+
+int cmd_eval(const F::SourceFile& src, const Options& o) {
+  const F::ResolvedModule mod = F::compile_file(src);
+  const F::ResolvedFn& entry = entry_of(mod, o);
+  const auto inputs = gather_inputs(mod, entry, o);
+  if (inputs.empty()) fail("no inputs: add `input ...` lines or --input");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::printf("input %zu: %s\n", i, inputs[i]->show().c_str());
+    print_outcome("  nsc eval", eval_outcome(entry, inputs[i]));
+  }
+  return 0;
+}
+
+int cmd_run(const F::SourceFile& src, const Options& o) {
+  const F::ResolvedModule mod = F::compile_file(src);
+  const F::ResolvedFn& entry = entry_of(mod, o);
+  const auto inputs = gather_inputs(mod, entry, o);
+  if (inputs.empty()) fail("no inputs: add `input ...` lines or --input");
+  const bvram::Program program = sa::compile_nsc(entry.fn, o.opt, o.sched);
+  std::printf("%s : %s -> %s  [%s, %s: %zu regs, %zu instrs]\n",
+              entry.name.c_str(), entry.dom->show().c_str(),
+              entry.cod->show().c_str(), opt_name(o.opt),
+              sched_name(o.sched), program.num_regs, program.code.size());
+  bool ok = true;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::printf("input %zu: %s\n", i, inputs[i]->show().c_str());
+    const RunOutcome ev = eval_outcome(entry, inputs[i]);
+    const RunOutcome mc = compiled_outcome(program, entry, inputs[i]);
+    print_outcome("  nsc eval", ev);
+    print_outcome("  compiled", mc);
+    const bool agree = ev.trapped == mc.trapped &&
+                       (ev.trapped || Value::equal(ev.value, mc.value));
+    if (!agree) ok = false;
+    std::printf("  agree: %s\n", agree ? "yes" : "NO");
+  }
+  if (!ok) std::fprintf(stderr, "nscc run: evaluator/compiled MISMATCH\n");
+  return ok ? 0 : 1;
+}
+
+int cmd_dump(const F::SourceFile& src, const Options& o) {
+  if (o.stage == "surface") {
+    std::fputs(F::print_module(F::parse_module(src)).c_str(), stdout);
+    return 0;
+  }
+  const F::ResolvedModule mod = F::compile_file(src);
+  const F::ResolvedFn& entry = entry_of(mod, o);
+  if (o.stage == "core") {
+    std::printf("%s\n", entry.fn->show().c_str());
+    return 0;
+  }
+  if (o.stage == "nsa") {
+    std::printf("%s\n", nsa::from_closed_func(entry.fn)->show().c_str());
+    return 0;
+  }
+  if (o.stage != "bvram") {
+    fail("unknown --stage '" + o.stage +
+         "' (use surface, core, nsa or bvram)");
+  }
+  opt::PipelineStats stats;
+  const bvram::Program program =
+      sa::compile_nsc(entry.fn, o.opt, o.sched, &stats);
+  std::printf("; %s -> %s  [%s, %s]\n", entry.dom->show().c_str(),
+              entry.cod->show().c_str(), opt_name(o.opt),
+              sched_name(o.sched));
+  std::fputs(program.disassemble().c_str(), stdout);
+  if (o.stats) {
+    std::printf("\n%s", stats.show().c_str());
+  }
+  return 0;
+}
+
+void json_escape(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (c == '\n') {
+      out << "\\n";
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+int cmd_bench(const F::SourceFile& src, const Options& o) {
+  const F::ResolvedModule mod = F::compile_file(src);
+  const F::ResolvedFn& entry = entry_of(mod, o);
+  const auto inputs = gather_inputs(mod, entry, o);
+  struct Config {
+    opt::OptLevel level;
+    opt::WhileSchedule sched;
+  };
+  const Config configs[] = {
+      {opt::OptLevel::O0, opt::WhileSchedule::naive()},
+      {opt::OptLevel::O1, opt::WhileSchedule::naive()},
+      {opt::OptLevel::O2, opt::WhileSchedule::naive()},
+      {opt::OptLevel::O2, opt::WhileSchedule::eager()},
+      {opt::OptLevel::O2, opt::WhileSchedule::staged({1, 2})},
+  };
+  std::ostringstream out;
+  out << "{\n  \"file\": ";
+  json_escape(out, src.name());
+  out << ",\n  \"entry\": ";
+  json_escape(out, entry.name);
+  out << ",\n  \"type\": ";
+  json_escape(out, entry.dom->show() + " -> " + entry.cod->show());
+  out << ",\n  \"inputs\": " << inputs.size() << ",\n  \"configs\": [\n";
+  bool first_cfg = true;
+  for (const auto& cfg : configs) {
+    opt::PipelineStats stats;
+    const bvram::Program program =
+        sa::compile_nsc(entry.fn, cfg.level, cfg.sched, &stats);
+    if (!first_cfg) out << ",\n";
+    first_cfg = false;
+    out << "    {\"opt\": \"" << opt_name(cfg.level) << "\", \"sched\": \""
+        << sched_name(cfg.sched) << "\", \"static_instrs\": "
+        << program.code.size() << ", \"regs\": " << program.num_regs
+        << ", \"runs\": [";
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const RunOutcome ev = eval_outcome(entry, inputs[i]);
+      const RunOutcome mc = compiled_outcome(program, entry, inputs[i]);
+      if (i != 0) out << ", ";
+      out << "{\"input\": " << i << ", \"eval_T\": " << ev.cost.time
+          << ", \"eval_W\": " << ev.cost.work
+          << ", \"executed_T\": " << mc.cost.time
+          << ", \"executed_W\": " << mc.cost.work << ", \"trap\": "
+          << ((ev.trapped || mc.trapped) ? "true" : "false")
+          << ", \"agree\": "
+          << ((ev.trapped == mc.trapped &&
+               (ev.trapped || Value::equal(ev.value, mc.value)))
+                  ? "true"
+                  : "false")
+          << "}";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+  if (o.json_path.empty()) {
+    std::fputs(out.str().c_str(), stdout);
+  } else {
+    std::ofstream f(o.json_path, std::ios::binary);
+    if (!f) fail("cannot write " + o.json_path);
+    f << out.str();
+    std::printf("wrote %s\n", o.json_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_fmt(const F::SourceFile& src, const Options&) {
+  std::fputs(F::print_module(F::parse_module(src)).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+  try {
+    if (o.command == "doc") {
+      std::fputs(F::language_reference().c_str(), stdout);
+      return 0;
+    }
+    const F::SourceFile src = F::load_file(o.file);
+    if (o.command == "check") return cmd_check(src, o);
+    if (o.command == "eval") return cmd_eval(src, o);
+    if (o.command == "run") return cmd_run(src, o);
+    if (o.command == "dump") return cmd_dump(src, o);
+    if (o.command == "bench") return cmd_bench(src, o);
+    if (o.command == "fmt") return cmd_fmt(src, o);
+    usage(argv[0]);
+  } catch (const front::FrontError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  } catch (const nsc::Error& e) {
+    std::fprintf(stderr, "nscc: %s\n", e.what());
+    return 1;
+  }
+}
