@@ -27,6 +27,7 @@
 #include "nsc/maprec.hpp"
 #include "nsc/prelude.hpp"
 #include "nsc/typecheck.hpp"
+#include "obs/provenance.hpp"
 #include "opt/opt.hpp"
 #include "sa/compile.hpp"
 #include "support/prng.hpp"
@@ -305,7 +306,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"bvram-bench-compile/v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"bvram-bench-compile/v2\",\n");
+  std::fprintf(f, "  \"provenance\": %s,\n",
+               nsc::obs::Provenance::collect().to_json().c_str());
   std::fprintf(f, "  \"entries\": [\n");
   for (std::size_t i = 0; i < json.size(); ++i) {
     const JsonEntry& e = json[i];

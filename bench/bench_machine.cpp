@@ -28,6 +28,7 @@
 #include "bvram/machine.hpp"
 #include "nsc/build.hpp"
 #include "nsc/prelude.hpp"
+#include "obs/provenance.hpp"
 #include "nsc/typecheck.hpp"
 #include "opt/liveness.hpp"
 #include "sa/compile.hpp"
@@ -438,7 +439,9 @@ int run_bench(const Options& opt) {
     std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"bvram-bench-machine/v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"bvram-bench-machine/v2\",\n");
+  std::fprintf(f, "  \"provenance\": %s,\n",
+               nsc::obs::Provenance::collect().to_json().c_str());
   std::fprintf(f, "  \"workers\": %zu,\n  \"reps\": %d,\n",
                nsc::parallel_workers(), opt.reps);
   std::fprintf(f,

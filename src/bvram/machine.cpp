@@ -1,6 +1,7 @@
 #include "bvram/machine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
@@ -103,9 +104,28 @@ std::string Program::disassemble() const {
   out << "; regs=" << num_regs << " in=" << num_inputs
       << " out=" << num_outputs << "\n";
   for (std::size_t i = 0; i < code.size(); ++i) {
-    out << i << ":\t" << code[i].show() << "\n";
+    out << i << ":\t" << code[i].show();
+    const obs::DebugSite& site = debug.site(code[i].dbg);
+    if (site.has_loc() || !site.nsa.empty()) {
+      out << "\t; " << site.show();
+    }
+    out << "\n";
   }
   return out.str();
+}
+
+double Program::debug_coverage(
+    const std::vector<std::uint64_t>* weight) const {
+  std::uint64_t total = 0, attributed = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::uint64_t w =
+        weight != nullptr ? (i < weight->size() ? (*weight)[i] : 0) : 1;
+    total += w;
+    if (debug.site(code[i].dbg).has_loc()) attributed += w;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(attributed) /
+                          static_cast<double>(total);
 }
 
 namespace {
@@ -313,7 +333,10 @@ class Engine {
         break;
       }
     }
-    if (pick == pool_.size()) {
+    if (pick < pool_.size()) {
+      ++eng_.pool_hits;
+    } else {
+      ++eng_.pool_misses;
       for (std::size_t i = 0; i < pool_.size(); ++i) {
         if (pick == pool_.size() ||
             pool_[i].capacity() > pool_[pick].capacity()) {
@@ -362,6 +385,10 @@ class Engine {
   std::vector<Buf> regs_;
   std::vector<Buf> pool_;
   const std::uint8_t* last_use_ = nullptr;
+  // Allocator/kernel event counters, maintained unconditionally (a handful
+  // of O(1) increments per instruction, lost in the noise of the kernels
+  // themselves) and surfaced in RunResult::engine only when profiling.
+  EngineProfile eng_;
 };
 
 RunResult Engine::exec() {
@@ -369,6 +396,15 @@ RunResult Engine::exec() {
   std::size_t pc = 0;
   std::uint64_t executed = 0;
   const bool par = par_;
+  const bool prof = cfg_.profile;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point run_start;
+  ParallelCounters par_before;
+  if (prof) {
+    result.profile.assign(p_.code.size(), InstrProfile{});
+    par_before = parallel_counters();
+    run_start = Clock::now();
+  }
 
   while (pc < p_.code.size()) {
     const Instr& instr = p_.code[pc];
@@ -384,6 +420,12 @@ RunResult Engine::exec() {
       if (len > max_len) max_len = len;
     };
     std::size_t next = pc + 1;
+    std::uint64_t chunks_before = 0;
+    Clock::time_point instr_start;
+    if (prof) {
+      chunks_before = parallel_chunk_count();
+      instr_start = Clock::now();
+    }
 
     switch (instr.op) {
       case Op::Move: {
@@ -396,6 +438,7 @@ RunResult Engine::exec() {
           // The source is dead: dst takes its buffer, and the displaced
           // dst buffer parks in the (dead) source register until it is
           // next overwritten.  O(1), charged 2n all the same.
+          ++eng_.move_swaps;
           reg_of(instr.dst, instr).swap(a);
         } else {
           Buf out = acquire(n);
@@ -426,11 +469,14 @@ RunResult Engine::exec() {
         charge(n);  // a, b, out: all length n
         if (instr.dst == instr.a || instr.dst == instr.b) {
           // dst aliases a source: index-aligned in-place update.
+          ++eng_.inplace_hits;
           compute_into(reg_of(instr.dst, instr).data());
         } else if (operand_dies(pc, 0)) {
+          ++eng_.inplace_hits;
           compute_into(a.data());
           set_reg(instr.dst, std::move(a), instr);
         } else if (operand_dies(pc, 1)) {
+          ++eng_.inplace_hits;
           compute_into(b.data());
           set_reg(instr.dst, std::move(b), instr);
         } else {
@@ -470,6 +516,7 @@ RunResult Engine::exec() {
           // capacity the reset never reallocates, so it stays valid even
           // when b aliases a, and when b aliases dst the displaced buffer
           // is recycled only after the copy.
+          ++eng_.inplace_hits;
           const std::uint64_t* pb = b.data();
           a.reset_size(na + nb);
           copy_range(a.data() + na, pb, nb);
@@ -507,8 +554,10 @@ RunResult Engine::exec() {
         charge(n);
         charge(n);  // input + output
         if (instr.dst == instr.a) {
+          ++eng_.inplace_hits;
           fill(a.data());
         } else if (operand_dies(pc, 0)) {
+          ++eng_.inplace_hits;
           fill(a.data());
           set_reg(instr.dst, std::move(a), instr);
         } else {
@@ -796,6 +845,7 @@ RunResult Engine::exec() {
           // its own buffer.  The write index never passes the read index
           // (total <= i), so the unconditional store stays behind the
           // scan and inside the buffer -- no slack slot, no acquire.
+          ++eng_.inplace_hits;
           std::uint64_t* po = a.data();
           for (std::size_t i = 0; i < n; ++i) {
             po[total] = pa[i];
@@ -889,8 +939,10 @@ RunResult Engine::exec() {
         charge(n);
         charge(n);  // input + output
         if (instr.dst == instr.a) {
+          ++eng_.inplace_hits;
           scan_into(a.data());
         } else if (operand_dies(pc, 0)) {
+          ++eng_.inplace_hits;
           scan_into(a.data());
           set_reg(instr.dst, std::move(a), instr);
         } else {
@@ -925,8 +977,20 @@ RunResult Engine::exec() {
 
     result.cost.time = sat_add(result.cost.time, 1);
     result.cost.work = sat_add(result.cost.work, work);
+    if (prof) {
+      InstrProfile& ip = result.profile[pc];
+      ip.count += 1;
+      ip.wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               instr_start)
+              .count());
+      ip.work = sat_add(ip.work, work);
+      ip.bytes = sat_add(ip.bytes, sat_mul(work, 8));
+      ip.chunks += parallel_chunk_count() - chunks_before;
+    }
     if (cfg_.record_trace) {
-      result.trace.push_back({instr.op, work, max_len});
+      result.trace.push_back(
+          {instr.op, work, max_len, static_cast<std::uint64_t>(pc)});
     }
     pc = next;
   }
@@ -934,6 +998,17 @@ RunResult Engine::exec() {
   result.outputs.reserve(p_.num_outputs);
   for (std::size_t i = 0; i < p_.num_outputs; ++i) {
     result.outputs.push_back(regs_[i].to_vec());
+  }
+  if (prof) {
+    eng_.wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             run_start)
+            .count());
+    const ParallelCounters after = parallel_counters();
+    eng_.par_kernels = after.calls - par_before.calls;
+    eng_.par_chunks = after.chunks - par_before.chunks;
+    eng_.par_serial = after.serial_calls - par_before.serial_calls;
+    result.engine = eng_;
   }
   return result;
 }
@@ -969,6 +1044,15 @@ RunResult run_reference(const Program& program, const std::vector<Vec>& inputs,
   RunResult result;
   std::size_t pc = 0;
   std::uint64_t executed = 0;
+  const bool prof = cfg.profile;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point run_start;
+  ParallelCounters par_before;
+  if (prof) {
+    result.profile.assign(program.code.size(), InstrProfile{});
+    par_before = parallel_counters();
+    run_start = Clock::now();
+  }
 
   while (pc < program.code.size()) {
     const Instr& instr = program.code[pc];
@@ -984,6 +1068,12 @@ RunResult run_reference(const Program& program, const std::vector<Vec>& inputs,
       if (v.size() > max_len) max_len = v.size();
     };
     std::size_t next = pc + 1;
+    std::uint64_t chunks_before = 0;
+    Clock::time_point instr_start;
+    if (prof) {
+      chunks_before = parallel_chunk_count();
+      instr_start = Clock::now();
+    }
 
     switch (instr.op) {
       case Op::Move: {
@@ -1163,13 +1253,37 @@ RunResult run_reference(const Program& program, const std::vector<Vec>& inputs,
 
     result.cost.time = sat_add(result.cost.time, 1);
     result.cost.work = sat_add(result.cost.work, work);
+    if (prof) {
+      InstrProfile& ip = result.profile[pc];
+      ip.count += 1;
+      ip.wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               instr_start)
+              .count());
+      ip.work = sat_add(ip.work, work);
+      ip.bytes = sat_add(ip.bytes, sat_mul(work, 8));
+      ip.chunks += parallel_chunk_count() - chunks_before;
+    }
     if (cfg.record_trace) {
-      result.trace.push_back({instr.op, work, max_len});
+      result.trace.push_back(
+          {instr.op, work, max_len, static_cast<std::uint64_t>(pc)});
     }
     pc = next;
   }
 
   result.outputs.assign(regs.begin(), regs.begin() + program.num_outputs);
+  if (prof) {
+    // The reference interpreter has no buffer pool or in-place paths, so
+    // only the wall clock and the parallel-dispatch deltas are meaningful.
+    result.engine.wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             run_start)
+            .count());
+    const ParallelCounters after = parallel_counters();
+    result.engine.par_kernels = after.calls - par_before.calls;
+    result.engine.par_chunks = after.chunks - par_before.chunks;
+    result.engine.par_serial = after.serial_calls - par_before.serial_calls;
+  }
   return result;
 }
 
@@ -1183,57 +1297,61 @@ void Assembler::reserve_regs(std::size_t n) {
   if (next_reg_ < n) next_reg_ = static_cast<std::uint32_t>(n);
 }
 
+void Assembler::push(Instr in) {
+  in.dbg = site_;
+  code_.push_back(in);
+}
+
 void Assembler::move(std::uint32_t dst, std::uint32_t src) {
-  code_.push_back({Op::Move, ArithOp::Add, dst, src, 0, 0, 0, 0});
+  push({Op::Move, ArithOp::Add, dst, src, 0, 0, 0, 0});
 }
 
 void Assembler::arith(std::uint32_t dst, ArithOp op, std::uint32_t a,
                       std::uint32_t b) {
-  code_.push_back({Op::Arith, op, dst, a, b, 0, 0, 0});
+  push({Op::Arith, op, dst, a, b, 0, 0, 0});
 }
 
 void Assembler::load_empty(std::uint32_t dst) {
-  code_.push_back({Op::LoadEmpty, ArithOp::Add, dst, 0, 0, 0, 0, 0});
+  push({Op::LoadEmpty, ArithOp::Add, dst, 0, 0, 0, 0, 0});
 }
 
 void Assembler::load_const(std::uint32_t dst, std::uint64_t n) {
-  code_.push_back({Op::LoadConst, ArithOp::Add, dst, 0, 0, 0, n, 0});
+  push({Op::LoadConst, ArithOp::Add, dst, 0, 0, 0, n, 0});
 }
 
 void Assembler::append(std::uint32_t dst, std::uint32_t a, std::uint32_t b) {
-  code_.push_back({Op::Append, ArithOp::Add, dst, a, b, 0, 0, 0});
+  push({Op::Append, ArithOp::Add, dst, a, b, 0, 0, 0});
 }
 
 void Assembler::length(std::uint32_t dst, std::uint32_t src) {
-  code_.push_back({Op::Length, ArithOp::Add, dst, src, 0, 0, 0, 0});
+  push({Op::Length, ArithOp::Add, dst, src, 0, 0, 0, 0});
 }
 
 void Assembler::enumerate(std::uint32_t dst, std::uint32_t src) {
-  code_.push_back({Op::Enumerate, ArithOp::Add, dst, src, 0, 0, 0, 0});
+  push({Op::Enumerate, ArithOp::Add, dst, src, 0, 0, 0, 0});
 }
 
 void Assembler::bm_route(std::uint32_t dst, std::uint32_t bound,
                          std::uint32_t counts, std::uint32_t data) {
-  code_.push_back({Op::BmRoute, ArithOp::Add, dst, bound, counts, data, 0, 0});
+  push({Op::BmRoute, ArithOp::Add, dst, bound, counts, data, 0, 0});
 }
 
 void Assembler::sbm_route(std::uint32_t dst, std::uint32_t bound,
                           std::uint32_t counts, std::uint32_t data,
                           std::uint32_t segs) {
-  code_.push_back(
-      {Op::SbmRoute, ArithOp::Add, dst, bound, counts, data, segs, 0});
+  push({Op::SbmRoute, ArithOp::Add, dst, bound, counts, data, segs, 0});
 }
 
 void Assembler::select(std::uint32_t dst, std::uint32_t src) {
-  code_.push_back({Op::Select, ArithOp::Add, dst, src, 0, 0, 0, 0});
+  push({Op::Select, ArithOp::Add, dst, src, 0, 0, 0, 0});
 }
 
 void Assembler::scan_plus(std::uint32_t dst, std::uint32_t src) {
-  code_.push_back({Op::ScanPlus, ArithOp::Add, dst, src, 0, 0, 0, 0});
+  push({Op::ScanPlus, ArithOp::Add, dst, src, 0, 0, 0, 0});
 }
 
 void Assembler::halt() {
-  code_.push_back({Op::Halt, ArithOp::Add, 0, 0, 0, 0, 0, 0});
+  push({Op::Halt, ArithOp::Add, 0, 0, 0, 0, 0, 0});
 }
 
 Assembler::Label Assembler::fresh_label() {
@@ -1252,13 +1370,13 @@ void Assembler::bind(Label l) {
 void Assembler::jump(Label l) {
   check_label(l);
   fixups_.emplace_back(code_.size(), l);
-  code_.push_back({Op::Goto, ArithOp::Add, 0, 0, 0, 0, 0, 0});
+  push({Op::Goto, ArithOp::Add, 0, 0, 0, 0, 0, 0});
 }
 
 void Assembler::jump_if_empty(std::uint32_t reg, Label l) {
   check_label(l);
   fixups_.emplace_back(code_.size(), l);
-  code_.push_back({Op::GotoIfEmpty, ArithOp::Add, 0, reg, 0, 0, 0, 0});
+  push({Op::GotoIfEmpty, ArithOp::Add, 0, reg, 0, 0, 0, 0});
 }
 
 void Assembler::check_label(Label l) const {

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "nsc/ast.hpp"  // ArithOp (the shared operation set Sigma)
+#include "obs/debuginfo.hpp"
 #include "support/cost.hpp"
 #include "support/error.hpp"
 
@@ -86,6 +87,12 @@ struct Instr {
   std::uint32_t c = 0;
   std::uint64_t imm = 0;
   std::size_t target = 0;
+  /// Debug-site index into the owning Program's DebugTable (0 = unknown).
+  /// Pure metadata: never read by the execution engines or the cost model.
+  /// Passes that rewrite an instruction in place must leave it; passes
+  /// that derive a new instruction from an old one must copy it (see
+  /// obs/debuginfo.hpp for the full invariants).
+  std::uint32_t dbg = 0;
 
   std::string show() const;
 
@@ -182,6 +189,20 @@ struct Program {
   /// annotations; re-run opt::annotate_last_use after hand edits).
   std::vector<std::uint8_t> last_use;
 
+  /// Interned debug sites referenced by Instr::dbg.  sa::compile_nsa /
+  /// compile_nsc populate it from the NSA tree's surface locations; the
+  /// default (empty) table resolves every index to the unknown site, so
+  /// hand-assembled programs need no setup.  Unlike last_use this is NOT
+  /// invalidated by code edits: the indices live inside the instructions.
+  obs::DebugTable debug;
+
+  /// Fraction of instructions (weighted by `weight`, e.g. executed counts;
+  /// nullptr weights every slot 1) whose debug site carries a surface
+  /// line.  The CI profile-smoke job gates this at >= 0.95 on the
+  /// O2-compiled corpus.
+  double debug_coverage(const std::vector<std::uint64_t>* weight =
+                            nullptr) const;
+
   std::string disassemble() const;
 };
 
@@ -190,13 +211,44 @@ struct Program {
 struct TraceEntry {
   Op op;
   std::uint64_t work;
-  std::uint64_t max_len;  // longest register touched
+  std::uint64_t max_len;    // longest register touched
+  std::uint64_t instr = 0;  // index of the executed instruction in code
+};
+
+/// Accumulated profile for one instruction *slot* (indexed by position in
+/// Program::code), collected only under RunConfig::profile.  `wall_ns` is
+/// host time and varies run to run; everything else is deterministic and
+/// bit-identical across engines and backends (the test_profile gate).
+struct InstrProfile {
+  std::uint64_t count = 0;    ///< times this slot executed
+  std::uint64_t wall_ns = 0;  ///< accumulated wall-clock nanoseconds
+  std::uint64_t work = 0;     ///< accumulated W charged by this slot
+  std::uint64_t bytes = 0;    ///< cost-model memory traffic: 8 * work
+  std::uint64_t chunks = 0;   ///< parallel chunks dispatched by its kernels
+};
+
+/// Engine-level counters, collected only under RunConfig::profile.  The
+/// pool/in-place counters are v2-only (run_reference allocates per
+/// instruction by design, so it reports zeros); the par_* counters are
+/// deltas of the process-wide support/parallel statistics.
+struct EngineProfile {
+  std::uint64_t wall_ns = 0;        ///< whole-run wall clock
+  std::uint64_t pool_hits = 0;      ///< acquire() served from a pooled buffer
+  std::uint64_t pool_misses = 0;    ///< acquire() had to touch the allocator
+  std::uint64_t inplace_hits = 0;   ///< kernel wrote over a dying operand
+  std::uint64_t move_swaps = 0;     ///< Move executed as an O(1) buffer swap
+  std::uint64_t par_kernels = 0;    ///< kernel invocations split into chunks
+  std::uint64_t par_chunks = 0;     ///< total chunks dispatched to the pool
+  std::uint64_t par_serial = 0;     ///< kernel invocations run single-chunk
 };
 
 struct RunResult {
   std::vector<std::vector<std::uint64_t>> outputs;
   Cost cost;
   std::vector<TraceEntry> trace;  // only if RunConfig::record_trace
+  /// Per-slot samples (size == code.size()), only if RunConfig::profile.
+  std::vector<InstrProfile> profile;
+  EngineProfile engine;  // only meaningful if RunConfig::profile
 };
 
 struct RunConfig {
@@ -212,6 +264,13 @@ struct RunConfig {
   /// combine with saturating addition, which is associative, so no result
   /// depends on the chunk decomposition.
   bool parallel_backend = false;
+  /// Collect per-instruction wall time / work / traffic samples and the
+  /// engine counters into RunResult::profile / RunResult::engine.  Opt-in
+  /// observability: when false (the default) the engine takes no
+  /// timestamps and allocates nothing extra, and outputs, traps, T, W,
+  /// and traces are bit-identical either way (profiling never touches
+  /// the machine state -- the differential test in test_profile.cpp).
+  bool profile = false;
 };
 
 // Why the execution engine is invisible to the T/W cost model
@@ -268,6 +327,14 @@ class Assembler {
   /// Ensure at least n registers exist (used to pin input registers).
   void reserve_regs(std::size_t n);
 
+  /// Debug site stamped onto every subsequently emitted instruction
+  /// (index into the caller's DebugTable; 0 = unknown, the default).
+  /// The SA compiler brackets each NSA node's emission with
+  /// set_site(node site) / set_site(previous), so instructions inherit
+  /// the nearest enclosing source-attributed combinator.
+  void set_site(std::uint32_t site) { site_ = site; }
+  std::uint32_t site() const { return site_; }
+
   // -- instruction emitters ------------------------------------------------
   void move(std::uint32_t dst, std::uint32_t src);
   void arith(std::uint32_t dst, ArithOp op, std::uint32_t a, std::uint32_t b);
@@ -300,11 +367,15 @@ class Assembler {
 
  private:
   void check_label(Label l) const;
+  /// Every emitter funnels through here so the current debug site is
+  /// stamped exactly once.
+  void push(Instr in);
 
   std::vector<Instr> code_;
   std::vector<std::ptrdiff_t> label_addr_;     // -1 = unbound
   std::vector<std::pair<std::size_t, Label>> fixups_;
   std::uint32_t next_reg_ = 0;
+  std::uint32_t site_ = 0;
 };
 
 }  // namespace nsc::bvram

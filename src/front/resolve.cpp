@@ -191,6 +191,7 @@ class Resolver {
       out.dom = dom;
       out.fn = L::lambda(arg, dom, wrapped);
     }
+    out.fn->set_src(d.loc.line, d.loc.col);
     // Belt and braces: the incremental checks above should make this
     // unfailing, but a resolver bug must surface as a diagnostic, not as
     // an exception from deeper in the pipeline.
@@ -215,7 +216,24 @@ class Resolver {
 
   // -- expression lowering --------------------------------------------------
 
+  /// Every lowering goes through here so the produced core term is stamped
+  /// with the surface location it came from.  The stamp is first-write-wins
+  /// (Term::set_src), so a node lowered once and shared (prelude helpers)
+  /// keeps its original site; nested calls stamp their own subterms first,
+  /// which is exactly the nearest-enclosing-expression attribution the
+  /// profiler wants.
   L::TermRef lower(const ExprPtr& e, L::TypeEnv& env) {
+    L::TermRef t = lower_node(e, env);
+    if (t != nullptr) {
+      t->set_src(e->loc.line, e->loc.col);
+      if (t->kind() == L::TermKind::Apply && t->fn() != nullptr) {
+        t->fn()->set_src(e->loc.line, e->loc.col);
+      }
+    }
+    return t;
+  }
+
+  L::TermRef lower_node(const ExprPtr& e, L::TypeEnv& env) {
     switch (e->kind) {
       case ExprKind::Var: {
         if (env.count(e->name) != 0) return L::var(e->name);

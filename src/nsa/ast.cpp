@@ -6,6 +6,64 @@
 
 namespace nsc::nsa {
 
+const char* nsa_kind_name(NsaKind kind) {
+  switch (kind) {
+    case NsaKind::Id:
+      return "id";
+    case NsaKind::Compose:
+      return "compose";
+    case NsaKind::Bang:
+      return "bang";
+    case NsaKind::PairF:
+      return "pair";
+    case NsaKind::Pi1:
+      return "pi1";
+    case NsaKind::Pi2:
+      return "pi2";
+    case NsaKind::In1F:
+      return "in1";
+    case NsaKind::In2F:
+      return "in2";
+    case NsaKind::SumCase:
+      return "sum-case";
+    case NsaKind::Dist:
+      return "dist";
+    case NsaKind::Omega:
+      return "omega";
+    case NsaKind::ConstNat:
+      return "const";
+    case NsaKind::Arith:
+      return "arith";
+    case NsaKind::EqF:
+      return "eq";
+    case NsaKind::EmptySeq:
+      return "empty";
+    case NsaKind::SingletonF:
+      return "singleton";
+    case NsaKind::AppendF:
+      return "append";
+    case NsaKind::FlattenF:
+      return "flatten";
+    case NsaKind::LengthF:
+      return "length";
+    case NsaKind::GetF:
+      return "get";
+    case NsaKind::MapF:
+      return "map";
+    case NsaKind::ZipF:
+      return "zip";
+    case NsaKind::EnumerateF:
+      return "enumerate";
+    case NsaKind::SplitF:
+      return "split";
+    case NsaKind::P2:
+      return "p2";
+    case NsaKind::WhileF:
+      return "while";
+  }
+  return "?";
+}
+
 NsaFn::NsaFn(Init init)
     : kind_(init.kind),
       dom_(std::move(init.dom)),

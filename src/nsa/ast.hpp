@@ -57,6 +57,10 @@ enum class NsaKind {
   WhileF,  // while(p, f) : t -> t
 };
 
+/// Stable lower-case name of a combinator kind ("compose", "map", ...),
+/// used by debug-info sites and diagnostics.
+const char* nsa_kind_name(NsaKind kind);
+
 class NsaFn;
 using NsaRef = std::shared_ptr<const NsaFn>;
 
@@ -73,6 +77,18 @@ class NsaFn {
   std::size_t node_count() const;
   std::string show() const;
 
+  /// Surface-source provenance propagated from the NSC term this
+  /// combinator translates (see lang::Term::set_src for the contract:
+  /// metadata only, first write wins, line 0 = unstamped).
+  void set_src(std::uint32_t line, std::uint32_t col) const {
+    if (src_line_ == 0) {
+      src_line_ = line;
+      src_col_ = col;
+    }
+  }
+  std::uint32_t src_line() const { return src_line_; }
+  std::uint32_t src_col() const { return src_col_; }
+
   struct Init {
     NsaKind kind;
     TypeRef dom, cod;
@@ -85,6 +101,8 @@ class NsaFn {
  private:
   explicit NsaFn(Init init);
 
+  mutable std::uint32_t src_line_ = 0;
+  mutable std::uint32_t src_col_ = 0;
   NsaKind kind_;
   TypeRef dom_, cod_;
   NsaRef f_, g_;

@@ -93,7 +93,18 @@ ValueRef encode_context(const std::vector<ValueRef>& values) {
   return v;
 }
 
-NsaRef from_nsc(const TermRef& m, const Context& ctx) {
+namespace {
+
+// The recursive translation proper.  The public from_nsc/from_nsc_func
+// wrappers stamp each produced combinator root with the surface location
+// of the NSC node it translates (recursive calls below go through the
+// wrappers, so every subterm's root is stamped too); the interior nodes of
+// a single term's translation stay unstamped and inherit the enclosing
+// site downstream.
+NsaRef translate_term(const TermRef& m, const Context& ctx);
+NsaRef translate_func(const FuncRef& f, const Context& ctx);
+
+NsaRef translate_term(const TermRef& m, const Context& ctx) {
   const TypeRef gamma = context_type(ctx);
   const lang::TypeEnv env = type_env(ctx);
   auto type_of = [&](const TermRef& t) { return lang::check_term(t, env); };
@@ -203,7 +214,7 @@ NsaRef from_nsc(const TermRef& m, const Context& ctx) {
   throw TypeError("from_nsc: unknown term kind");
 }
 
-NsaRef from_nsc_func(const FuncRef& f, const Context& ctx) {
+NsaRef translate_func(const FuncRef& f, const Context& ctx) {
   const TypeRef gamma = context_type(ctx);
   switch (f->kind()) {
     case FuncKind::Lambda: {
@@ -248,6 +259,20 @@ NsaRef from_nsc_func(const FuncRef& f, const Context& ctx) {
     }
   }
   throw TypeError("from_nsc_func: unknown function kind");
+}
+
+}  // namespace
+
+NsaRef from_nsc(const TermRef& m, const Context& ctx) {
+  NsaRef r = translate_term(m, ctx);
+  if (m->src_line() != 0) r->set_src(m->src_line(), m->src_col());
+  return r;
+}
+
+NsaRef from_nsc_func(const FuncRef& f, const Context& ctx) {
+  NsaRef r = translate_func(f, ctx);
+  if (f->src_line() != 0) r->set_src(f->src_line(), f->src_col());
+  return r;
 }
 
 NsaRef from_closed_func(const FuncRef& f) {

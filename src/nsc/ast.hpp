@@ -98,6 +98,22 @@ class Term {
 
   std::string show() const;
 
+  /// Surface-source provenance, stamped post-hoc by the front end's
+  /// lowering (the core calculus itself has no locations).  Pure metadata:
+  /// never read by evaluation or translation, only threaded into BVRAM
+  /// debug info.  First write wins -- shared subtrees (the prelude) keep
+  /// their declaration-site stamp -- and line 0 means "unstamped".
+  /// Mutation of a const shared node is safe because compilation is
+  /// single-threaded.
+  void set_src(std::uint32_t line, std::uint32_t col) const {
+    if (src_line_ == 0) {
+      src_line_ = line;
+      src_col_ = col;
+    }
+  }
+  std::uint32_t src_line() const { return src_line_; }
+  std::uint32_t src_col() const { return src_col_; }
+
   // Raw constructor used by build.hpp.
   struct Init {
     TermKind kind;
@@ -116,6 +132,8 @@ class Term {
  private:
   explicit Term(Init init);
 
+  mutable std::uint32_t src_line_ = 0;
+  mutable std::uint32_t src_col_ = 0;
   TermKind kind_;
   std::string var_;
   std::uint64_t nat_;
@@ -140,6 +158,16 @@ class Func {
   std::size_t node_count() const;
   std::string show() const;
 
+  /// Source provenance; same contract as Term::set_src.
+  void set_src(std::uint32_t line, std::uint32_t col) const {
+    if (src_line_ == 0) {
+      src_line_ = line;
+      src_col_ = col;
+    }
+  }
+  std::uint32_t src_line() const { return src_line_; }
+  std::uint32_t src_col() const { return src_col_; }
+
   struct Init {
     FuncKind kind;
     std::string param;
@@ -153,6 +181,8 @@ class Func {
  private:
   explicit Func(Init init);
 
+  mutable std::uint32_t src_line_ = 0;
+  mutable std::uint32_t src_col_ = 0;
   FuncKind kind_;
   std::string param_;
   TypeRef param_type_;

@@ -1,0 +1,78 @@
+// Report layer over the execution engine's profiler (bvram::RunConfig::
+// profile): aggregates the per-instruction samples in bvram::RunResult
+// into the views the `nscc profile` subcommand renders --
+//
+//   by_opcode   flat profile per BVRAM opcode
+//   by_line     per surface source line, through the Program's debug
+//               table (instruction -> NSA combinator -> front::SrcLoc)
+//   by_loop     natural back-edge loops (a backwards Goto/GotoIfEmpty),
+//               with trip counts and the cost of the loop body range
+//
+// plus a Chrome trace_event exporter (chrome://tracing / Perfetto): the
+// recorded instruction trace becomes one complete event per executed
+// instruction, laid out on a synthetic timeline built from the per-pc
+// average wall time, so the relative widths are faithful even though
+// individual samples are too short for the clock.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bvram/machine.hpp"
+#include "opt/opt.hpp"
+
+namespace nsc::obs {
+
+struct ProfileRow {
+  std::string key;  ///< opcode name, or "line:col", or a site label
+  std::uint64_t count = 0;    ///< instructions executed
+  std::uint64_t wall_ns = 0;  ///< total wall time
+  std::uint64_t work = 0;     ///< paper W charged
+  std::uint64_t bytes = 0;    ///< cost-model traffic (8 bytes per W unit)
+  std::uint64_t chunks = 0;   ///< pool chunks dispatched
+};
+
+struct LoopRow {
+  std::size_t head = 0;  ///< loop entry pc (the back edge's target)
+  std::size_t back = 0;  ///< pc of the backwards jump
+  std::string site;      ///< debug site of the back edge
+  std::uint64_t trips = 0;    ///< times the back-edge instruction ran
+  std::uint64_t wall_ns = 0;  ///< total time spent in [head, back]
+  std::uint64_t work = 0;     ///< total W charged in [head, back]
+};
+
+struct Profile {
+  std::uint64_t total_count = 0;
+  std::uint64_t total_wall_ns = 0;
+  std::uint64_t total_work = 0;
+  std::uint64_t total_bytes = 0;
+  /// Fraction of *executed* instructions carrying surface attribution
+  /// (count-weighted, the CI gate's number).
+  double attributed_frac = 0.0;
+  std::vector<ProfileRow> by_opcode;  ///< sorted hottest-first
+  std::vector<ProfileRow> by_line;    ///< sorted hottest-first
+  std::vector<LoopRow> by_loop;       ///< sorted hottest-first
+  bvram::EngineProfile engine;
+
+  /// Aggregate a profiled run (requires cfg.profile; result.profile must
+  /// be sized to p.code).  Rows are sorted by wall time, work breaking
+  /// ties (so the ordering is deterministic when wall times are zero).
+  static Profile build(const bvram::Program& p, const bvram::RunResult& r);
+
+  std::string render_by_opcode() const;
+  std::string render_by_line() const;
+  std::string render_loops() const;
+  std::string render_engine() const;
+};
+
+/// Emit Chrome trace_event JSON for a profiled run.  Requires both
+/// cfg.profile and cfg.record_trace.  When `compile` is non-null, the
+/// optimizer's per-pass timings are emitted as a second thread of events
+/// ahead of the execution timeline.
+void write_chrome_trace(std::ostream& out, const bvram::Program& p,
+                        const bvram::RunResult& r,
+                        const opt::PipelineStats* compile = nullptr);
+
+}  // namespace nsc::obs

@@ -1,0 +1,65 @@
+#include "obs/provenance.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "support/parallel.hpp"
+
+namespace nsc::obs {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Provenance Provenance::collect() {
+  Provenance p;
+  p.host_cores = static_cast<std::size_t>(std::thread::hardware_concurrency());
+  p.workers = parallel_workers();
+  const char* env = std::getenv("NSCC_WORKERS");
+  p.workers_env = env != nullptr ? env : "";
+  p.compiler = compiler_id();
+  const char* sha = std::getenv("NSCC_GIT_SHA");
+  if (sha == nullptr || *sha == '\0') sha = std::getenv("GITHUB_SHA");
+  p.git_sha = sha != nullptr && *sha != '\0' ? sha : "unknown";
+  return p;
+}
+
+std::string Provenance::to_json() const {
+  std::ostringstream out;
+  out << "{\"host_cores\":" << host_cores << ",\"workers\":" << workers
+      << ",\"workers_env\":\"" << json_escape(workers_env)
+      << "\",\"compiler\":\"" << json_escape(compiler) << "\",\"git_sha\":\""
+      << json_escape(git_sha) << "\"}";
+  return out.str();
+}
+
+}  // namespace nsc::obs

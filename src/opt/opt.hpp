@@ -144,6 +144,7 @@ struct PassStats {
   std::string name;
   std::size_t applications = 0;    ///< runs that changed the program
   std::size_t instrs_removed = 0;  ///< net instruction-count reduction
+  std::uint64_t wall_ns = 0;       ///< total wall time across all rounds
 };
 
 struct PipelineStats {
@@ -152,6 +153,7 @@ struct PipelineStats {
   std::size_t regs_before = 0;
   std::size_t regs_after = 0;
   std::size_t rounds = 0;
+  std::uint64_t wall_ns = 0;  ///< whole-pipeline wall time (incl. verify)
   std::vector<PassStats> passes;
 
   std::string show() const;

@@ -1,3 +1,4 @@
+#include <chrono>
 #include <sstream>
 #include <utility>
 
@@ -22,6 +23,15 @@ PipelineStats PassManager::run(bvram::Program& p, std::size_t max_rounds) {
   // re-annotate after the pipeline (sa::compile_nsa does).
   p.last_use.clear();
 
+  using Clock = std::chrono::steady_clock;
+  const auto ns_since = [](Clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count());
+  };
+  const Clock::time_point pipeline_start = Clock::now();
+
   verify(p);
   bool changed = true;
   while (changed && stats.rounds < max_rounds) {
@@ -29,7 +39,10 @@ PipelineStats PassManager::run(bvram::Program& p, std::size_t max_rounds) {
     ++stats.rounds;
     for (std::size_t i = 0; i < passes_.size(); ++i) {
       const std::size_t before = p.code.size();
-      if (!passes_[i]->run(p)) continue;
+      const Clock::time_point pass_start = Clock::now();
+      const bool ran = passes_[i]->run(p);
+      stats.passes[i].wall_ns += ns_since(pass_start);
+      if (!ran) continue;
       if (verify_between_) verify(p);
       stats.passes[i].applications += 1;
       stats.passes[i].instrs_removed += before - p.code.size();
@@ -39,6 +52,7 @@ PipelineStats PassManager::run(bvram::Program& p, std::size_t max_rounds) {
 
   stats.instrs_after = p.code.size();
   stats.regs_after = p.num_regs;
+  stats.wall_ns = ns_since(pipeline_start);
   return stats;
 }
 

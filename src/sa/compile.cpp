@@ -1,6 +1,7 @@
 #include "sa/compile.hpp"
 
 #include "nsa/from_nsc.hpp"
+#include "obs/debuginfo.hpp"
 #include "opt/liveness.hpp"
 
 namespace nsc::sa {
@@ -28,6 +29,11 @@ class Compiler {
   explicit Compiler(const opt::WhileSchedule& sched) : sched_(sched) {}
 
   bvram::Program compile(const NsaRef& f) {
+    // Root site: prologue/epilogue instructions (output moves, halt) are
+    // attributed to the program's top-level combinator, so whole-program
+    // overhead still lands on a surface line when the root is stamped.
+    a_.set_site(dbg_.intern(nsa::nsa_kind_name(f->kind()), f->src_line(),
+                            f->src_col()));
     const std::size_t nin = rep_width(*f->dom());
     a_.reserve_regs(nin);
     Regs in(nin);
@@ -45,10 +51,38 @@ class Compiler {
       a_.move(static_cast<R>(i), temps[i]);
     }
     a_.halt();
-    return a_.finish(nin, out.size());
+    bvram::Program p = a_.finish(nin, out.size());
+    p.debug = std::move(dbg_);
+    return p;
   }
 
  private:
+  /// RAII debug-site scope: while alive, every instruction the assembler
+  /// emits is attributed to combinator `f`.  An unstamped node inherits
+  /// the enclosing scope's surface location (nearest stamped ancestor),
+  /// so attribution never degrades as the emitter recurses through the
+  /// glue combinators the translation inserts.
+  class SiteScope {
+   public:
+    SiteScope(Compiler& c, const NsaRef& f) : c_(c), saved_(c.a_.site()) {
+      std::uint32_t line = f->src_line();
+      std::uint32_t col = f->src_col();
+      if (line == 0) {
+        const obs::DebugSite& enclosing = c.dbg_.site(saved_);
+        line = enclosing.line;
+        col = enclosing.col;
+      }
+      c_.a_.set_site(
+          c_.dbg_.intern(nsa::nsa_kind_name(f->kind()), line, col));
+    }
+    ~SiteScope() { c_.a_.set_site(saved_); }
+    SiteScope(const SiteScope&) = delete;
+    SiteScope& operator=(const SiteScope&) = delete;
+
+   private:
+    Compiler& c_;
+    std::uint32_t saved_;
+  };
   // ---------------------------------------------------------------------
   // small emission helpers
   // ---------------------------------------------------------------------
@@ -522,6 +556,7 @@ class Compiler {
   // depth-0 emitter
   // ---------------------------------------------------------------------
   Regs emit0(const NsaRef& f, const Regs& in) {
+    SiteScope site_scope(*this, f);
     switch (f->kind()) {
       case NsaKind::Id:
         return in;
@@ -682,6 +717,7 @@ class Compiler {
   // lifted emitter (the Map Lemma)
   // ---------------------------------------------------------------------
   Regs emitL(const NsaRef& f, const Regs& in) {
+    SiteScope site_scope(*this, f);
     switch (f->kind()) {
       case NsaKind::Id:
         return in;
@@ -1077,6 +1113,7 @@ class Compiler {
 
   Assembler a_;
   opt::WhileSchedule sched_;
+  obs::DebugTable dbg_;
 };
 
 }  // namespace
@@ -1103,12 +1140,13 @@ bvram::Program compile_nsc(const lang::FuncRef& f, opt::OptLevel opt,
 
 CompiledRun run_compiled(const bvram::Program& program, const TypeRef& dom,
                          const TypeRef& cod, const ValueRef& arg,
-                         const bvram::RunConfig& cfg) {
+                         const bvram::RunConfig& cfg, bvram::RunResult* raw) {
   auto inputs = encode_value(arg, dom);
   auto result = bvram::run(program, inputs, cfg);
   CompiledRun out;
   out.value = decode_value(cod, result.outputs);
   out.cost = result.cost;
+  if (raw != nullptr) *raw = std::move(result);
   return out;
 }
 

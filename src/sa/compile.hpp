@@ -74,9 +74,12 @@ struct CompiledRun {
   Cost cost;  ///< the BVRAM's T (instructions) and W (register lengths)
 };
 
-/// Encode the argument, run the program, decode the result.
+/// Encode the argument, run the program, decode the result.  A non-null
+/// `raw` receives the full machine-level RunResult (per-instruction
+/// profile, engine counters, trace) for the observability layer.
 CompiledRun run_compiled(const bvram::Program& program, const TypeRef& dom,
                          const TypeRef& cod, const ValueRef& arg,
-                         const bvram::RunConfig& cfg = {});
+                         const bvram::RunConfig& cfg = {},
+                         bvram::RunResult* raw = nullptr);
 
 }  // namespace nsc::sa

@@ -1,8 +1,11 @@
 #include "support/parallel.hpp"
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -13,24 +16,41 @@
 namespace nsc {
 namespace {
 
+// Dispatch counters behind parallel_counters(): relaxed increments on the
+// kernel-call granularity (never per element), so keeping them always-on
+// costs nothing measurable and the profiler can read deltas at any time.
+std::atomic<std::uint64_t> g_calls{0};
+std::atomic<std::uint64_t> g_serial_calls{0};
+std::atomic<std::uint64_t> g_chunks{0};
+
+void count_dispatch(std::size_t chunks) {
+  g_calls.fetch_add(1, std::memory_order_relaxed);
+  if (chunks <= 1) {
+    g_serial_calls.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    g_chunks.fetch_add(chunks, std::memory_order_relaxed);
+  }
+}
+
 class Pool {
  public:
   Pool() {
     // NSCC_WORKERS overrides hardware_concurrency: tests pin it (so the
     // multi-chunk kernel paths are exercised even on single-core CI
-    // boxes) and benchmarks can sweep it.
-    std::size_t n = 0;
-    if (const char* env = std::getenv("NSCC_WORKERS")) {
-      n = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
-      if (n > 256) n = 256;
+    // boxes) and benchmarks can sweep it.  Validation lives in
+    // effective_workers(); a rejected value is reported once, here, with
+    // the count actually used.
+    std::string warning;
+    const std::size_t n =
+        effective_workers(std::getenv("NSCC_WORKERS"), &warning);
+    if (!warning.empty()) {
+      std::fprintf(stderr, "nscc: %s\n", warning.c_str());
     }
-    if (n == 0) {
-      const unsigned hw = std::thread::hardware_concurrency();
-      n = hw > 1 ? hw : 1;
-    }
+    tasks_run_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i) tasks_run_[i] = 0;
     workers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      workers_.emplace_back([this] { run(); });
+      workers_.emplace_back([this, i] { run(i); });
     }
   }
 
@@ -53,8 +73,16 @@ class Pool {
     cv_.notify_one();
   }
 
+  std::vector<std::uint64_t> tasks_per_worker() const {
+    std::vector<std::uint64_t> out(workers_.size(), 0);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = tasks_run_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
  private:
-  void run() {
+  void run(std::size_t worker) {
     for (;;) {
       std::function<void()> task;
       {
@@ -64,6 +92,7 @@ class Pool {
         task = std::move(tasks_.front());
         tasks_.pop();
       }
+      tasks_run_[worker].fetch_add(1, std::memory_order_relaxed);
       task();
     }
   }
@@ -72,6 +101,7 @@ class Pool {
   std::condition_variable cv_;
   std::queue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> tasks_run_;
   bool stop_ = false;
 };
 
@@ -112,6 +142,49 @@ void run_tasks(std::size_t count,
 
 std::size_t parallel_workers() { return pool().size(); }
 
+std::size_t effective_workers(const char* env_value, std::string* warning) {
+  const auto hardware = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw > 1 ? hw : 1);
+  };
+  if (env_value == nullptr) return hardware();
+  const std::string raw(env_value);
+  // Strict digits-only parse: strtoul would silently accept "8 threads",
+  // wrap "-2" to a huge positive, and read "" as 0.
+  bool digits = !raw.empty() && raw.size() <= 9;
+  for (const char c : raw) {
+    if (c < '0' || c > '9') digits = false;
+  }
+  const unsigned long v = digits ? std::strtoul(raw.c_str(), nullptr, 10) : 0;
+  if (digits && v >= 1 && v <= 256) return static_cast<std::size_t>(v);
+  std::size_t n = hardware();
+  const char* why = "is not a worker count";
+  if (digits && v == 0) {
+    why = "asks for zero workers";
+  } else if (digits) {
+    why = "exceeds the 256-worker cap";
+    n = 256;
+  }
+  if (warning != nullptr) {
+    *warning = "NSCC_WORKERS='" + raw + "' " + why + "; using " +
+               std::to_string(n) + " worker thread" + (n == 1 ? "" : "s");
+  }
+  return n;
+}
+
+std::uint64_t parallel_chunk_count() {
+  return g_chunks.load(std::memory_order_relaxed);
+}
+
+ParallelCounters parallel_counters() {
+  ParallelCounters c;
+  c.calls = g_calls.load(std::memory_order_relaxed);
+  c.serial_calls = g_serial_calls.load(std::memory_order_relaxed);
+  c.chunks = g_chunks.load(std::memory_order_relaxed);
+  c.per_worker_tasks = pool().tasks_per_worker();
+  return c;
+}
+
 ChunkPlan ChunkPlan::serial(std::size_t n) {
   ChunkPlan p;
   p.n = n;
@@ -140,6 +213,7 @@ void for_each_chunk(
     const ChunkPlan& plan,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (plan.chunks == 0) return;
+  count_dispatch(plan.chunks);
   if (plan.chunks == 1) {
     fn(0, 0, plan.n);
     return;
@@ -152,6 +226,7 @@ std::uint64_t parallel_reduce(
     const ChunkPlan& plan,
     const std::function<std::uint64_t(std::size_t, std::size_t)>& partial) {
   if (plan.chunks == 0) return 0;
+  count_dispatch(plan.chunks);
   if (plan.chunks == 1) return partial(0, plan.n);
   std::vector<std::uint64_t> sums(plan.chunks, 0);
   run_tasks(plan.chunks, [&](std::size_t c) {
@@ -168,6 +243,7 @@ std::uint64_t parallel_scan(
     std::vector<std::uint64_t>& offsets) {
   offsets.assign(plan.chunks, 0);
   if (plan.chunks == 0) return 0;
+  count_dispatch(plan.chunks);
   std::vector<std::uint64_t> sums(plan.chunks, 0);
   if (plan.chunks == 1) {
     sums[0] = partial(0, plan.n);
@@ -189,6 +265,7 @@ void parallel_for(std::size_t n,
                   std::size_t grain) {
   const ChunkPlan plan = ChunkPlan::make(n, grain);
   if (plan.chunks == 0) return;
+  count_dispatch(plan.chunks);
   if (plan.chunks == 1) {
     fn(0, n);
     return;

@@ -29,12 +29,41 @@
 #include <functional>
 #include <vector>
 
+#include <string>
+
 namespace nsc {
 
 /// Number of worker threads the pool was built with: the NSCC_WORKERS
 /// environment variable if set (read once, at first use), else hardware
 /// concurrency.
 std::size_t parallel_workers();
+
+/// Resolve an NSCC_WORKERS value (nullptr = unset) to an effective worker
+/// count.  Strictly-digit values in [1, 256] are taken as-is; everything
+/// else -- garbage, empty, 0, negative, out of range -- falls back to
+/// hardware concurrency (clamping overlarge values to 256) and, when
+/// `warning` is non-null, explains the rejection in one line including
+/// the effective count.  Exposed separately from the pool so the
+/// validation is unit-testable (the pool reads the env exactly once).
+std::size_t effective_workers(const char* env_value,
+                              std::string* warning = nullptr);
+
+/// Process-wide monotonic counters for the pool's dispatch behavior,
+/// maintained with relaxed atomics (a handful of increments per *kernel
+/// call*, never per element -- cheap enough to keep always-on).  The
+/// execution engine's profiler reports per-run deltas of these.
+struct ParallelCounters {
+  std::uint64_t calls = 0;         ///< parallel_for/scan/reduce/chunk calls
+  std::uint64_t serial_calls = 0;  ///< of which collapsed to one chunk
+  std::uint64_t chunks = 0;        ///< chunks dispatched to the pool
+  std::vector<std::uint64_t> per_worker_tasks;  ///< tasks run by worker i
+};
+ParallelCounters parallel_counters();
+
+/// The chunks counter alone (two relaxed loads cheaper than a full
+/// ParallelCounters snapshot): the execution engine reads it around every
+/// instruction when profiling to attribute chunk counts per opcode.
+std::uint64_t parallel_chunk_count();
 
 /// Invoke fn(begin..end) over disjoint non-empty chunks of [0, n) on the
 /// pool and wait for completion.  Falls back to a serial call when n is

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <vector>
 
 #include "support/checked.hpp"
@@ -132,6 +133,70 @@ TEST(Parallel, EmptyRange) {
 }
 
 TEST(Parallel, WorkersAtLeastOne) { EXPECT_GE(parallel_workers(), 1u); }
+
+TEST(Parallel, EffectiveWorkersAcceptsValidCounts) {
+  std::string w;
+  EXPECT_EQ(effective_workers("1", &w), 1u);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(effective_workers("4", &w), 4u);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(effective_workers("256", &w), 256u);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(Parallel, EffectiveWorkersUnsetUsesHardware) {
+  std::string w;
+  EXPECT_GE(effective_workers(nullptr, &w), 1u);
+  EXPECT_TRUE(w.empty()) << "unset must not warn: " << w;
+}
+
+TEST(Parallel, EffectiveWorkersRejectsGarbage) {
+  for (const char* bad : {"", "abc", "8 threads", "-2", "1.5", "0x10"}) {
+    std::string w;
+    EXPECT_GE(effective_workers(bad, &w), 1u) << bad;
+    EXPECT_NE(w.find("is not a worker count"), std::string::npos)
+        << "'" << bad << "' produced: " << w;
+    EXPECT_NE(w.find("NSCC_WORKERS='"), std::string::npos) << w;
+  }
+}
+
+TEST(Parallel, EffectiveWorkersRejectsZero) {
+  std::string w;
+  EXPECT_GE(effective_workers("0", &w), 1u);
+  EXPECT_NE(w.find("asks for zero workers"), std::string::npos) << w;
+}
+
+TEST(Parallel, EffectiveWorkersClampsOverlarge) {
+  std::string w;
+  EXPECT_EQ(effective_workers("257", &w), 256u);
+  EXPECT_NE(w.find("exceeds the 256-worker cap"), std::string::npos) << w;
+  // Overlong digit strings (would overflow) are treated as garbage.
+  w.clear();
+  EXPECT_GE(effective_workers("9999999999", &w), 1u);
+  EXPECT_FALSE(w.empty());
+}
+
+TEST(Parallel, EffectiveWorkersWarningsAreOptional) {
+  // nullptr warning sink must be safe on every path.
+  EXPECT_GE(effective_workers("garbage", nullptr), 1u);
+  EXPECT_GE(effective_workers("0", nullptr), 1u);
+  EXPECT_EQ(effective_workers("2", nullptr), 2u);
+}
+
+TEST(Parallel, CountersAdvanceAcrossADispatch) {
+  const ParallelCounters before = parallel_counters();
+  std::atomic<int> sum{0};
+  parallel_for(100000, [&](std::size_t b, std::size_t e) {
+    sum.fetch_add(static_cast<int>(e - b));
+  }, 64);
+  const ParallelCounters after = parallel_counters();
+  EXPECT_EQ(sum.load(), 100000);
+  EXPECT_GT(after.calls, before.calls);
+  EXPECT_GE(after.chunks, before.chunks);
+  EXPECT_GE(after.serial_calls, before.serial_calls);
+  EXPECT_EQ(after.per_worker_tasks.size(), parallel_workers());
+  EXPECT_GE(parallel_chunk_count(), after.chunks);
+}
 
 TEST(Parallel, NoInvertedOrEmptyChunks) {
   // Regression: with step rounded up, trailing chunks used to start past n

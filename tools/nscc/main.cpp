@@ -6,6 +6,7 @@
 //                                       differentially (exit 1 on mismatch)
 //   nscc dump  FILE.nsc [options]       surface / core / NSA / BVRAM form
 //   nscc bench FILE.nsc [options]       static + executed T/W as JSON
+//   nscc profile FILE.nsc [options]     source-attributed execution profile
 //   nscc fmt   FILE.nsc                 canonical formatting (the printer)
 //   nscc doc                            the language reference markdown
 //
@@ -19,6 +20,15 @@
 //   --stage S       dump stage: surface | core | nsa | bvram (default bvram)
 //   --stats         dump: also print optimizer pipeline statistics
 //   --json PATH     bench: write the JSON there instead of stdout
+//   --profile       run/bench: collect and report the execution profile
+//
+// profile options (see docs/observability.md):
+//   --by-line       per-source-line table only (the default prints all views)
+//   --by-opcode     per-opcode table only
+//   --passes        optimizer pass timing table only
+//   --chrome PATH   write a Chrome trace_event JSON (chrome://tracing)
+//   --min-attribution PCT   exit 1 if fewer than PCT% of executed
+//                   instructions carry surface attribution (the CI gate)
 //
 // Every diagnostic goes to stderr as file:line:col with a caret snippet;
 // malformed input exits 1, it never aborts.
@@ -36,6 +46,7 @@
 #include "nsc/eval.hpp"
 #include "nsc/typecheck.hpp"
 #include "object/value.hpp"
+#include "obs/profile.hpp"
 #include "opt/opt.hpp"
 #include "sa/compile.hpp"
 #include "support/error.hpp"
@@ -56,14 +67,22 @@ struct Options {
   std::string stage = "bvram";
   std::string json_path;
   bool stats = false;
+  bool profile = false;    // run/bench: collect the execution profile
+  bool by_line = false;    // profile: restrict to the per-line view
+  bool by_opcode = false;  // profile: restrict to the per-opcode view
+  bool passes = false;     // profile: restrict to the pass-timing view
+  std::string chrome_path;
+  double min_attribution = -1.0;  // profile: CI gate ([0,100] when set)
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s {check|eval|run|dump|bench|fmt} FILE.nsc "
+               "usage: %s {check|eval|run|dump|bench|profile|fmt} FILE.nsc "
                "[--input EXPR] [--opt O0|O1|O2] "
                "[--sched naive|eager|staged[:N/D]] [--fn NAME] "
-               "[--stage surface|core|nsa|bvram] [--stats] [--json PATH]\n"
+               "[--stage surface|core|nsa|bvram] [--stats] [--json PATH] "
+               "[--profile] [--by-line] [--by-opcode] [--passes] "
+               "[--chrome PATH] [--min-attribution PCT]\n"
                "       %s doc\n",
                argv0, argv0);
   std::exit(2);
@@ -147,6 +166,26 @@ Options parse_args(int argc, char** argv) {
       o.stats = true;
     } else if (arg == "--json") {
       o.json_path = need_value("--json");
+    } else if (arg == "--profile") {
+      o.profile = true;
+    } else if (arg == "--by-line") {
+      o.by_line = true;
+    } else if (arg == "--by-opcode") {
+      o.by_opcode = true;
+    } else if (arg == "--passes") {
+      o.passes = true;
+    } else if (arg == "--chrome") {
+      o.chrome_path = need_value("--chrome");
+    } else if (arg == "--min-attribution") {
+      const std::string v = need_value("--min-attribution");
+      try {
+        o.min_attribution = std::stod(v);
+      } catch (...) {
+        fail("bad --min-attribution '" + v + "' (expected a percentage)");
+      }
+      if (o.min_attribution < 0.0 || o.min_attribution > 100.0) {
+        fail("--min-attribution must be in [0, 100]");
+      }
     } else {
       fail("unknown option '" + arg + "'");
     }
@@ -226,10 +265,12 @@ RunOutcome eval_outcome(const F::ResolvedFn& f, const ValueRef& arg) {
 }
 
 RunOutcome compiled_outcome(const bvram::Program& program,
-                            const F::ResolvedFn& f, const ValueRef& arg) {
+                            const F::ResolvedFn& f, const ValueRef& arg,
+                            const bvram::RunConfig& cfg = {},
+                            bvram::RunResult* raw = nullptr) {
   RunOutcome o;
   try {
-    auto r = sa::run_compiled(program, f.dom, f.cod, arg);
+    auto r = sa::run_compiled(program, f.dom, f.cod, arg, cfg, raw);
     o.value = r.value;
     o.cost = r.cost;
   } catch (const Error& e) {
@@ -237,6 +278,30 @@ RunOutcome compiled_outcome(const bvram::Program& program,
     o.error = e.what();
   }
   return o;
+}
+
+/// The RunConfig for a profiled execution: the profiler needs the trace
+/// for the Chrome timeline and instruction-order views.
+bvram::RunConfig profile_config() {
+  bvram::RunConfig cfg;
+  cfg.profile = true;
+  cfg.record_trace = true;
+  return cfg;
+}
+
+void print_pass_timings(const opt::PipelineStats& stats) {
+  std::printf("optimizer: instrs %zu -> %zu, regs %zu -> %zu, %zu rounds, "
+              "%.3f ms total\n",
+              stats.instrs_before, stats.instrs_after, stats.regs_before,
+              stats.regs_after, stats.rounds,
+              static_cast<double>(stats.wall_ns) / 1e6);
+  std::printf("%-14s %14s %16s %12s\n", "pass", "applications",
+              "instrs removed", "wall(ms)");
+  for (const auto& ps : stats.passes) {
+    std::printf("%-14s %14zu %16zu %12.3f\n", ps.name.c_str(),
+                ps.applications, ps.instrs_removed,
+                static_cast<double>(ps.wall_ns) / 1e6);
+  }
 }
 
 void print_outcome(const char* label, const RunOutcome& o) {
@@ -287,13 +352,25 @@ int cmd_run(const F::SourceFile& src, const Options& o) {
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     std::printf("input %zu: %s\n", i, inputs[i]->show().c_str());
     const RunOutcome ev = eval_outcome(entry, inputs[i]);
-    const RunOutcome mc = compiled_outcome(program, entry, inputs[i]);
+    bvram::RunResult raw;
+    const RunOutcome mc =
+        o.profile
+            ? compiled_outcome(program, entry, inputs[i], profile_config(),
+                               &raw)
+            : compiled_outcome(program, entry, inputs[i]);
     print_outcome("  nsc eval", ev);
     print_outcome("  compiled", mc);
     const bool agree = ev.trapped == mc.trapped &&
                        (ev.trapped || Value::equal(ev.value, mc.value));
     if (!agree) ok = false;
     std::printf("  agree: %s\n", agree ? "yes" : "NO");
+    if (o.profile && !mc.trapped) {
+      const obs::Profile prof = obs::Profile::build(program, raw);
+      std::printf("  profile: %.1f%% attributed; engine: %s\n",
+                  100.0 * prof.attributed_frac,
+                  prof.render_engine().c_str());
+      std::printf("%s", prof.render_by_line().c_str());
+    }
   }
   if (!ok) std::fprintf(stderr, "nscc run: evaluator/compiled MISMATCH\n");
   return ok ? 0 : 1;
@@ -381,7 +458,11 @@ int cmd_bench(const F::SourceFile& src, const Options& o) {
         << ", \"runs\": [";
     for (std::size_t i = 0; i < inputs.size(); ++i) {
       const RunOutcome ev = eval_outcome(entry, inputs[i]);
-      const RunOutcome mc = compiled_outcome(program, entry, inputs[i]);
+      bvram::RunResult raw;
+      const RunOutcome mc =
+          o.profile ? compiled_outcome(program, entry, inputs[i],
+                                       profile_config(), &raw)
+                    : compiled_outcome(program, entry, inputs[i]);
       if (i != 0) out << ", ";
       out << "{\"input\": " << i << ", \"eval_T\": " << ev.cost.time
           << ", \"eval_W\": " << ev.cost.work
@@ -392,8 +473,18 @@ int cmd_bench(const F::SourceFile& src, const Options& o) {
           << ((ev.trapped == mc.trapped &&
                (ev.trapped || Value::equal(ev.value, mc.value)))
                   ? "true"
-                  : "false")
-          << "}";
+                  : "false");
+      if (o.profile && !mc.trapped) {
+        const obs::Profile prof = obs::Profile::build(program, raw);
+        out << ", \"profile\": {\"attributed_frac\": "
+            << prof.attributed_frac << ", \"engine_wall_ns\": "
+            << prof.engine.wall_ns << ", \"pool_hits\": "
+            << prof.engine.pool_hits << ", \"pool_misses\": "
+            << prof.engine.pool_misses << ", \"inplace_hits\": "
+            << prof.engine.inplace_hits << ", \"move_swaps\": "
+            << prof.engine.move_swaps << "}";
+      }
+      out << "}";
     }
     out << "]}";
   }
@@ -405,6 +496,83 @@ int cmd_bench(const F::SourceFile& src, const Options& o) {
     if (!f) fail("cannot write " + o.json_path);
     f << out.str();
     std::printf("wrote %s\n", o.json_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_profile(const F::SourceFile& src, const Options& o) {
+  const F::ResolvedModule mod = F::compile_file(src);
+  const F::ResolvedFn& entry = entry_of(mod, o);
+  const auto inputs = gather_inputs(mod, entry, o);
+  if (inputs.empty()) fail("no inputs: add `input ...` lines or --input");
+  opt::PipelineStats stats;
+  const bvram::Program program =
+      sa::compile_nsc(entry.fn, o.opt, o.sched, &stats);
+  std::printf("%s : %s -> %s  [%s, %s: %zu regs, %zu instrs, "
+              "%.1f%% static attribution]\n",
+              entry.name.c_str(), entry.dom->show().c_str(),
+              entry.cod->show().c_str(), opt_name(o.opt),
+              sched_name(o.sched), program.num_regs, program.code.size(),
+              100.0 * program.debug_coverage());
+
+  // With no view flag every view prints; flags restrict to the named ones.
+  const bool all_views = !o.by_line && !o.by_opcode && !o.passes;
+  if (all_views || o.passes) {
+    print_pass_timings(stats);
+  }
+
+  // The --min-attribution gate is count-weighted over ALL inputs: a
+  // degenerate run (empty input, a handful of prologue instructions) may
+  // legitimately sit below the threshold without indicating any
+  // attribution loss in the compiler.
+  std::uint64_t gate_total = 0, gate_attributed = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    bvram::RunResult raw;
+    const RunOutcome mc =
+        compiled_outcome(program, entry, inputs[i], profile_config(), &raw);
+    std::printf("\ninput %zu: %s\n", i, inputs[i]->show().c_str());
+    if (mc.trapped) {
+      std::printf("  trap (%s)\n", mc.error.c_str());
+      continue;
+    }
+    const obs::Profile prof = obs::Profile::build(program, raw);
+    std::printf("  T=%llu W=%llu; %.1f%% of executed instructions "
+                "attributed\n  engine: %s\n",
+                static_cast<unsigned long long>(mc.cost.time),
+                static_cast<unsigned long long>(mc.cost.work),
+                100.0 * prof.attributed_frac, prof.render_engine().c_str());
+    if (all_views || o.by_line) {
+      std::printf("\n%s", prof.render_by_line().c_str());
+    }
+    if (all_views || o.by_opcode) {
+      std::printf("\n%s", prof.render_by_opcode().c_str());
+    }
+    if ((all_views || o.by_line) && !prof.by_loop.empty()) {
+      std::printf("\n%s", prof.render_loops().c_str());
+    }
+    if (i == 0 && !o.chrome_path.empty()) {
+      std::ofstream f(o.chrome_path, std::ios::binary);
+      if (!f) fail("cannot write " + o.chrome_path);
+      obs::write_chrome_trace(f, program, raw, &stats);
+      std::printf("\nwrote %s\n", o.chrome_path.c_str());
+    }
+    gate_total += prof.total_count;
+    gate_attributed += static_cast<std::uint64_t>(
+        prof.attributed_frac * static_cast<double>(prof.total_count) + 0.5);
+  }
+  if (o.min_attribution >= 0.0 && gate_total > 0) {
+    const double pct =
+        100.0 * static_cast<double>(gate_attributed) /
+        static_cast<double>(gate_total);
+    if (pct < o.min_attribution) {
+      std::fprintf(stderr,
+                   "nscc profile: attribution %.1f%% across %llu executed "
+                   "instructions is below the --min-attribution gate of "
+                   "%.1f%%\n",
+                   pct, static_cast<unsigned long long>(gate_total),
+                   o.min_attribution);
+      return 1;
+    }
   }
   return 0;
 }
@@ -429,6 +597,7 @@ int main(int argc, char** argv) {
     if (o.command == "run") return cmd_run(src, o);
     if (o.command == "dump") return cmd_dump(src, o);
     if (o.command == "bench") return cmd_bench(src, o);
+    if (o.command == "profile") return cmd_profile(src, o);
     if (o.command == "fmt") return cmd_fmt(src, o);
     usage(argv[0]);
   } catch (const front::FrontError& e) {
