@@ -1,21 +1,26 @@
 // The execution-engine benchmark harness: runs the compiled example
-// corpus plus adversarial route/scan microbenchmarks under all four
+// corpus plus adversarial route/scan microbenchmarks under all six
 // configurations --
 //
-//     v1 = run_reference (allocate-per-instruction interpreter)
-//     v2 = run            (pooled register file, in-place kernels)
+//     v1  = run_reference (allocate-per-instruction interpreter)
+//     v2  = run            (pooled register file, in-place kernels)
+//     v2f = run + fusion   (elementwise groups as single-pass kernels)
 //     x  serial | parallel backend
 //
 // -- verifies that outputs, T, and W agree bit-for-bit across every
 // configuration (exit code 1 on any mismatch: the CI perf-smoke gate),
 // and writes the wall-clock trajectory to a JSON file so future PRs can
-// compare machine-readable numbers instead of prose.
+// compare machine-readable numbers instead of prose.  The fused
+// configurations also report the engine's fused-group counters (groups
+// executed, instructions covered, buffers elided, fallbacks), taken
+// from an untimed profiled run.
 //
-//   bench_machine [--json PATH] [--reps K] [--full]
+//   bench_machine [--json PATH] [--reps K] [--scale N] [--full]
 //
-// --full adds n = 10^7 to the default {10^5, 10^6} sweep.  Timing rows
-// are never part of the failure criterion (shared runners are noisy);
-// only cross-configuration output/cost mismatches fail.
+// --full adds n = 10^7 to the default {10^5, 10^6} sweep; --scale N
+// replaces the sweep with the single size N.  Timing rows are never
+// part of the failure criterion (shared runners are noisy); only
+// cross-configuration output/cost mismatches fail.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -30,6 +35,7 @@
 #include "nsc/prelude.hpp"
 #include "obs/provenance.hpp"
 #include "nsc/typecheck.hpp"
+#include "opt/fuse.hpp"
 #include "opt/liveness.hpp"
 #include "sa/compile.hpp"
 #include "sa/layout.hpp"
@@ -64,6 +70,7 @@ struct Entry {
   std::size_t n;
   const char* engine;
   const char* backend;
+  bool fuse = false;
   double ms = 0;
   std::uint64_t time = 0;
   std::uint64_t work = 0;
@@ -108,6 +115,7 @@ Case make_move_chain(std::size_t n) {
   a.halt();
   auto p = a.finish(1, 1);
   nsc::opt::annotate_last_use(p);
+  nsc::opt::annotate_fusion(p);
   return {"move-chain", std::move(p), {iota_mod(n, 1u << 20)}};
 }
 
@@ -133,7 +141,37 @@ Case make_arith_mix(std::size_t n) {
   a.halt();
   auto p = a.finish(2, 1);
   nsc::opt::annotate_last_use(p);
+  nsc::opt::annotate_fusion(p);
   return {"arith-mix", std::move(p), {iota_mod(n, 1000), iota_mod(n, 60)}};
+}
+
+Case make_fuse_chain(std::size_t n) {
+  // The fusion showcase: a 28-op elementwise pipeline -- Enumerate
+  // feeding a long Add/Mul/Monus/Rsh chain through two recycled
+  // temporaries.  Every intermediate dies inside the group, so the
+  // fused engine builds one output stream instead of 27 register-sized
+  // buffers, and the whole working set stays in two L1 scratch rows.
+  Assembler a;
+  a.reserve_regs(2);
+  auto e = a.reg(), u = a.reg(), v = a.reg();
+  a.enumerate(e, 0);
+  a.arith(u, ArithOp::Add, 0, e);
+  a.arith(v, ArithOp::Mul, u, 1);
+  const ArithOp ops[4] = {ArithOp::Add, ArithOp::Mul, ArithOp::Monus,
+                          ArithOp::Rsh};
+  for (int i = 0; i < 24; ++i) {
+    if (i % 2 == 0) {
+      a.arith(u, ops[i % 4], v, 0);
+    } else {
+      a.arith(v, ops[i % 4], u, 1);
+    }
+  }
+  a.move(0, v);
+  a.halt();
+  auto p = a.finish(2, 1);
+  nsc::opt::annotate_last_use(p);
+  nsc::opt::annotate_fusion(p);
+  return {"fuse-chain", std::move(p), {iota_mod(n, 1000), iota_mod(n, 60)}};
 }
 
 Case make_scan_chain(std::size_t n) {
@@ -152,6 +190,7 @@ Case make_scan_chain(std::size_t n) {
   a.halt();
   auto p = a.finish(1, 1);
   nsc::opt::annotate_last_use(p);
+  nsc::opt::annotate_fusion(p);
   return {"scan-chain", std::move(p), {iota_mod(n, 3)}};
 }
 
@@ -164,6 +203,7 @@ Case make_select(std::size_t n) {
   a.halt();
   auto p = a.finish(1, 1);
   nsc::opt::annotate_last_use(p);
+  nsc::opt::annotate_fusion(p);
   return {"select-half", std::move(p), {iota_mod(n, 2)}};
 }
 
@@ -176,6 +216,7 @@ Case make_append(std::size_t n) {
   a.halt();
   auto p = a.finish(1, 1);
   nsc::opt::annotate_last_use(p);
+  nsc::opt::annotate_fusion(p);
   return {"append-double", std::move(p), {iota_mod(n, 1u << 16)}};
 }
 
@@ -192,6 +233,7 @@ Case make_route_broadcast(std::size_t n) {
   a.halt();
   auto p = a.finish(1, 1);
   nsc::opt::annotate_last_use(p);
+  nsc::opt::annotate_fusion(p);
   return {"route-broadcast", std::move(p), {iota_mod(n, 10)}};
 }
 
@@ -206,6 +248,7 @@ Case make_route_pack(std::size_t n) {
   a.halt();
   auto p = a.finish(2, 1);
   nsc::opt::annotate_last_use(p);
+  nsc::opt::annotate_fusion(p);
   return {"route-pack", std::move(p), {iota_mod(n, 1u << 16), iota_mod(n, 2)}};
 }
 
@@ -224,6 +267,7 @@ Case make_sbm_cartesian(std::size_t n) {
   a.halt();
   auto p = a.finish(4, 1);
   nsc::opt::annotate_last_use(p);
+  nsc::opt::annotate_fusion(p);
   return {"sbm-cartesian", std::move(p),
           {Vec(m, 0), Vec{m}, iota_mod(m, 1u << 16), Vec{m}}};
 }
@@ -310,114 +354,160 @@ Case make_corpus_nested_query(std::size_t n) {
 // driver
 // ---------------------------------------------------------------------------
 
-double wall_ms(const Program& p, const std::vector<Vec>& in,
-               const RunConfig& cfg, bool v2, int reps) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    RunResult res = v2 ? nsc::bvram::run(p, in, cfg)
-                       : nsc::bvram::run_reference(p, in, cfg);
-    const auto t1 = std::chrono::steady_clock::now();
-    (void)res;
-    best = std::min(
-        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
-  return best;
+double wall_ms_once(const Program& p, const std::vector<Vec>& in,
+                    const RunConfig& cfg, bool v2) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult res = v2 ? nsc::bvram::run(p, in, cfg)
+                     : nsc::bvram::run_reference(p, in, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)res;
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 struct Options {
   std::string json_path = "BENCH_machine.json";
   int reps = 3;
+  std::size_t scale = 0;  // 0 = default sweep
   bool full = false;
 };
 
 int run_bench(const Options& opt) {
   std::vector<std::size_t> sizes = {100000, 1000000};
   if (opt.full) sizes.push_back(10000000);
+  if (opt.scale != 0) sizes = {opt.scale};
+
+  // The six configurations.  v1 ignores cfg.fuse (the reference
+  // interpreter has no fusion), so the v1 rows double as the oracle the
+  // fused rows must match bit-for-bit.
+  struct Config {
+    const char* engine;
+    const char* backend;
+    bool v2, par, fuse;
+  };
+  constexpr std::size_t kConfigs = 6;
+  const Config cfgs[kConfigs] = {
+      {"v1", "serial", false, false, false},
+      {"v1", "parallel", false, true, false},
+      {"v2", "serial", true, false, false},
+      {"v2", "parallel", true, true, false},
+      {"v2", "serial", true, false, true},
+      {"v2", "parallel", true, true, true},
+  };
 
   std::vector<Entry> entries;
   struct Summary {
     std::string bench;
     std::size_t n;
-    double ms[2][2];  // [engine v1/v2][backend serial/parallel]
+    double ms[kConfigs] = {};
+    // Fused-group counters from the fused/serial configuration's
+    // profiled validation run.
+    std::uint64_t groups = 0, instrs = 0, elided = 0, fallbacks = 0;
   };
   std::vector<Summary> summaries;
   bool mismatch = false;
 
   using Maker = Case (*)(std::size_t);
   const Maker makers[] = {
-      make_move_chain,   make_arith_mix,      make_scan_chain,
-      make_select,       make_append,         make_route_broadcast,
-      make_route_pack,   make_sbm_cartesian,  make_corpus_index,
-      make_corpus_filter_map, make_corpus_sum, make_corpus_quickstart,
-      make_corpus_nested_query,
+      make_move_chain,   make_arith_mix,      make_fuse_chain,
+      make_scan_chain,   make_select,         make_append,
+      make_route_broadcast, make_route_pack,  make_sbm_cartesian,
+      make_corpus_index, make_corpus_filter_map, make_corpus_sum,
+      make_corpus_quickstart, make_corpus_nested_query,
   };
 
-  Table t({"bench", "n", "v1 serial", "v2 serial", "v1 par", "v2 par",
-           "v2/v1 serial", "v2par/v1 serial"});
+  Table t({"bench", "n", "v1 serial", "v2 serial", "v2f serial", "v2f par",
+           "fuse serial", "v2f/v1 serial"});
   for (std::size_t n : sizes) {
     for (auto make : makers) {
       Case c = make(n);
-      Summary s{c.name, n, {{0, 0}, {0, 0}}};
-      std::uint64_t sums[2][2] = {{0, 0}, {0, 0}};
+      Summary s;
+      s.bench = c.name;
+      s.n = n;
       Entry base;
-      for (int engine = 0; engine < 2; ++engine) {
-        for (int backend = 0; backend < 2; ++backend) {
-          RunConfig cfg;
-          cfg.parallel_backend = backend == 1;
-          const bool v2 = engine == 1;
-          // Untimed validation run: outputs + costs feed the checksum.
-          RunResult r = v2 ? nsc::bvram::run(c.program, c.inputs, cfg)
-                           : nsc::bvram::run_reference(c.program, c.inputs,
-                                                       cfg);
-          Entry e;
-          e.bench = c.name;
-          e.n = n;
-          e.engine = v2 ? "v2" : "v1";
-          e.backend = backend == 1 ? "parallel" : "serial";
-          e.time = r.cost.time;
-          e.work = r.cost.work;
-          e.checksum = checksum(r);
-          e.ms = wall_ms(c.program, c.inputs, cfg, v2, opt.reps);
-          s.ms[engine][backend] = e.ms;
-          sums[engine][backend] = e.checksum;
-          if (engine == 0 && backend == 0) base = e;
-          if (e.checksum != sums[0][0] || e.time != base.time ||
-              e.work != base.work) {
-            std::fprintf(stderr,
-                         "MISMATCH: %s n=%zu %s/%s disagrees with v1/serial "
-                         "(checksum %016llx vs %016llx, T %llu vs %llu, W "
-                         "%llu vs %llu)\n",
-                         c.name.c_str(), n, e.engine, e.backend,
-                         static_cast<unsigned long long>(e.checksum),
-                         static_cast<unsigned long long>(sums[0][0]),
-                         static_cast<unsigned long long>(e.time),
-                         static_cast<unsigned long long>(base.time),
-                         static_cast<unsigned long long>(e.work),
-                         static_cast<unsigned long long>(base.work));
-            mismatch = true;
-          }
-          entries.push_back(std::move(e));
+      RunConfig run_cfgs[kConfigs];
+      for (std::size_t ci = 0; ci < kConfigs; ++ci) {
+        RunConfig cfg;
+        cfg.parallel_backend = cfgs[ci].par;
+        cfg.fuse = cfgs[ci].fuse;
+        // Untimed validation run: outputs + costs feed the checksum, and
+        // -- for the fused/serial configuration -- a profiled pass
+        // collects the engine's fused-group counters (profiling changes
+        // no output or cost, only wall-clock bookkeeping).
+        const bool v2 = cfgs[ci].v2;
+        const bool want_counters =
+            cfgs[ci].fuse && !cfgs[ci].par;
+        cfg.profile = want_counters;
+        RunResult r = v2 ? nsc::bvram::run(c.program, c.inputs, cfg)
+                         : nsc::bvram::run_reference(c.program, c.inputs,
+                                                     cfg);
+        if (want_counters) {
+          s.groups = r.engine.fused_groups;
+          s.instrs = r.engine.fused_instrs;
+          s.elided = r.engine.fused_elided;
+          s.fallbacks = r.engine.fused_fallbacks;
+        }
+        cfg.profile = false;
+        run_cfgs[ci] = cfg;
+        Entry e;
+        e.bench = c.name;
+        e.n = n;
+        e.engine = cfgs[ci].engine;
+        e.backend = cfgs[ci].backend;
+        e.fuse = cfgs[ci].fuse;
+        e.time = r.cost.time;
+        e.work = r.cost.work;
+        e.checksum = checksum(r);
+        if (ci == 0) base = e;
+        if (e.checksum != base.checksum || e.time != base.time ||
+            e.work != base.work) {
+          std::fprintf(stderr,
+                       "MISMATCH: %s n=%zu %s/%s%s disagrees with v1/serial "
+                       "(checksum %016llx vs %016llx, T %llu vs %llu, W "
+                       "%llu vs %llu)\n",
+                       c.name.c_str(), n, e.engine, e.backend,
+                       e.fuse ? "/fused" : "",
+                       static_cast<unsigned long long>(e.checksum),
+                       static_cast<unsigned long long>(base.checksum),
+                       static_cast<unsigned long long>(e.time),
+                       static_cast<unsigned long long>(base.time),
+                       static_cast<unsigned long long>(e.work),
+                       static_cast<unsigned long long>(base.work));
+          mismatch = true;
+        }
+        entries.push_back(std::move(e));
+      }
+      // Timing rounds are interleaved across configurations (rep-major,
+      // best-of-reps) so slow clock drift or a noisy co-tenant biases
+      // every configuration equally instead of whichever ran last.
+      for (std::size_t ci = 0; ci < kConfigs; ++ci) s.ms[ci] = 1e300;
+      for (int rep = 0; rep < opt.reps; ++rep) {
+        for (std::size_t ci = 0; ci < kConfigs; ++ci) {
+          s.ms[ci] = std::min(
+              s.ms[ci], wall_ms_once(c.program, c.inputs, run_cfgs[ci],
+                                     cfgs[ci].v2));
         }
       }
+      for (std::size_t ci = 0; ci < kConfigs; ++ci) {
+        entries[entries.size() - kConfigs + ci].ms = s.ms[ci];
+      }
       summaries.push_back(s);
-      t.row({c.name, std::to_string(n), Table::fixed(s.ms[0][0], 2),
-             Table::fixed(s.ms[1][0], 2), Table::fixed(s.ms[0][1], 2),
-             Table::fixed(s.ms[1][1], 2),
-             Table::fixed(s.ms[0][0] / s.ms[1][0], 2),
-             Table::fixed(s.ms[0][0] / s.ms[1][1], 2)});
+      t.row({c.name, std::to_string(n), Table::fixed(s.ms[0], 2),
+             Table::fixed(s.ms[2], 2), Table::fixed(s.ms[4], 2),
+             Table::fixed(s.ms[5], 2), Table::fixed(s.ms[2] / s.ms[4], 2),
+             Table::fixed(s.ms[0] / s.ms[4], 2)});
     }
   }
   t.print();
   // Geometric-mean speedups over the compiled example corpus at the
-  // largest measured n (the acceptance-criterion aggregate).
+  // largest measured n (the acceptance-criterion aggregate).  "v2" here
+  // is the engine's default configuration, which now includes fusion.
   const std::size_t n_max = sizes.back();
   double log_serial = 0, log_par = 0;
   std::size_t corpus_count = 0;
   for (const auto& s : summaries) {
     if (s.n != n_max || s.bench.rfind("compiled:", 0) != 0) continue;
-    log_serial += std::log(s.ms[0][0] / s.ms[1][0]);
-    log_par += std::log(s.ms[0][0] / s.ms[1][1]);
+    log_serial += std::log(s.ms[0] / s.ms[4]);
+    log_par += std::log(s.ms[0] / s.ms[5]);
     ++corpus_count;
   }
   const double geo_serial =
@@ -427,10 +517,23 @@ int run_bench(const Options& opt) {
       "\ncompiled corpus at n=%zu: geomean serial v2/v1 = %.2fx, "
       "parallel v2/v1-serial = %.2fx\n",
       n_max, geo_serial, geo_par);
+  std::printf("\nfusion at n=%zu (serial, unfused -> fused):\n", n_max);
+  for (const auto& s : summaries) {
+    if (s.n != n_max || s.groups == 0) continue;
+    std::printf(
+        "  %-24s %7.2f -> %7.2f ms  (%.2fx; %llu groups / %llu instrs, "
+        "%llu buffers elided, %llu fallbacks)\n",
+        s.bench.c_str(), s.ms[2], s.ms[4], s.ms[2] / s.ms[4],
+        static_cast<unsigned long long>(s.groups),
+        static_cast<unsigned long long>(s.instrs),
+        static_cast<unsigned long long>(s.elided),
+        static_cast<unsigned long long>(s.fallbacks));
+  }
   std::printf(
-      "\nreading: 'v2/v1 serial' is the allocation/copy-elimination win\n"
-      "alone; 'v2par/v1 serial' adds the parallel backend (%zu workers).\n"
-      "All four configurations produced bit-identical outputs, T, and W.\n",
+      "\nreading: 'fuse serial' is the fusion win over the already-pooled\n"
+      "v2 engine; 'v2f/v1 serial' is the cumulative win over the\n"
+      "reference interpreter (%zu workers for the parallel rows).\n"
+      "All six configurations produced bit-identical outputs, T, and W.\n",
       nsc::parallel_workers());
 
   // ---- JSON ----
@@ -439,7 +542,7 @@ int run_bench(const Options& opt) {
     std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"bvram-bench-machine/v2\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"bvram-bench-machine/v3\",\n");
   std::fprintf(f, "  \"provenance\": %s,\n",
                nsc::obs::Provenance::collect().to_json().c_str());
   std::fprintf(f, "  \"workers\": %zu,\n  \"reps\": %d,\n",
@@ -454,9 +557,10 @@ int run_bench(const Options& opt) {
     const Entry& e = entries[i];
     std::fprintf(f,
                  "    {\"bench\": \"%s\", \"n\": %zu, \"engine\": \"%s\", "
-                 "\"backend\": \"%s\", \"ms\": %.3f, \"T\": %llu, "
-                 "\"W\": %llu, \"checksum\": \"%016llx\"}%s\n",
-                 e.bench.c_str(), e.n, e.engine, e.backend, e.ms,
+                 "\"backend\": \"%s\", \"fuse\": %s, \"ms\": %.3f, "
+                 "\"T\": %llu, \"W\": %llu, \"checksum\": \"%016llx\"}%s\n",
+                 e.bench.c_str(), e.n, e.engine, e.backend,
+                 e.fuse ? "true" : "false", e.ms,
                  static_cast<unsigned long long>(e.time),
                  static_cast<unsigned long long>(e.work),
                  static_cast<unsigned long long>(e.checksum),
@@ -468,12 +572,19 @@ int run_bench(const Options& opt) {
     std::fprintf(f,
                  "    {\"bench\": \"%s\", \"n\": %zu, "
                  "\"v1_serial_ms\": %.3f, \"v2_serial_ms\": %.3f, "
+                 "\"v2_fused_serial_ms\": %.3f, "
                  "\"v1_parallel_ms\": %.3f, \"v2_parallel_ms\": %.3f, "
+                 "\"v2_fused_parallel_ms\": %.3f, "
                  "\"v2_serial_speedup\": %.2f, "
-                 "\"v2_parallel_speedup\": %.2f}%s\n",
-                 s.bench.c_str(), s.n, s.ms[0][0], s.ms[1][0], s.ms[0][1],
-                 s.ms[1][1], s.ms[0][0] / s.ms[1][0],
-                 s.ms[0][0] / s.ms[1][1],
+                 "\"fused_serial_speedup\": %.2f, "
+                 "\"fused_groups\": %llu, \"fused_instrs\": %llu, "
+                 "\"fused_elided\": %llu, \"fused_fallbacks\": %llu}%s\n",
+                 s.bench.c_str(), s.n, s.ms[0], s.ms[2], s.ms[4], s.ms[1],
+                 s.ms[3], s.ms[5], s.ms[0] / s.ms[2], s.ms[2] / s.ms[4],
+                 static_cast<unsigned long long>(s.groups),
+                 static_cast<unsigned long long>(s.instrs),
+                 static_cast<unsigned long long>(s.elided),
+                 static_cast<unsigned long long>(s.fallbacks),
                  i + 1 < summaries.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"mismatch\": %s\n}\n",
@@ -494,18 +605,22 @@ int main(int argc, char** argv) {
       opt.json_path = argv[++i];
     } else if (arg == "--reps" && i + 1 < argc) {
       opt.reps = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--scale" && i + 1 < argc) {
+      opt.scale = static_cast<std::size_t>(
+          std::max(1ll, std::atoll(argv[++i])));
     } else if (arg == "--full") {
       opt.full = true;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_machine [--json PATH] [--reps K] [--full]\n");
+                   "usage: bench_machine [--json PATH] [--reps K] "
+                   "[--scale N] [--full]\n");
       return 2;
     }
   }
   std::printf(
-      "bench_machine: BVRAM execution engine v1 (reference) vs v2\n"
-      "(pooled register file, in-place kernels, parallel primitives);\n"
-      "wall-clock best of %d, outputs/T/W cross-checked.\n\n",
+      "bench_machine: BVRAM execution engine v1 (reference) vs v2, with\n"
+      "and without fused elementwise groups; wall-clock best of %d,\n"
+      "outputs/T/W cross-checked across all six configurations.\n\n",
       opt.reps);
   return run_bench(opt);
 }

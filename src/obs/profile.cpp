@@ -201,7 +201,10 @@ std::string Profile::render_engine() const {
       << " misses; in-place " << engine.inplace_hits << "; move-swaps "
       << engine.move_swaps << "; parallel " << engine.par_kernels
       << " kernels (" << engine.par_serial << " serial, "
-      << engine.par_chunks << " chunks)";
+      << engine.par_chunks << " chunks)"
+      << "; fused " << engine.fused_groups << " groups / "
+      << engine.fused_instrs << " instrs (" << engine.fused_elided
+      << " buffers elided, " << engine.fused_fallbacks << " fallbacks)";
   return out.str();
 }
 

@@ -1,5 +1,7 @@
 #include "obs/provenance.hpp"
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <thread>
@@ -21,6 +23,30 @@ std::string compiler_id() {
          std::to_string(__GNUC_PATCHLEVEL__);
 #else
   return "unknown";
+#endif
+}
+
+/// Ask git for the short head sha, for bench runs outside CI (where the
+/// env vars below are unset).  Returns "" on any failure -- no repo, no
+/// git binary, sandboxed popen -- so the caller can keep its fallback.
+std::string git_head_sha() {
+#if defined(_WIN32)
+  return "";
+#else
+  FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "";
+  char buf[64];
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  const int rc = pclose(pipe);
+  if (rc != 0) return "";
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  for (char c : out) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return "";
+  }
+  return out;
 #endif
 }
 
@@ -49,7 +75,14 @@ Provenance Provenance::collect() {
   p.compiler = compiler_id();
   const char* sha = std::getenv("NSCC_GIT_SHA");
   if (sha == nullptr || *sha == '\0') sha = std::getenv("GITHUB_SHA");
-  p.git_sha = sha != nullptr && *sha != '\0' ? sha : "unknown";
+  if (sha != nullptr && *sha != '\0') {
+    p.git_sha = sha;
+  } else {
+    // Outside CI, ask the working tree itself (committed BENCH_*.json
+    // files should never say "unknown" when produced from a checkout).
+    const std::string head = git_head_sha();
+    p.git_sha = !head.empty() ? head : "unknown";
+  }
   return p;
 }
 

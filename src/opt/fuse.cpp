@@ -1,0 +1,183 @@
+#include "opt/fuse.hpp"
+
+#include <cstdint>
+
+namespace nsc::opt {
+
+namespace {
+
+using bvram::FusedGroup;
+using bvram::Instr;
+using bvram::Op;
+using bvram::Program;
+
+bool eligible_op(Op op) {
+  switch (op) {
+    case Op::Move:
+    case Op::Arith:
+    case Op::Enumerate:
+    case Op::ScanPlus:
+    case Op::Select:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Eligible for membership: elementwise op with all register operands in
+/// range.  An out-of-range operand must keep trapping through the
+/// per-instruction path, so it never enters a group.
+bool eligible(const Program& p, std::size_t i) {
+  const Instr& in = p.code[i];
+  if (!eligible_op(in.op)) return false;
+  if (in.dst >= p.num_regs) return false;
+  for (std::uint32_t r : in.srcs()) {
+    if (r >= p.num_regs) return false;
+  }
+  return true;
+}
+
+/// Build the group for the run [b, e), classify its values, and decide
+/// whether it is worth a plan.  Returns false to skip the run.
+bool build_group(const Program& p, std::size_t b, std::size_t e,
+                 FusedGroup& g) {
+  const std::size_t G = e - b;
+  const bool masks = p.last_use.size() == p.code.size();
+  g.begin = b;
+  g.end = e;
+  g.bind_base.resize(G);
+  g.commit.assign(G, -1);
+
+  // Pass 1: bindings.  last_def[r] = group-relative index of the latest
+  // in-group def of register r, or -1 (the value enters from outside).
+  std::vector<std::int32_t> last_def(p.num_regs, -1);
+  std::vector<std::int32_t> input_of(p.num_regs, -1);
+  for (std::size_t k = 0; k < G; ++k) {
+    const Instr& in = p.code[b + k];
+    g.bind_base[k] = static_cast<std::uint32_t>(g.binds.size());
+    for (std::uint32_t r : in.srcs()) {
+      FusedGroup::Bind bind;
+      if (last_def[r] >= 0) {
+        bind.from_def = true;
+        bind.index = static_cast<std::uint32_t>(last_def[r]);
+      } else {
+        if (input_of[r] < 0) {
+          input_of[r] = static_cast<std::int32_t>(g.inputs.size());
+          g.inputs.push_back(r);
+        }
+        bind.index = static_cast<std::uint32_t>(input_of[r]);
+      }
+      g.binds.push_back(bind);
+    }
+    if (in.op == Op::ScanPlus || in.op == Op::Select) g.serial_only = true;
+    if (in.op == Op::Select) g.has_select = true;
+    last_def[in.dst] = static_cast<std::int32_t>(k);
+  }
+
+  // Pass 2: a def dies inside the group if liveness kills its register at
+  // one of its in-group reads (the masks are global truth, so a set bit
+  // at read m means no later read exists anywhere -- in or out of group).
+  std::vector<bool> dead_by_read(G, false);
+  if (masks) {
+    for (std::size_t k = 0; k < G; ++k) {
+      const Instr& in = p.code[b + k];
+      const std::size_t nsrc = Instr::src_count(in.op);
+      const std::uint8_t mask = p.last_use[b + k];
+      for (std::size_t j = 0; j < nsrc; ++j) {
+        const FusedGroup::Bind& bind = g.binds[g.bind_base[k] + j];
+        if (bind.from_def && ((mask >> j) & 1u) != 0) {
+          dead_by_read[bind.index] = true;
+        }
+      }
+    }
+  }
+
+  // Commit the final def of each register unless it provably dies.
+  for (std::size_t k = 0; k < G; ++k) {
+    const Instr& in = p.code[b + k];
+    if (last_def[in.dst] == static_cast<std::int32_t>(k) &&
+        !dead_by_read[k]) {
+      g.commit[k] = static_cast<std::int32_t>(in.dst);
+    }
+  }
+
+  // Commit sinking: a committed Move whose value is produced in-group
+  // copies a scratch value it could have been handed directly.  Follow
+  // the Move chain to the ultimate producer; if that def is elided, move
+  // the commit onto it -- the Moves along the chain become pure aliases.
+  for (std::size_t k = 0; k < G; ++k) {
+    if (g.commit[k] < 0 || p.code[b + k].op != Op::Move) continue;
+    std::size_t t = k;
+    while (p.code[b + t].op == Op::Move && g.binds[g.bind_base[t]].from_def) {
+      t = g.binds[g.bind_base[t]].index;
+    }
+    if (t != k && g.commit[t] < 0) {
+      g.commit[t] = g.commit[k];
+      g.commit[k] = -1;
+    }
+  }
+
+  // Worth fusing?  Count register-sized streams the fused pass avoids
+  // against ones it adds.  An elided non-Move def is a buffer write that
+  // never leaves L1: +1.  Moves are special because the per-instruction
+  // engine already runs them for free when the source dies (an O(1)
+  // buffer swap) or when dst == src: an elided Move only counts when the
+  // engine would have copied it, and a *committed* Move the engine would
+  // have swapped is an outright regression (the fused path must
+  // materialize the copy): -1.  Skip runs that don't come out ahead.
+  std::ptrdiff_t benefit = 0;
+  for (std::size_t k = 0; k < G; ++k) {
+    const Instr& in = p.code[b + k];
+    if (in.op != Op::Move) {
+      if (g.commit[k] < 0) ++benefit;
+      continue;
+    }
+    const bool unfused_free =
+        in.dst == in.a || (masks && (p.last_use[b + k] & 1u) != 0);
+    if (g.commit[k] < 0) {
+      if (!unfused_free) ++benefit;
+    } else if (unfused_free) {
+      --benefit;
+    }
+  }
+  return benefit > 0;
+}
+
+}  // namespace
+
+std::vector<FusedGroup> compute_fusion(const Program& p) {
+  std::vector<FusedGroup> plan;
+  const std::size_t n = p.code.size();
+  std::vector<bool> jump_target(n, false);
+  for (const Instr& in : p.code) {
+    if (in.is_jump() && in.target < n) jump_target[in.target] = true;
+  }
+
+  std::size_t i = 0;
+  while (i < n) {
+    if (!eligible(p, i)) {
+      ++i;
+      continue;
+    }
+    // Extend the run: stop before a non-eligible instruction, a jump
+    // target (control may enter there mid-group), or the size cap; a
+    // Select closes the run (terminal only).
+    std::size_t j = i;
+    while (j < n && j - i < FusedGroup::kMaxFusedGroup && eligible(p, j) &&
+           (j == i || !jump_target[j])) {
+      const bool is_select = p.code[j].op == Op::Select;
+      ++j;
+      if (is_select) break;
+    }
+    if (j - i >= 2) {
+      FusedGroup g;
+      if (build_group(p, i, j, g)) plan.push_back(std::move(g));
+    }
+    i = j > i ? j : i + 1;
+  }
+  return plan;
+}
+
+void annotate_fusion(Program& p) { p.fusion = compute_fusion(p); }
+
+}  // namespace nsc::opt

@@ -2,6 +2,7 @@
 
 #include "nsa/from_nsc.hpp"
 #include "obs/debuginfo.hpp"
+#include "opt/fuse.hpp"
 #include "opt/liveness.hpp"
 
 namespace nsc::sa {
@@ -1129,6 +1130,10 @@ bvram::Program compile_nsa(const nsa::NsaRef& f, opt::OptLevel opt,
   // execution engine uses them to recycle dead operand buffers
   // (Move-as-swap, in-place kernels) without touching the T/W accounting.
   opt::annotate_last_use(p);
+  // Then the fusion plan, which reuses the masks to prove intermediates
+  // dead (run at every OptLevel: naive emission is the most fusable code
+  // of all, and the plan is pure annotation either way).
+  opt::annotate_fusion(p);
   return p;
 }
 

@@ -14,11 +14,19 @@ constexpr std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
   return s < a ? ~std::uint64_t{0} : s;
 }
 
-/// Saturating multiplication for cost counters.
+/// Saturating multiplication for cost counters.  The overflow probe uses
+/// the compiler builtin where available: it compiles to a multiply plus
+/// an overflow-flag test instead of the division the portable fallback
+/// needs, which matters in the elementwise Mul kernels.
 constexpr std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+#if defined(__GNUC__) || defined(__clang__)
+  std::uint64_t p = 0;
+  return __builtin_mul_overflow(a, b, &p) ? ~std::uint64_t{0} : p;
+#else
   if (a == 0 || b == 0) return 0;
   const std::uint64_t p = a * b;
   return p / a != b ? ~std::uint64_t{0} : p;
+#endif
 }
 
 /// The paper's monus: `m - n` when `m >= n`, else 0 (section 2).

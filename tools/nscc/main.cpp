@@ -21,6 +21,10 @@
 //   --stats         dump: also print optimizer pipeline statistics
 //   --json PATH     bench: write the JSON there instead of stdout
 //   --profile       run/bench: collect and report the execution profile
+//   --scale N       bench: synthesize a size-N input for the entry point
+//                   (deterministic; replaces declared/--input arguments),
+//                   so corpus benches can run at n = 10^6+ without
+//                   committing megabyte input literals
 //
 // profile options (see docs/observability.md):
 //   --by-line       per-source-line table only (the default prints all views)
@@ -49,7 +53,9 @@
 #include "obs/profile.hpp"
 #include "opt/opt.hpp"
 #include "sa/compile.hpp"
+#include "support/checked.hpp"
 #include "support/error.hpp"
+#include "support/prng.hpp"
 
 namespace {
 
@@ -66,6 +72,7 @@ struct Options {
   std::string entry = "main";
   std::string stage = "bvram";
   std::string json_path;
+  std::size_t scale = 0;  // bench: synthesize a size-N input (0 = off)
   bool stats = false;
   bool profile = false;    // run/bench: collect the execution profile
   bool by_line = false;    // profile: restrict to the per-line view
@@ -81,7 +88,7 @@ struct Options {
                "[--input EXPR] [--opt O0|O1|O2] "
                "[--sched naive|eager|staged[:N/D]] [--fn NAME] "
                "[--stage surface|core|nsa|bvram] [--stats] [--json PATH] "
-               "[--profile] [--by-line] [--by-opcode] [--passes] "
+               "[--scale N] [--profile] [--by-line] [--by-opcode] [--passes] "
                "[--chrome PATH] [--min-attribution PCT]\n"
                "       %s doc\n",
                argv0, argv0);
@@ -166,6 +173,14 @@ Options parse_args(int argc, char** argv) {
       o.stats = true;
     } else if (arg == "--json") {
       o.json_path = need_value("--json");
+    } else if (arg == "--scale") {
+      const std::string v = need_value("--scale");
+      if (v.empty() || v.size() > 12 ||
+          v.find_first_not_of("0123456789") != std::string::npos) {
+        fail("bad --scale '" + v + "' (expected a positive size)");
+      }
+      o.scale = static_cast<std::size_t>(std::stoull(v));
+      if (o.scale == 0) fail("--scale must be positive");
     } else if (arg == "--profile") {
       o.profile = true;
     } else if (arg == "--by-line") {
@@ -242,6 +257,41 @@ std::vector<ValueRef> gather_inputs(const F::ResolvedModule& mod,
     values.push_back(L::eval(in.term).value);
   }
   return values;
+}
+
+/// Deterministic size-parameterized input synthesis for `bench --scale N`:
+/// a sequence of nats gets N pseudorandom elements; a nested sequence
+/// splits N as sqrt(N) outer x sqrt(N) inner so the total footprint stays
+/// ~N elements; scalars draw small values.  Same seed, same value -- runs
+/// are reproducible across machines.
+ValueRef synthesize_value(const TypeRef& t, std::size_t n, SplitMix64& rng) {
+  switch (t->kind()) {
+    case TypeKind::Unit:
+      return Value::unit();
+    case TypeKind::Nat:
+      return Value::nat(rng.below(1024));
+    case TypeKind::Prod: {
+      ValueRef first = synthesize_value(t->left(), n, rng);
+      return Value::pair(std::move(first),
+                         synthesize_value(t->right(), n, rng));
+    }
+    case TypeKind::Sum:
+      return rng.coin() ? Value::in1(synthesize_value(t->left(), n, rng))
+                        : Value::in2(synthesize_value(t->right(), n, rng));
+    case TypeKind::Seq: {
+      if (t->elem()->is(TypeKind::Nat)) {
+        return Value::nat_seq(rng.vec(n, 1024));
+      }
+      const std::size_t m = std::max<std::size_t>(1, isqrt(n));
+      std::vector<ValueRef> elems;
+      elems.reserve(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        elems.push_back(synthesize_value(t->elem(), m, rng));
+      }
+      return Value::seq(std::move(elems));
+    }
+  }
+  fail("cannot synthesize a value of this type");
 }
 
 struct RunOutcome {
@@ -425,7 +475,11 @@ void json_escape(std::ostream& out, const std::string& s) {
 int cmd_bench(const F::SourceFile& src, const Options& o) {
   const F::ResolvedModule mod = F::compile_file(src);
   const F::ResolvedFn& entry = entry_of(mod, o);
-  const auto inputs = gather_inputs(mod, entry, o);
+  auto inputs = gather_inputs(mod, entry, o);
+  if (o.scale > 0) {
+    SplitMix64 rng(42);
+    inputs.assign(1, synthesize_value(entry.dom, o.scale, rng));
+  }
   struct Config {
     opt::OptLevel level;
     opt::WhileSchedule sched;
@@ -444,7 +498,8 @@ int cmd_bench(const F::SourceFile& src, const Options& o) {
   json_escape(out, entry.name);
   out << ",\n  \"type\": ";
   json_escape(out, entry.dom->show() + " -> " + entry.cod->show());
-  out << ",\n  \"inputs\": " << inputs.size() << ",\n  \"configs\": [\n";
+  out << ",\n  \"inputs\": " << inputs.size()
+      << ",\n  \"scale\": " << o.scale << ",\n  \"configs\": [\n";
   bool first_cfg = true;
   for (const auto& cfg : configs) {
     opt::PipelineStats stats;
@@ -482,7 +537,11 @@ int cmd_bench(const F::SourceFile& src, const Options& o) {
             << prof.engine.pool_hits << ", \"pool_misses\": "
             << prof.engine.pool_misses << ", \"inplace_hits\": "
             << prof.engine.inplace_hits << ", \"move_swaps\": "
-            << prof.engine.move_swaps << "}";
+            << prof.engine.move_swaps << ", \"fused_groups\": "
+            << prof.engine.fused_groups << ", \"fused_instrs\": "
+            << prof.engine.fused_instrs << ", \"fused_elided\": "
+            << prof.engine.fused_elided << ", \"fused_fallbacks\": "
+            << prof.engine.fused_fallbacks << "}";
       }
       out << "}";
     }
