@@ -27,7 +27,7 @@
 #include "nsc/maprec.hpp"
 #include "nsc/prelude.hpp"
 #include "nsc/typecheck.hpp"
-#include "obs/provenance.hpp"
+#include "obs/benchjson.hpp"
 #include "opt/opt.hpp"
 #include "sa/compile.hpp"
 #include "support/prng.hpp"
@@ -301,14 +301,9 @@ int main(int argc, char** argv) {
       "On the straggler workload the staged while schedule's W advantage\n"
       "over naive widens with n (Lemma 7.2 surfaced through the compiler).\n");
 
-  std::FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"schema\": \"bvram-bench-compile/v2\",\n");
-  std::fprintf(f, "  \"provenance\": %s,\n",
-               nsc::obs::Provenance::collect().to_json().c_str());
+  nsc::obs::BenchReport report_file(json_path, "bvram-bench-compile/v2");
+  if (!report_file.ok()) return 1;
+  std::FILE* f = report_file.out();
   std::fprintf(f, "  \"entries\": [\n");
   for (std::size_t i = 0; i < json.size(); ++i) {
     const JsonEntry& e = json[i];
@@ -322,9 +317,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(e.work),
         i + 1 < json.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", json_path.c_str());
+  std::fprintf(f, "  ]\n");
+  report_file.close();
 
   if (regressed) {
     std::fprintf(stderr,

@@ -33,7 +33,7 @@
 #include "bvram/machine.hpp"
 #include "nsc/build.hpp"
 #include "nsc/prelude.hpp"
-#include "obs/provenance.hpp"
+#include "obs/benchjson.hpp"
 #include "nsc/typecheck.hpp"
 #include "opt/fuse.hpp"
 #include "opt/liveness.hpp"
@@ -537,14 +537,9 @@ int run_bench(const Options& opt) {
       nsc::parallel_workers());
 
   // ---- JSON ----
-  std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"schema\": \"bvram-bench-machine/v3\",\n");
-  std::fprintf(f, "  \"provenance\": %s,\n",
-               nsc::obs::Provenance::collect().to_json().c_str());
+  nsc::obs::BenchReport report(opt.json_path, "bvram-bench-machine/v3");
+  if (!report.ok()) return 1;
+  std::FILE* f = report.out();
   std::fprintf(f, "  \"workers\": %zu,\n  \"reps\": %d,\n",
                nsc::parallel_workers(), opt.reps);
   std::fprintf(f,
@@ -587,10 +582,8 @@ int run_bench(const Options& opt) {
                  static_cast<unsigned long long>(s.fallbacks),
                  i + 1 < summaries.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"mismatch\": %s\n}\n",
-               mismatch ? "true" : "false");
-  std::fclose(f);
-  std::printf("wrote %s\n", opt.json_path.c_str());
+  std::fprintf(f, "  ],\n  \"mismatch\": %s\n", mismatch ? "true" : "false");
+  report.close();
 
   return mismatch ? 1 : 0;
 }

@@ -1,0 +1,318 @@
+// bench_serve: prices the serve layer's compile-once / run-many claim.
+//
+// For each corpus program, three phases answer the same N requests:
+//
+//   cold      every request pays the whole pipeline: frontend + flatten +
+//             optimize + run (what `nscc run` costs per invocation);
+//   cache-hit compile once into the ProgramCache, then N solo runs
+//             against the shared artifact (batching off);
+//   batched   same N requests coalesced into segment-descriptor batches
+//             (Value::seq of the queued arguments IS the SEQREP concat)
+//             and executed by the cached lifted program, map f.
+//
+// The harness is also a correctness gate, exercised by CI perf-smoke:
+//
+//   * the cache-hit phase must never recompile (cache misses must stay
+//     at exactly 1 per program) -- exit 1 otherwise;
+//   * batched responses must be bit-identical to the solo runs of the
+//     same requests -- exit 1 otherwise;
+//   * cache-hit throughput must beat cold by >= 10x, and batched must
+//     beat cache-hit, on every program -- exit 1 otherwise.
+//
+// Writes BENCH_serve.json (schema bvram-bench-serve/v1, with the obs
+// provenance envelope) for the committed-numbers workflow.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "front/front.hpp"
+#include "obs/benchjson.hpp"
+#include "object/value.hpp"
+#include "sa/compile.hpp"
+#include "serve/cache.hpp"
+#include "serve/service.hpp"
+#include "support/prng.hpp"
+
+namespace {
+
+using namespace nsc;
+namespace F = nsc::front;
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count() /
+         1e6;
+}
+
+struct BenchProgram {
+  const char* name;
+  const char* source;
+  /// Build the i-th request argument (deterministic).
+  ValueRef (*arg)(std::uint64_t i, SplitMix64& rng);
+};
+
+ValueRef flat_arg(std::uint64_t i, SplitMix64& rng) {
+  std::vector<std::uint64_t> xs = rng.vec(48, 100);
+  xs.push_back(i % 97);
+  return Value::nat_seq(xs);
+}
+
+ValueRef nested_arg(std::uint64_t i, SplitMix64& rng) {
+  std::vector<ValueRef> segs;
+  const std::size_t n = 3 + i % 4;
+  for (std::size_t s = 0; s < n; ++s) {
+    segs.push_back(Value::nat_seq(rng.vec(1 + (i + s) % 8, 50)));
+  }
+  return Value::seq(std::move(segs));
+}
+
+const BenchProgram kPrograms[] = {
+    {"filter_square_zip",
+     "fn small(v : nat) : bool = v < 10\n"
+     "fn main(xs : [nat]) : [nat * nat] =\n"
+     "  let kept = filter(small, xs) in\n"
+     "  zip(enumerate(kept), [v * v | v <- kept])\n",
+     flat_arg},
+    {"sum_of_squares",
+     "fn main(xs : [nat]) : nat = sum([x * x | x <- xs])\n",
+     flat_arg},
+    {"segment_sums",
+     "fn seg_sum(s : [nat]) : nat = sum(s)\n"
+     "fn main(db : [[nat]]) : [nat] = map(seg_sum, db)\n",
+     nested_arg},
+};
+
+struct Row {
+  std::string program;
+  std::size_t requests = 0;
+  std::size_t cold_iters = 0;
+  double cold_ms_per_req = 0;
+  double hit_ms_per_req = 0;
+  double batched_ms_per_req = 0;
+  double hit_over_cold = 0;
+  double batched_over_hit = 0;
+  double compile_ms = 0;
+  std::uint64_t hit_phase_misses = 0;  ///< must be 1 (the initial load)
+  std::uint64_t batch_runs = 0;
+  double batch_occupancy = 0;
+  bool outputs_bitidentical = false;
+};
+
+struct Options {
+  std::string json_path = "BENCH_serve.json";
+  std::size_t requests = 256;
+  std::size_t cold_iters = 5;
+  std::size_t max_batch = 32;
+};
+
+int run_bench(const Options& opt) {
+  std::vector<Row> rows;
+  bool failed = false;
+
+  for (const BenchProgram& bp : kPrograms) {
+    Row row;
+    row.program = bp.name;
+    row.requests = opt.requests;
+    row.cold_iters = opt.cold_iters;
+
+    // Deterministic request set, shared by all three phases.
+    SplitMix64 rng(7);
+    std::vector<ValueRef> args;
+    for (std::size_t i = 0; i < opt.requests; ++i) {
+      args.push_back(bp.arg(i, rng));
+    }
+
+    // Resolve once for the cold phase's compile_program calls (the
+    // frontend is shared by all phases; the compile being priced is the
+    // flattening + optimizer pipeline, the dominant cost).
+    const F::SourceFile src(std::string(bp.name) + ".nsc", bp.source);
+    const F::ResolvedModule mod = F::compile_file(src);
+    const F::ResolvedFn& fn = mod.main();
+    serve::CacheKey key;
+    key.source_hash = serve::hash_source(bp.source, fn.name);
+
+    // ---- cold: compile + run per request ------------------------------
+    const auto cold0 = Clock::now();
+    ValueRef cold_value;
+    for (std::size_t i = 0; i < opt.cold_iters; ++i) {
+      const auto prog =
+          serve::compile_program(bp.name, fn.fn, fn.dom, fn.cod, key);
+      cold_value = sa::run_compiled(prog->unit, prog->dom, prog->cod,
+                                    args[i % args.size()])
+                       .value;
+    }
+    row.cold_ms_per_req =
+        ms_between(cold0, Clock::now()) / static_cast<double>(opt.cold_iters);
+
+    // ---- cache-hit: compile once, N solo runs -------------------------
+    std::vector<ValueRef> solo_values(args.size());
+    {
+      serve::ServeConfig cfg;
+      cfg.workers = 1;
+      cfg.batching = false;
+      serve::Service svc(cfg);
+      const auto prog = svc.load(bp.name, bp.source);
+      row.compile_ms =
+          static_cast<double>(prog->compile_wall_ns) / 1e6;
+      const auto hit0 = Clock::now();
+      std::vector<std::future<serve::Response>> futs;
+      futs.reserve(args.size());
+      for (const ValueRef& a : args) futs.push_back(svc.submit(prog, a));
+      for (std::size_t i = 0; i < futs.size(); ++i) {
+        serve::Response r = futs[i].get();
+        if (!r.ok()) {
+          std::fprintf(stderr, "FAIL: %s solo request %zu: %s\n", bp.name, i,
+                       r.error.c_str());
+          failed = true;
+        }
+        solo_values[i] = r.value;
+      }
+      row.hit_ms_per_req = ms_between(hit0, Clock::now()) /
+                           static_cast<double>(args.size());
+      // Reload: this must be a pure cache hit.
+      const auto again = svc.load(bp.name, bp.source);
+      if (again.get() != prog.get()) {
+        std::fprintf(stderr, "FAIL: %s reload returned a new artifact\n",
+                     bp.name);
+        failed = true;
+      }
+      row.hit_phase_misses = svc.cache().stats().misses;
+      if (row.hit_phase_misses != 1) {
+        std::fprintf(stderr,
+                     "FAIL: %s cache-hit phase recompiled (%llu misses)\n",
+                     bp.name,
+                     static_cast<unsigned long long>(row.hit_phase_misses));
+        failed = true;
+      }
+    }
+
+    // ---- batched: same requests, coalesced ----------------------------
+    {
+      serve::ServeConfig cfg;
+      cfg.workers = 1;  // isolate batching from thread parallelism
+      cfg.batching = true;
+      cfg.max_batch = opt.max_batch;
+      serve::Service svc(cfg);
+      const auto prog = svc.load(bp.name, bp.source);
+      const auto bat0 = Clock::now();
+      svc.pause();
+      std::vector<std::future<serve::Response>> futs;
+      futs.reserve(args.size());
+      for (const ValueRef& a : args) futs.push_back(svc.submit(prog, a));
+      svc.resume();
+      row.outputs_bitidentical = true;
+      for (std::size_t i = 0; i < futs.size(); ++i) {
+        serve::Response r = futs[i].get();
+        if (!r.ok() || !Value::equal(r.value, solo_values[i])) {
+          row.outputs_bitidentical = false;
+          std::fprintf(stderr,
+                       "FAIL: %s batched request %zu diverged from solo\n",
+                       bp.name, i);
+          failed = true;
+        }
+      }
+      row.batched_ms_per_req = ms_between(bat0, Clock::now()) /
+                               static_cast<double>(args.size());
+      svc.drain();
+      const serve::ServeStats st = svc.stats();
+      row.batch_runs = st.batch_runs;
+      row.batch_occupancy = st.batch_occupancy;
+    }
+
+    row.hit_over_cold = row.cold_ms_per_req / row.hit_ms_per_req;
+    row.batched_over_hit = row.hit_ms_per_req / row.batched_ms_per_req;
+    if (row.hit_over_cold < 10.0) {
+      std::fprintf(stderr,
+                   "FAIL: %s cache-hit speedup %.1fx is below the 10x gate\n",
+                   bp.name, row.hit_over_cold);
+      failed = true;
+    }
+    if (row.batched_over_hit <= 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: %s batching (%.2fx) did not beat one-at-a-time\n",
+                   bp.name, row.batched_over_hit);
+      failed = true;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("%-20s %12s %12s %12s %10s %10s %10s\n", "program", "cold ms/rq",
+              "hit ms/rq", "batch ms/rq", "hit/cold", "batch/hit", "occup");
+  for (const Row& r : rows) {
+    std::printf("%-20s %12.3f %12.4f %12.4f %9.1fx %9.2fx %10.1f\n",
+                r.program.c_str(), r.cold_ms_per_req, r.hit_ms_per_req,
+                r.batched_ms_per_req, r.hit_over_cold, r.batched_over_hit,
+                r.batch_occupancy);
+  }
+  std::printf(
+      "\nreading: 'cold' pays compile+run per request; 'hit' amortizes one\n"
+      "compile over %zu requests; 'batch' additionally coalesces queued\n"
+      "requests into one segment-descriptor level and runs map(f) once per\n"
+      "batch.  Batched outputs are checked bit-identical to solo runs.\n",
+      opt.requests);
+
+  obs::BenchReport report(opt.json_path, "bvram-bench-serve/v1");
+  if (!report.ok()) return 1;
+  std::FILE* f = report.out();
+  std::fprintf(f, "  \"requests\": %zu,\n  \"cold_iters\": %zu,\n",
+               opt.requests, opt.cold_iters);
+  std::fprintf(f, "  \"max_batch\": %zu,\n", opt.max_batch);
+  std::fprintf(f, "  \"entries\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"program\": \"%s\", \"requests\": %zu, "
+        "\"compile_ms\": %.3f, "
+        "\"cold_ms_per_req\": %.4f, \"hit_ms_per_req\": %.4f, "
+        "\"batched_ms_per_req\": %.4f, \"hit_over_cold\": %.2f, "
+        "\"batched_over_hit\": %.2f, \"batch_runs\": %llu, "
+        "\"batch_occupancy\": %.2f, \"cache_misses_hit_phase\": %llu, "
+        "\"outputs_bitidentical\": %s}%s\n",
+        r.program.c_str(), r.requests, r.compile_ms, r.cold_ms_per_req,
+        r.hit_ms_per_req, r.batched_ms_per_req, r.hit_over_cold,
+        r.batched_over_hit, static_cast<unsigned long long>(r.batch_runs),
+        r.batch_occupancy,
+        static_cast<unsigned long long>(r.hit_phase_misses),
+        r.outputs_bitidentical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"failed\": %s\n", failed ? "true" : "false");
+  report.close();
+
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (arg == "--requests" && i + 1 < argc) {
+      opt.requests = static_cast<std::size_t>(
+          std::max(1ll, std::atoll(argv[++i])));
+    } else if (arg == "--cold-iters" && i + 1 < argc) {
+      opt.cold_iters = static_cast<std::size_t>(
+          std::max(1ll, std::atoll(argv[++i])));
+    } else if (arg == "--max-batch" && i + 1 < argc) {
+      opt.max_batch = static_cast<std::size_t>(
+          std::max(1ll, std::atoll(argv[++i])));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--json PATH] [--requests N] "
+                   "[--cold-iters K] [--max-batch K]\n");
+      return 2;
+    }
+  }
+  std::printf(
+      "bench_serve: cold compile vs compiled-program cache vs "
+      "segment-descriptor batching, %zu requests per phase.\n\n",
+      opt.requests);
+  return run_bench(opt);
+}

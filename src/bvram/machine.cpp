@@ -212,80 +212,9 @@ void arith_range(ArithOp op, std::uint64_t* out, const std::uint64_t* a,
 // ---------------------------------------------------------------------------
 // The execution engine (v2)
 // ---------------------------------------------------------------------------
-
-/// A raw uninitialized uint64 buffer: the engine's register representation.
-/// Unlike std::vector, growing never value-initializes (every kernel writes
-/// every slot of its output) and shrinking/regrowing within capacity never
-/// touches the allocator -- the two properties the pooled register file is
-/// built on.
-class Buf {
- public:
-  Buf() = default;
-  Buf(Buf&& o) noexcept
-      : d_(std::exchange(o.d_, nullptr)),
-        n_(std::exchange(o.n_, 0)),
-        cap_(std::exchange(o.cap_, 0)) {}
-  Buf& operator=(Buf&& o) noexcept {
-    if (this != &o) {
-      std::free(d_);
-      d_ = std::exchange(o.d_, nullptr);
-      n_ = std::exchange(o.n_, 0);
-      cap_ = std::exchange(o.cap_, 0);
-    }
-    return *this;
-  }
-  Buf(const Buf&) = delete;
-  Buf& operator=(const Buf&) = delete;
-  ~Buf() { std::free(d_); }
-
-  std::size_t size() const { return n_; }
-  std::size_t capacity() const { return cap_; }
-  bool empty() const { return n_ == 0; }
-  std::uint64_t* data() { return d_; }
-  const std::uint64_t* data() const { return d_; }
-  std::uint64_t& operator[](std::size_t i) { return d_[i]; }
-  std::uint64_t operator[](std::size_t i) const { return d_[i]; }
-
-  void clear() { n_ = 0; }
-
-  /// Set the size to n, contents uninitialized.  Reallocates (discarding
-  /// the old contents) only when the capacity is insufficient.
-  void reset_size(std::size_t n) {
-    if (n > cap_) {
-      static constexpr std::size_t kMaxElems =
-          std::numeric_limits<std::size_t>::max() / sizeof(std::uint64_t) / 2;
-      if (n > kMaxElems) throw std::bad_alloc();
-      std::free(d_);
-      d_ = nullptr;
-      cap_ = 0;
-      d_ = static_cast<std::uint64_t*>(
-          std::malloc(n * sizeof(std::uint64_t)));
-      if (d_ == nullptr) throw std::bad_alloc();
-      cap_ = n;
-    }
-    n_ = n;
-  }
-
-  void assign(const Vec& v) {
-    reset_size(v.size());
-    if (!v.empty()) {
-      std::memcpy(d_, v.data(), v.size() * sizeof(std::uint64_t));
-    }
-  }
-
-  Vec to_vec() const { return n_ == 0 ? Vec{} : Vec(d_, d_ + n_); }
-
-  void swap(Buf& o) noexcept {
-    std::swap(d_, o.d_);
-    std::swap(n_, o.n_);
-    std::swap(cap_, o.cap_);
-  }
-
- private:
-  std::uint64_t* d_ = nullptr;
-  std::size_t n_ = 0;
-  std::size_t cap_ = 0;
-};
+// The register representation (Buf) and the recycling allocator
+// (BufferPool) live in bvram/pool.hpp so the serve layer can keep a pool
+// alive across runs (RunConfig::arena).
 
 /// Structural sanity of a fusion plan against the program it claims to
 /// describe: in-bounds disjoint ranges, eligible ops in legal positions,
@@ -362,8 +291,26 @@ class Engine {
         // skips the two-pass scans' extra traversals.  Outputs are
         // identical either way (chunking-independence).
         par_(cfg.parallel_backend && parallel_workers() > 1),
+        pool_(cfg.arena != nullptr ? cfg.arena : &own_pool_),
+        pool_hits0_(pool_->hits()),
+        pool_misses0_(pool_->misses()),
         regs_(program.num_regs) {
-    for (std::size_t i = 0; i < inputs.size(); ++i) regs_[i].assign(inputs[i]);
+    if (cfg.arena != nullptr) {
+      // Draw the input registers from the arena too, so a warmed-up arena
+      // serves the whole run -- inputs included -- without allocating.
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        Buf b = pool_->acquire(inputs[i].size());
+        if (!inputs[i].empty()) {
+          std::memcpy(b.data(), inputs[i].data(),
+                      inputs[i].size() * sizeof(std::uint64_t));
+        }
+        regs_[i] = std::move(b);
+      }
+    } else {
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        regs_[i].assign(inputs[i]);
+      }
+    }
     if (!p_.code.empty() && p_.last_use.size() == p_.code.size()) {
       last_use_ = p_.last_use.data();
     }
@@ -487,43 +434,16 @@ class Engine {
     return last_use_ != nullptr && ((last_use_[at] >> k) & 1u) != 0;
   }
 
-  /// Pooled allocation: reuse the first spare buffer whose capacity
-  /// suffices; failing that, sacrifice the largest spare (one realloc
-  /// instead of a fresh heap block).  The pool only ever holds buffers
-  /// displaced from the register file, so its footprint is bounded by the
-  /// program's own peak register footprint.
-  Buf acquire(std::size_t n) {
-    std::size_t pick = pool_.size();
-    for (std::size_t i = 0; i < pool_.size(); ++i) {
-      if (pool_[i].capacity() >= n) {
-        pick = i;
-        break;
-      }
-    }
-    if (pick < pool_.size()) {
-      ++eng_.pool_hits;
-    } else {
-      ++eng_.pool_misses;
-      for (std::size_t i = 0; i < pool_.size(); ++i) {
-        if (pick == pool_.size() ||
-            pool_[i].capacity() > pool_[pick].capacity()) {
-          pick = i;
-        }
-      }
-    }
-    Buf b;
-    if (pick < pool_.size()) {
-      b = std::move(pool_[pick]);
-      pool_[pick] = std::move(pool_.back());
-      pool_.pop_back();
-    }
-    b.reset_size(n);
-    return b;
-  }
+  /// Pooled allocation (BufferPool, bvram/pool.hpp): reuse the first
+  /// spare buffer whose capacity suffices; failing that, sacrifice the
+  /// largest spare (one realloc instead of a fresh heap block).  Without
+  /// an external arena the pool only ever holds buffers displaced from
+  /// the register file, so its footprint is bounded by the program's own
+  /// peak register footprint; with one, a prior run's whole register
+  /// file is available for reuse.
+  Buf acquire(std::size_t n) { return pool_->acquire(n); }
 
-  void recycle(Buf&& b) {
-    if (b.capacity() > 0) pool_.push_back(std::move(b));
-  }
+  void recycle(Buf&& b) { pool_->recycle(std::move(b)); }
 
   /// Install `out` as dst's new contents, recycling the displaced buffer.
   /// Validates dst *after* the kernel ran, mirroring the v1 interpreter's
@@ -549,8 +469,13 @@ class Engine {
   const Program& p_;
   const RunConfig& cfg_;
   const bool par_;
+  /// The run's buffer source: the caller's cross-run arena when
+  /// RunConfig::arena is set, else a private per-run pool.
+  BufferPool own_pool_;
+  BufferPool* pool_;
+  const std::uint64_t pool_hits0_;
+  const std::uint64_t pool_misses0_;
   std::vector<Buf> regs_;
-  std::vector<Buf> pool_;
   const std::uint8_t* last_use_ = nullptr;
   /// group_at_[pc] = index into p_.fusion of the group starting at pc,
   /// -1 otherwise; empty when fusion is off or the plan didn't validate.
@@ -1395,6 +1320,11 @@ RunResult Engine::exec() {
   for (std::size_t i = 0; i < p_.num_outputs; ++i) {
     result.outputs.push_back(regs_[i].to_vec());
   }
+  if (cfg_.arena != nullptr) {
+    // Outputs are deep-copied above, so the whole register file can be
+    // parked in the arena for the next run to reuse.
+    for (Buf& b : regs_) pool_->recycle(std::move(b));
+  }
   if (prof) {
     eng_.wall_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
@@ -1404,6 +1334,8 @@ RunResult Engine::exec() {
     eng_.par_kernels = after.calls - par_before.calls;
     eng_.par_chunks = after.chunks - par_before.chunks;
     eng_.par_serial = after.serial_calls - par_before.serial_calls;
+    eng_.pool_hits = pool_->hits() - pool_hits0_;
+    eng_.pool_misses = pool_->misses() - pool_misses0_;
     result.engine = eng_;
   }
   return result;

@@ -44,7 +44,8 @@
 #include <string>
 #include <vector>
 
-#include "nsc/ast.hpp"  // ArithOp (the shared operation set Sigma)
+#include "bvram/pool.hpp"  // Buf / BufferPool (RunConfig::arena)
+#include "nsc/ast.hpp"     // ArithOp (the shared operation set Sigma)
 #include "obs/debuginfo.hpp"
 #include "support/cost.hpp"
 #include "support/error.hpp"
@@ -360,6 +361,18 @@ struct RunConfig {
   /// exactly (see FusedGroup).  Off switches the engine back to strictly
   /// per-instruction execution, the differential baseline.
   bool fuse = true;
+  /// Optional cross-run register-file arena (non-owning).  When set, the
+  /// engine draws every buffer -- input registers included -- from this
+  /// pool instead of a private per-run one, and parks the whole register
+  /// file back into it when the run finishes (outputs are copied out
+  /// first).  Re-running the same program against the same arena is then
+  /// allocation-free in steady state: every acquire is served by a buffer
+  /// the previous run recycled (EngineProfile::pool_misses reads 0, the
+  /// Arena.SteadyStateZeroAllocation gate).  Purely an allocator swap:
+  /// outputs, traps, T, W, traces, and profiles are bit-identical with or
+  /// without an arena.  An arena must not be shared by two concurrent
+  /// runs (see pool.hpp); the serve layer leases one arena per worker.
+  BufferPool* arena = nullptr;
 };
 
 // Why the execution engine is invisible to the T/W cost model

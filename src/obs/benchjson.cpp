@@ -1,0 +1,45 @@
+#include "obs/benchjson.hpp"
+
+#include "obs/provenance.hpp"
+
+namespace nsc::obs {
+
+BenchReport::BenchReport(const std::string& path, const std::string& schema)
+    : path_(path) {
+  f_ = std::fopen(path.c_str(), "w");
+  if (f_ == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f_, "{\n  \"schema\": \"%s\",\n", escape(schema).c_str());
+  std::fprintf(f_, "  \"provenance\": %s,\n",
+               Provenance::collect().to_json().c_str());
+}
+
+BenchReport::~BenchReport() { close(); }
+
+void BenchReport::close() {
+  if (f_ == nullptr) return;
+  std::fprintf(f_, "}\n");
+  std::fclose(f_);
+  f_ = nullptr;
+  std::printf("wrote %s\n", path_.c_str());
+}
+
+std::string BenchReport::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace nsc::obs

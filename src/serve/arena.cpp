@@ -1,0 +1,49 @@
+#include "serve/arena.hpp"
+
+namespace nsc::serve {
+
+void ArenaLease::release() {
+  if (pool_ != nullptr && arena_ != nullptr) {
+    pool_->park(std::move(arena_));
+  }
+  pool_ = nullptr;
+  arena_.reset();
+}
+
+ArenaLease ArenaPool::acquire() {
+  std::unique_ptr<bvram::BufferPool> arena;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++leases_;
+    if (!idle_.empty()) {
+      arena = std::move(idle_.back());
+      idle_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  if (arena == nullptr) arena = std::make_unique<bvram::BufferPool>();
+  return ArenaLease(this, std::move(arena));
+}
+
+void ArenaPool::park(std::unique_ptr<bvram::BufferPool> arena) {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.push_back(std::move(arena));
+}
+
+void ArenaPool::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.clear();
+}
+
+ArenaPoolStats ArenaPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArenaPoolStats s;
+  s.leases = leases_;
+  s.created = created_;
+  s.idle = idle_.size();
+  for (const auto& a : idle_) s.idle_bytes += a->spare_bytes();
+  return s;
+}
+
+}  // namespace nsc::serve

@@ -1,0 +1,112 @@
+// Shared register-file arenas for the serve worker pool.
+//
+// bvram::BufferPool recycles register buffers across instructions inside
+// one run but is deliberately single-threaded (bvram/pool.hpp).  A
+// service runs many requests concurrently, and malloc on the request
+// path is exactly the steady-state cost the engine's pooling removed
+// within a run.  ArenaPool extends the same idea across runs: it keeps a
+// stack of warm BufferPools and leases each to exactly one in-flight
+// request at a time.  A request acquires a lease, passes the arena via
+// RunConfig::arena (the engine then draws every register -- inputs
+// included -- from it and parks the whole register file back on exit),
+// and the lease's destructor returns the still-warm arena to the stack.
+//
+// After a few requests of a given shape the arenas hold enough spare
+// capacity that steady-state execution performs zero allocations; the
+// test Arena.SteadyStateZeroAllocation pins this via the engine's
+// pool_misses counter.  The arena is an allocator swap only -- outputs,
+// traps, T, W, traces, and profiles are bit-identical with or without
+// one (cost-model invisibility, tests Serve.*BitIdentical*).
+//
+// Thread safety: ArenaPool's own members are mutex-protected and may be
+// called from any thread; the leased BufferPool itself must only be
+// touched by the lease holder, which the RAII handle makes structural.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "bvram/pool.hpp"
+
+namespace nsc::serve {
+
+class ArenaPool;
+
+/// Exclusive RAII lease on one arena.  Move-only; returns the arena to
+/// the pool on destruction.  A default-constructed (or moved-from) lease
+/// is empty and get() is nullptr.
+class ArenaLease {
+ public:
+  ArenaLease() = default;
+  ArenaLease(ArenaLease&& o) noexcept
+      : pool_(o.pool_), arena_(std::move(o.arena_)) {
+    o.pool_ = nullptr;
+  }
+  ArenaLease& operator=(ArenaLease&& o) noexcept {
+    if (this != &o) {
+      release();
+      pool_ = o.pool_;
+      arena_ = std::move(o.arena_);
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+  ~ArenaLease() { release(); }
+
+  bvram::BufferPool* get() const { return arena_.get(); }
+  bvram::BufferPool* operator->() const { return arena_.get(); }
+  explicit operator bool() const { return arena_ != nullptr; }
+
+ private:
+  friend class ArenaPool;
+  ArenaLease(ArenaPool* pool, std::unique_ptr<bvram::BufferPool> arena)
+      : pool_(pool), arena_(std::move(arena)) {}
+  void release();
+
+  ArenaPool* pool_ = nullptr;
+  std::unique_ptr<bvram::BufferPool> arena_;
+};
+
+struct ArenaPoolStats {
+  std::uint64_t leases = 0;   ///< total acquire() calls
+  std::uint64_t created = 0;  ///< leases that had to build a cold arena
+  std::size_t idle = 0;       ///< warm arenas currently parked
+  std::size_t idle_bytes = 0; ///< spare capacity held by parked arenas
+};
+
+/// Thread-safe stack of warm BufferPools.  LIFO on purpose: the most
+/// recently returned arena is the most likely to be cache- and
+/// capacity-warm for the next request of the same shape.
+class ArenaPool {
+ public:
+  ArenaPool() = default;
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+
+  /// Lease an arena (warm if one is parked, freshly built otherwise).
+  ArenaLease acquire();
+
+  /// Drop every arena parked right now (and their spare buffers).
+  /// Outstanding leases are unaffected and still park on release; reset
+  /// only empties what is idle at the moment of the call.
+  void reset();
+
+  ArenaPoolStats stats() const;
+
+ private:
+  friend class ArenaLease;
+  void park(std::unique_ptr<bvram::BufferPool> arena);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<bvram::BufferPool>> idle_;
+  std::uint64_t leases_ = 0;
+  std::uint64_t created_ = 0;
+};
+
+}  // namespace nsc::serve

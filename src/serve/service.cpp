@@ -1,0 +1,402 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "front/front.hpp"
+#include "sa/compile.hpp"
+#include "support/error.hpp"
+
+namespace nsc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+std::uint64_t sat_mul_u64(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return a * b;
+}
+
+/// Nearest-rank percentile of an already-sorted sample.
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, int p) {
+  if (sorted.empty()) return 0;
+  std::size_t rank = (sorted.size() * static_cast<std::size_t>(p) + 99) / 100;
+  if (rank == 0) rank = 1;
+  return sorted[std::min(rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Ok: return "ok";
+    case Outcome::Trap: return "trap";
+    case Outcome::FuelExhausted: return "fuel_exhausted";
+    case Outcome::Rejected: return "rejected";
+    case Outcome::Error: return "error";
+  }
+  return "?";
+}
+
+Service::Service(ServeConfig cfg)
+    : cfg_(cfg), cache_(cfg.cache_capacity), started_(Clock::now()) {
+  if (cfg_.workers == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    cfg_.workers = std::min<std::size_t>(hc == 0 ? 1 : hc, 4);
+  }
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  threads_.reserve(cfg_.workers);
+  for (std::size_t i = 0; i < cfg_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() {
+  std::vector<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    while (!queue_.empty()) {
+      orphans.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  cv_.notify_all();
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  for (Pending& p : orphans) {
+    Response r;
+    r.outcome = Outcome::Rejected;
+    r.error = "service stopped before the request ran";
+    r.latency_ns = ns_between(p.enqueued, Clock::now());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.completed;
+      ++stats_.rejected;
+    }
+    p.promise.set_value(std::move(r));
+  }
+}
+
+std::shared_ptr<const CompiledProgram> Service::load(
+    const std::string& name, const std::string& source_text,
+    const std::string& entry, opt::OptLevel opt,
+    const opt::WhileSchedule& sched) {
+  const front::SourceFile src(name, source_text);
+  const front::ResolvedModule mod = front::compile_file(src);
+  const front::ResolvedFn* fn = entry.empty() ? &mod.main() : mod.find(entry);
+  if (fn == nullptr) {
+    throw Error("serve: no function '" + entry + "' in " + name);
+  }
+  CacheKey key;
+  key.source_hash = hash_source(source_text, fn->name);
+  key.opt = opt;
+  key.sched = sched.kind;
+  key.eps_num = sched.eps.num;
+  key.eps_den = sched.eps.den;
+  key.fuse = cfg_.fuse;
+  return cache_.get_or_compile(key, [&] {
+    return compile_program(name + ":" + fn->name, fn->fn, fn->dom, fn->cod,
+                           key);
+  });
+}
+
+std::future<Response> Service::submit(
+    std::shared_ptr<const CompiledProgram> program, ValueRef arg) {
+  Pending p;
+  p.program = std::move(program);
+  p.arg = std::move(arg);
+  p.enqueued = Clock::now();
+  std::future<Response> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (stopping_ || queue_.size() >= cfg_.max_queue) {
+      ++stats_.completed;
+      ++stats_.rejected;
+      Response r;
+      r.outcome = Outcome::Rejected;
+      r.error = stopping_ ? "service stopped" : "queue full";
+      p.promise.set_value(std::move(r));
+      return fut;
+    }
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+Response Service::call(const std::shared_ptr<const CompiledProgram>& program,
+                       const ValueRef& arg) {
+  return submit(program, arg).get();
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] {
+    return stopping_ || (queue_.empty() && in_flight_ == 0);
+  });
+}
+
+void Service::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Service::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Service::worker_loop() {
+  // One warm arena per worker, held for the thread's lifetime: the
+  // cross-run generalization of the engine's per-run buffer pool.
+  ArenaLease lease = arenas_.acquire();
+  for (;;) {
+    std::vector<Pending> batch = next_batch();
+    if (batch.empty()) return;
+    execute(std::move(batch), lease.get());
+  }
+}
+
+std::vector<Service::Pending> Service::next_batch() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] {
+    return stopping_ || (!paused_ && !queue_.empty());
+  });
+  std::vector<Pending> batch;
+  if (stopping_) return batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  if (cfg_.batching && cfg_.max_batch > 1) {
+    const CompiledProgram* same = batch.front().program.get();
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < cfg_.max_batch;) {
+      if (it->program.get() == same) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  in_flight_ += batch.size();
+  return batch;
+}
+
+void Service::execute(std::vector<Pending> batch, bvram::BufferPool* arena) {
+  const std::shared_ptr<const CompiledProgram> prog = batch.front().program;
+  const std::size_t k = batch.size();
+
+  if (k >= 2) {
+    // One segment-descriptor level up: Value::seq of the arguments is
+    // exactly the SEQREP concatenation of the per-request encodings, so
+    // the whole batch is one run of the cached lifted program.
+    std::vector<ValueRef> args;
+    args.reserve(k);
+    for (const Pending& p : batch) args.push_back(p.arg);
+
+    bvram::RunConfig rc;
+    rc.max_instructions = sat_mul_u64(cfg_.fuel, k);
+    rc.parallel_backend = cfg_.parallel_backend;
+    rc.fuse = cfg_.fuse;
+    rc.arena = arena;
+
+    const auto t0 = Clock::now();
+    bool batch_ok = false;
+    sa::CompiledRun out;
+    try {
+      out = sa::run_compiled(prog->batch, Type::seq(prog->dom),
+                             Type::seq(prog->cod), Value::seq(args), rc);
+      batch_ok = true;
+    } catch (const Error&) {
+      // A trap (Omega) or fuel exhaustion anywhere in the batch aborts
+      // the whole run -- the machine has no per-segment error state.
+      // Fall through to per-request replay: each request re-runs solo
+      // under its own fuel, so only the offender fails.
+    }
+    const std::uint64_t wall = ns_between(t0, Clock::now());
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.runs;
+      stats_.exec_wall_ns += wall;
+      if (batch_ok) {
+        ++stats_.batch_runs;
+        stats_.batched_requests += k;
+        stats_.total_cost += out.cost;
+      }
+    }
+
+    if (batch_ok) {
+      const std::vector<ValueRef>& elems = out.value->elems();
+      for (std::size_t i = 0; i < k; ++i) {
+        Response r;
+        r.outcome = Outcome::Ok;
+        r.value = elems[i];
+        r.cost = out.cost;
+        r.batched = true;
+        r.batch_size = k;
+        finish(batch[i], std::move(r));
+      }
+      return;
+    }
+    for (Pending& p : batch) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.replays;
+      }
+      finish(p, run_one(*prog, p.arg, arena));
+    }
+    return;
+  }
+
+  finish(batch.front(), run_one(*prog, batch.front().arg, arena));
+}
+
+Response Service::run_one(const CompiledProgram& prog, const ValueRef& arg,
+                          bvram::BufferPool* arena) {
+  bvram::RunConfig rc;
+  rc.max_instructions = cfg_.fuel;
+  rc.parallel_backend = cfg_.parallel_backend;
+  rc.fuse = cfg_.fuse;
+  rc.arena = arena;
+
+  Response r;
+  const auto t0 = Clock::now();
+  try {
+    const sa::CompiledRun out =
+        sa::run_compiled(prog.unit, prog.dom, prog.cod, arg, rc);
+    r.outcome = Outcome::Ok;
+    r.value = out.value;
+    r.cost = out.cost;
+  } catch (const nsc::FuelExhausted& e) {
+    r.outcome = Outcome::FuelExhausted;
+    r.error = e.what();
+  } catch (const EvalError& e) {
+    r.outcome = Outcome::Trap;
+    r.error = e.what();
+  } catch (const Error& e) {
+    r.outcome = Outcome::Error;
+    r.error = e.what();
+  }
+  const std::uint64_t wall = ns_between(t0, Clock::now());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.runs;
+  stats_.exec_wall_ns += wall;
+  if (r.ok()) stats_.total_cost += r.cost;
+  return r;
+}
+
+void Service::finish(Pending& p, Response r) {
+  r.latency_ns = ns_between(p.enqueued, Clock::now());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.completed;
+    switch (r.outcome) {
+      case Outcome::Ok: ++stats_.ok; break;
+      case Outcome::Trap: ++stats_.trapped; break;
+      case Outcome::FuelExhausted: ++stats_.fuel_exhausted; break;
+      case Outcome::Rejected: ++stats_.rejected; break;
+      case Outcome::Error: ++stats_.errors; break;
+    }
+    if (latencies_.size() < kLatencyWindow) {
+      latencies_.push_back(r.latency_ns);
+    } else {
+      latencies_[latency_next_] = r.latency_ns;
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    }
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+  p.promise.set_value(std::move(r));
+}
+
+ServeStats Service::stats() const {
+  ServeStats s;
+  std::vector<std::uint64_t> lat;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+    lat = latencies_;
+  }
+  s.uptime_ns = ns_between(started_, Clock::now());
+  if (s.batch_runs > 0) {
+    s.batch_occupancy = static_cast<double>(s.batched_requests) /
+                        static_cast<double>(s.batch_runs);
+  }
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    s.latency_p50_ns = percentile(lat, 50);
+    s.latency_p95_ns = percentile(lat, 95);
+    s.latency_p99_ns = percentile(lat, 99);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : lat) sum += v;
+    s.latency_mean_ns = sum / lat.size();
+  }
+  s.cache = cache_.stats();
+  s.arena = arenas_.stats();
+  return s;
+}
+
+std::string Service::stats_json() const {
+  const ServeStats s = stats();
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"nscc-serve-stats/v1\",\n";
+  os << "  \"config\": {\"workers\": " << cfg_.workers
+     << ", \"max_queue\": " << cfg_.max_queue
+     << ", \"max_batch\": " << cfg_.max_batch << ", \"fuel\": " << cfg_.fuel
+     << ", \"batching\": " << (cfg_.batching ? "true" : "false")
+     << ", \"parallel_backend\": " << (cfg_.parallel_backend ? "true" : "false")
+     << ", \"fuse\": " << (cfg_.fuse ? "true" : "false") << "},\n";
+  os << "  \"requests\": {\"submitted\": " << s.submitted
+     << ", \"completed\": " << s.completed << ", \"ok\": " << s.ok
+     << ", \"rejected\": " << s.rejected << ", \"trapped\": " << s.trapped
+     << ", \"fuel_exhausted\": " << s.fuel_exhausted
+     << ", \"errors\": " << s.errors << "},\n";
+  os << "  \"execution\": {\"runs\": " << s.runs
+     << ", \"batch_runs\": " << s.batch_runs
+     << ", \"batched_requests\": " << s.batched_requests
+     << ", \"replays\": " << s.replays
+     << ", \"batch_occupancy\": " << s.batch_occupancy
+     << ", \"T\": " << s.total_cost.time << ", \"W\": " << s.total_cost.work
+     << ", \"exec_wall_ns\": " << s.exec_wall_ns << "},\n";
+  os << "  \"latency_ns\": {\"p50\": " << s.latency_p50_ns
+     << ", \"p95\": " << s.latency_p95_ns << ", \"p99\": " << s.latency_p99_ns
+     << ", \"mean\": " << s.latency_mean_ns << "},\n";
+  os << "  \"throughput_rps\": "
+     << (s.uptime_ns > 0
+             ? static_cast<double>(s.completed) * 1e9 /
+                   static_cast<double>(s.uptime_ns)
+             : 0.0)
+     << ",\n";
+  os << "  \"uptime_ns\": " << s.uptime_ns << ",\n";
+  os << "  \"cache\": {\"hits\": " << s.cache.hits
+     << ", \"misses\": " << s.cache.misses
+     << ", \"evictions\": " << s.cache.evictions
+     << ", \"compile_wall_ns\": " << s.cache.compile_wall_ns
+     << ", \"size\": " << s.cache.size
+     << ", \"capacity\": " << s.cache.capacity << "},\n";
+  os << "  \"arena\": {\"leases\": " << s.arena.leases
+     << ", \"created\": " << s.arena.created << ", \"idle\": " << s.arena.idle
+     << ", \"idle_bytes\": " << s.arena.idle_bytes << "}\n";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace nsc::serve

@@ -7,6 +7,8 @@
 //   nscc dump  FILE.nsc [options]       surface / core / NSA / BVRAM form
 //   nscc bench FILE.nsc [options]       static + executed T/W as JSON
 //   nscc profile FILE.nsc [options]     source-attributed execution profile
+//   nscc serve FILE.nsc [options]       compile-once / run-many query
+//                                       service (cache + arenas + batching)
 //   nscc fmt   FILE.nsc                 canonical formatting (the printer)
 //   nscc doc                            the language reference markdown
 //
@@ -25,6 +27,19 @@
 //                   (deterministic; replaces declared/--input arguments),
 //                   so corpus benches can run at n = 10^6+ without
 //                   committing megabyte input literals
+//
+// serve options (see docs/serve.md):
+//   --requests PATH one request expression per line ('-' = stdin); these
+//                   join the module's `input` lines and --input values
+//   --repeat K      submit the whole request list K times (default 1)
+//   --workers N     worker threads (default: min(cores, 4))
+//   --max-batch K   largest segment-descriptor batch (default 64)
+//   --no-batch      disable batching (solo runs only)
+//   --max-queue N   admission limit on queued requests (default 1024)
+//   --fuel N        per-request instruction budget
+//   --parallel      run the vector kernels on the thread pool
+//   --no-fuse       disable fused super-instructions (also keyed in cache)
+//   --stats-json PATH   write the nscc-serve-stats/v1 snapshot there
 //
 // profile options (see docs/observability.md):
 //   --by-line       per-source-line table only (the default prints all views)
@@ -53,6 +68,7 @@
 #include "obs/profile.hpp"
 #include "opt/opt.hpp"
 #include "sa/compile.hpp"
+#include "serve/service.hpp"
 #include "support/checked.hpp"
 #include "support/error.hpp"
 #include "support/prng.hpp"
@@ -80,16 +96,31 @@ struct Options {
   bool passes = false;     // profile: restrict to the pass-timing view
   std::string chrome_path;
   double min_attribution = -1.0;  // profile: CI gate ([0,100] when set)
+  // serve
+  std::string requests_path;       // --requests; '-' = stdin
+  std::size_t repeat = 1;          // --repeat
+  std::size_t workers = 0;         // --workers (0 = auto)
+  std::size_t max_batch = 64;      // --max-batch
+  std::size_t max_queue = 1024;    // --max-queue
+  std::uint64_t fuel = std::uint64_t{1} << 32;  // --fuel
+  bool no_batch = false;           // --no-batch
+  bool parallel = false;           // --parallel
+  bool no_fuse = false;            // --no-fuse
+  std::string stats_json_path;     // --stats-json
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s {check|eval|run|dump|bench|profile|fmt} FILE.nsc "
+               "usage: %s {check|eval|run|dump|bench|profile|serve|fmt} "
+               "FILE.nsc "
                "[--input EXPR] [--opt O0|O1|O2] "
                "[--sched naive|eager|staged[:N/D]] [--fn NAME] "
                "[--stage surface|core|nsa|bvram] [--stats] [--json PATH] "
                "[--scale N] [--profile] [--by-line] [--by-opcode] [--passes] "
-               "[--chrome PATH] [--min-attribution PCT]\n"
+               "[--chrome PATH] [--min-attribution PCT] "
+               "[--requests PATH] [--repeat K] [--workers N] [--max-batch K] "
+               "[--no-batch] [--max-queue N] [--fuel N] [--parallel] "
+               "[--no-fuse] [--stats-json PATH]\n"
                "       %s doc\n",
                argv0, argv0);
   std::exit(2);
@@ -201,6 +232,40 @@ Options parse_args(int argc, char** argv) {
       if (o.min_attribution < 0.0 || o.min_attribution > 100.0) {
         fail("--min-attribution must be in [0, 100]");
       }
+    } else if (arg == "--requests") {
+      o.requests_path = need_value("--requests");
+    } else if (arg == "--repeat" || arg == "--workers" ||
+               arg == "--max-batch" || arg == "--max-queue" ||
+               arg == "--fuel") {
+      const std::string v = need_value(arg.c_str());
+      if (v.empty() || v.size() > 18 ||
+          v.find_first_not_of("0123456789") != std::string::npos) {
+        fail("bad " + arg + " '" + v + "' (expected a nonnegative integer)");
+      }
+      const std::uint64_t n = std::stoull(v);
+      if (arg == "--repeat") {
+        if (n == 0) fail("--repeat must be positive");
+        o.repeat = static_cast<std::size_t>(n);
+      } else if (arg == "--workers") {
+        o.workers = static_cast<std::size_t>(n);
+      } else if (arg == "--max-batch") {
+        if (n == 0) fail("--max-batch must be positive");
+        o.max_batch = static_cast<std::size_t>(n);
+      } else if (arg == "--max-queue") {
+        if (n == 0) fail("--max-queue must be positive");
+        o.max_queue = static_cast<std::size_t>(n);
+      } else {
+        if (n == 0) fail("--fuel must be positive");
+        o.fuel = n;
+      }
+    } else if (arg == "--no-batch") {
+      o.no_batch = true;
+    } else if (arg == "--parallel") {
+      o.parallel = true;
+    } else if (arg == "--no-fuse") {
+      o.no_fuse = true;
+    } else if (arg == "--stats-json") {
+      o.stats_json_path = need_value("--stats-json");
     } else {
       fail("unknown option '" + arg + "'");
     }
@@ -636,6 +701,137 @@ int cmd_profile(const F::SourceFile& src, const Options& o) {
   return 0;
 }
 
+/// Parse one serve request expression and typecheck it against the
+/// entry's domain.
+ValueRef parse_request(const std::string& label, const std::string& text,
+                       const F::ResolvedFn& entry) {
+  const F::SourceFile src(label, text);
+  const F::ExprPtr e = F::parse_expression(src);
+  const F::ResolvedInput in = F::resolve_expression(e, src);
+  if (!Type::equal(in.type, entry.dom)) {
+    fail(label + " has type " + in.type->show() + " but " + entry.name +
+         " expects " + entry.dom->show());
+  }
+  return L::eval(in.term).value;
+}
+
+int cmd_serve(const F::SourceFile& src, const Options& o) {
+  const F::ResolvedModule mod = F::compile_file(src);
+  const F::ResolvedFn& entry = entry_of(mod, o);
+
+  // Requests: the module's `input` lines and --input values, plus one
+  // expression per non-blank, non-# line of --requests.
+  std::vector<ValueRef> requests = gather_inputs(mod, entry, o);
+  if (!o.requests_path.empty()) {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (o.requests_path != "-") {
+      file.open(o.requests_path, std::ios::binary);
+      if (!file) fail("cannot read " + o.requests_path);
+      in = &file;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(*in, line)) {
+      ++lineno;
+      const std::size_t pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos || line[pos] == '#') continue;
+      requests.push_back(parse_request(
+          o.requests_path + ":" + std::to_string(lineno), line, entry));
+    }
+  }
+  if (requests.empty()) {
+    fail("no requests: add `input ...` lines, --input, or --requests");
+  }
+
+  serve::ServeConfig cfg;
+  cfg.workers = o.workers;
+  cfg.max_queue = o.max_queue;
+  cfg.max_batch = o.max_batch;
+  cfg.fuel = o.fuel;
+  cfg.batching = !o.no_batch;
+  cfg.parallel_backend = o.parallel;
+  cfg.fuse = !o.no_fuse;
+  serve::Service svc(cfg);
+
+  const auto prog = svc.load(src.name(), src.text(),
+                             o.entry == "main" ? "" : o.entry, o.opt, o.sched);
+  std::printf("%s : %s -> %s  [%s, %s; %zu workers, batching %s, "
+              "max batch %zu]\n",
+              entry.name.c_str(), entry.dom->show().c_str(),
+              entry.cod->show().c_str(), opt_name(o.opt), sched_name(o.sched),
+              svc.config().workers, cfg.batching ? "on" : "off",
+              cfg.max_batch);
+
+  // Pause the workers while the queue fills so the batcher sees the whole
+  // request list at once (the steady-state shape of a loaded service).
+  const std::size_t total = requests.size() * o.repeat;
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(total);
+  svc.pause();
+  for (std::size_t rep = 0; rep < o.repeat; ++rep) {
+    for (const ValueRef& r : requests) futures.push_back(svc.submit(prog, r));
+  }
+  svc.resume();
+
+  constexpr std::size_t kPrint = 10;
+  bool internal_error = false;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    serve::Response r = futures[i].get();
+    if (r.outcome == serve::Outcome::Error) internal_error = true;
+    if (i == kPrint && futures.size() > kPrint) {
+      std::printf("  ... (%zu more requests)\n", futures.size() - kPrint);
+    }
+    if (i >= kPrint) continue;
+    if (r.ok()) {
+      std::printf("request %zu: %s  (T=%llu W=%llu, %s)\n", i,
+                  r.value->show().c_str(),
+                  static_cast<unsigned long long>(r.cost.time),
+                  static_cast<unsigned long long>(r.cost.work),
+                  r.batched
+                      ? ("batch of " + std::to_string(r.batch_size)).c_str()
+                      : "solo");
+    } else {
+      std::printf("request %zu: %s (%s)\n", i, serve::outcome_name(r.outcome),
+                  r.error.c_str());
+    }
+  }
+  svc.drain();
+
+  const serve::ServeStats st = svc.stats();
+  std::printf(
+      "\nserved %llu requests: %llu ok, %llu trapped, %llu fuel-exhausted, "
+      "%llu rejected, %llu errors\n",
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(st.ok),
+      static_cast<unsigned long long>(st.trapped),
+      static_cast<unsigned long long>(st.fuel_exhausted),
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.errors));
+  std::printf(
+      "runs %llu (%llu batched runs, occupancy %.1f, %llu replays); "
+      "cache %llu hit / %llu miss (compile %.2f ms)\n",
+      static_cast<unsigned long long>(st.runs),
+      static_cast<unsigned long long>(st.batch_runs), st.batch_occupancy,
+      static_cast<unsigned long long>(st.replays),
+      static_cast<unsigned long long>(st.cache.hits),
+      static_cast<unsigned long long>(st.cache.misses),
+      static_cast<double>(st.cache.compile_wall_ns) / 1e6);
+  std::printf("latency us: p50 %.1f  p95 %.1f  p99 %.1f  mean %.1f\n",
+              static_cast<double>(st.latency_p50_ns) / 1e3,
+              static_cast<double>(st.latency_p95_ns) / 1e3,
+              static_cast<double>(st.latency_p99_ns) / 1e3,
+              static_cast<double>(st.latency_mean_ns) / 1e3);
+
+  if (!o.stats_json_path.empty()) {
+    std::ofstream f(o.stats_json_path, std::ios::binary);
+    if (!f) fail("cannot write " + o.stats_json_path);
+    f << svc.stats_json() << "\n";
+    std::printf("wrote %s\n", o.stats_json_path.c_str());
+  }
+  return internal_error ? 1 : 0;
+}
+
 int cmd_fmt(const F::SourceFile& src, const Options&) {
   std::fputs(F::print_module(F::parse_module(src)).c_str(), stdout);
   return 0;
@@ -657,6 +853,7 @@ int main(int argc, char** argv) {
     if (o.command == "dump") return cmd_dump(src, o);
     if (o.command == "bench") return cmd_bench(src, o);
     if (o.command == "profile") return cmd_profile(src, o);
+    if (o.command == "serve") return cmd_serve(src, o);
     if (o.command == "fmt") return cmd_fmt(src, o);
     usage(argv[0]);
   } catch (const front::FrontError& e) {
