@@ -1,12 +1,15 @@
 #include "obs/profile.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iomanip>
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 
+#include "obs/provenance.hpp"
 #include "support/checked.hpp"
 
 namespace nsc::obs {
@@ -265,6 +268,154 @@ void write_chrome_trace(std::ostream& out, const bvram::Program& p,
   out << "],\"otherData\":{\"total_work\":" << r.cost.work
       << ",\"total_time_T\":" << r.cost.time << ",\"engine_wall_ns\":"
       << r.engine.wall_ns << "}}";
+}
+
+// -- serve-path span tracing ---------------------------------------------
+
+SpanLog::SpanLog(std::size_t capacity)
+    : origin_ns_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())),
+      capacity_(capacity) {}
+
+std::uint64_t SpanLog::now_ns() const {
+  return static_cast<std::uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) -
+         origin_ns_;
+}
+
+void SpanLog::record(ServeSpan s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  ++recorded_;
+  spans_.push_back(std::move(s));
+}
+
+std::vector<ServeSpan> SpanLog::drain() {
+  std::vector<ServeSpan> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.swap(spans_);
+  return out;
+}
+
+SpanLogStats SpanLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanLogStats s;
+  s.recorded = recorded_;
+  s.dropped = dropped_;
+  s.queued = spans_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void write_serve_trace(std::ostream& out, const std::vector<ServeSpan>& spans,
+                       std::size_t workers, const Provenance* prov) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+
+  // Thread rows: tid 0 is the queue (submitted-but-unclaimed requests as
+  // async events), tid 1..workers are the service workers, and compile /
+  // cache spans from caller threads keep tid 0 too (they run before any
+  // request is in flight on that program).
+  const auto thread_name = [&](std::size_t tid, const std::string& name) {
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  };
+  thread_name(0, "queue");
+  for (std::size_t w = 1; w <= workers; ++w) {
+    thread_name(w, "worker " + std::to_string(w));
+  }
+
+  // Index: batch id -> the earliest worker-side span of that machine run,
+  // the landing point for every member request's flow arrow.
+  struct Landing {
+    std::uint64_t t0_ns = 0;
+    std::size_t worker = 0;
+    bool set = false;
+  };
+  std::unordered_map<std::uint64_t, Landing> landing;
+  for (const ServeSpan& s : spans) {
+    if (s.batch_id == 0 || s.phase == "queue-wait") continue;
+    Landing& l = landing[s.batch_id];
+    if (!l.set || s.t0_ns < l.t0_ns) {
+      l.t0_ns = s.t0_ns;
+      l.worker = s.worker;
+      l.set = true;
+    }
+  }
+
+  const auto span_args = [&](const ServeSpan& s) {
+    std::string args;
+    if (s.request_id != 0) {
+      args += "\"request\":" + std::to_string(s.request_id);
+    }
+    if (s.batch_id != 0) {
+      if (!args.empty()) args += ",";
+      args += "\"run\":" + std::to_string(s.batch_id);
+    }
+    if (s.size != 0) {
+      if (!args.empty()) args += ",";
+      args += "\"size\":" + std::to_string(s.size);
+    }
+    if (!s.note.empty()) {
+      if (!args.empty()) args += ",";
+      args += "\"note\":\"" + json_escape(s.note) + "\"";
+    }
+    return args;
+  };
+
+  out << std::fixed << std::setprecision(3);
+  for (const ServeSpan& s : spans) {
+    const double t0_us = static_cast<double>(s.t0_ns) / 1e3;
+    const double dur_us = static_cast<double>(s.dur_ns) / 1e3;
+    if (s.phase == "queue-wait") {
+      // Queued requests overlap arbitrarily, so they live on the queue
+      // row as async begin/end pairs (ids keep concurrent waits apart).
+      comma();
+      out << "{\"name\":\"queue-wait\",\"cat\":\"queue\",\"ph\":\"b\","
+             "\"id\":" << s.request_id
+          << ",\"pid\":1,\"tid\":0,\"ts\":" << t0_us << ",\"args\":{"
+          << span_args(s) << "}}";
+      comma();
+      out << "{\"name\":\"queue-wait\",\"cat\":\"queue\",\"ph\":\"e\","
+             "\"id\":" << s.request_id
+          << ",\"pid\":1,\"tid\":0,\"ts\":" << t0_us + dur_us << "}";
+      // Flow arrow: this request's wait flows into the machine run
+      // (batch or solo) that answered it.
+      const auto l = landing.find(s.batch_id);
+      if (s.batch_id != 0 && l != landing.end() && l->second.set) {
+        comma();
+        out << "{\"name\":\"batch\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":"
+            << s.request_id << ",\"pid\":1,\"tid\":0,\"ts\":"
+            << t0_us + dur_us << "}";
+        comma();
+        out << "{\"name\":\"batch\",\"cat\":\"flow\",\"ph\":\"f\","
+               "\"bp\":\"e\",\"id\":" << s.request_id
+            << ",\"pid\":1,\"tid\":" << l->second.worker << ",\"ts\":"
+            << static_cast<double>(l->second.t0_ns) / 1e3 << "}";
+      }
+      continue;
+    }
+    comma();
+    out << "{\"name\":\"" << json_escape(s.phase)
+        << "\",\"cat\":\"serve\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.worker
+        << ",\"ts\":" << t0_us << ",\"dur\":" << dur_us << ",\"args\":{"
+        << span_args(s) << "}}";
+  }
+  out << "],\"otherData\":{\"spans\":" << spans.size();
+  if (prov != nullptr) out << ",\"provenance\":" << prov->to_json();
+  out << "}}";
 }
 
 }  // namespace nsc::obs

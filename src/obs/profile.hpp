@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "opt/opt.hpp"
 
 namespace nsc::obs {
+
+struct Provenance;  // obs/provenance.hpp
 
 struct ProfileRow {
   std::string key;  ///< opcode name, or "line:col", or a site label
@@ -74,5 +77,67 @@ struct Profile {
 void write_chrome_trace(std::ostream& out, const bvram::Program& p,
                         const bvram::RunResult& r,
                         const opt::PipelineStats* compile = nullptr);
+
+// -- serve-path span tracing ---------------------------------------------
+//
+// The request-path counterpart of the per-instruction profiler: the
+// Service records one ServeSpan per request phase (queue-wait, compile,
+// batch-assembly, execute, replay, split) into a SpanLog, and
+// write_serve_trace lays them out as a Chrome trace_event timeline --
+// each service worker is a trace thread, queued requests live on a
+// "queue" thread as async events, and flow arrows connect every request's
+// queue-wait to the machine run (batch or solo) that answered it.
+
+struct ServeSpan {
+  /// Phase names are stable strings (they become trace event names):
+  /// "queue-wait", "compile", "cache-hit", "batch-assembly", "execute",
+  /// "replay", "split".
+  std::string phase;
+  std::uint64_t request_id = 0;  ///< 0 for batch-level / service-level spans
+  std::uint64_t batch_id = 0;    ///< machine-run id; 0 = none (e.g. compile)
+  std::size_t worker = 0;        ///< 0 = caller thread, 1.. = worker threads
+  std::uint64_t t0_ns = 0;       ///< monotonic, since the SpanLog's origin
+  std::uint64_t dur_ns = 0;
+  std::uint64_t size = 0;        ///< payload: batch size, queue depth, ...
+  std::string note;              ///< outcome or diagnostic ("" = none)
+};
+
+struct SpanLogStats {
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;  ///< record() calls refused at capacity
+  std::size_t queued = 0;
+  std::size_t capacity = 0;
+};
+
+/// Bounded, thread-safe span sink (same degradation contract as the
+/// event log: a full log drops new spans and counts the drops, it never
+/// blocks the request path).  now_ns() gives producers a shared
+/// monotonic origin so spans from different threads align.
+class SpanLog {
+ public:
+  explicit SpanLog(std::size_t capacity = std::size_t{1} << 16);
+  SpanLog(const SpanLog&) = delete;
+  SpanLog& operator=(const SpanLog&) = delete;
+
+  std::uint64_t now_ns() const;  ///< nanoseconds since construction
+  void record(ServeSpan s);
+  std::vector<ServeSpan> drain();
+  SpanLogStats stats() const;
+
+ private:
+  const std::uint64_t origin_ns_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<ServeSpan> spans_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Chrome trace_event JSON for a set of serve spans.  `workers` names the
+/// worker-thread rows up front (metadata events); spans index into them
+/// via ServeSpan::worker.  When `prov` is non-null the provenance is
+/// embedded in otherData so the trace is self-describing.
+void write_serve_trace(std::ostream& out, const std::vector<ServeSpan>& spans,
+                       std::size_t workers, const Provenance* prov = nullptr);
 
 }  // namespace nsc::obs

@@ -39,6 +39,7 @@
 // See docs/serve.md for the full semantics and the stats schema.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -51,6 +52,9 @@
 #include <vector>
 
 #include "object/value.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "opt/opt.hpp"
 #include "serve/arena.hpp"
 #include "serve/cache.hpp"
@@ -78,6 +82,27 @@ struct ServeConfig {
   bool fuse = true;
   /// ProgramCache capacity, in compiled artifacts.
   std::size_t cache_capacity = 64;
+
+  // -- telemetry (pure observers; see docs/observability.md) -------------
+  //
+  // The invisibility contract from the profiling layer extends here:
+  // with every sink wired and every flag on, responses, traps, T/W, and
+  // traces are bit-identical to a dark service.  Telemetry may only cost
+  // wall time, never change behavior (test Serve.TelemetryInvisible).
+
+  /// Structured event sink (traps, replays, evictions, rejections, slow
+  /// requests).  Null = no events.  Not owned.
+  obs::EventLog* events = nullptr;
+  /// Per-request span sink for the Chrome trace exporter.  Null = no
+  /// spans.  Not owned.
+  obs::SpanLog* spans = nullptr;
+  /// Emit a `serve.slow` event for requests slower than this (ms);
+  /// 0 disables the threshold.
+  std::uint64_t slow_ms = 0;
+  /// Run every machine run with RunConfig::profile and fold the engine's
+  /// counters (pool hits, in-place writes, fused groups, ...) into the
+  /// metrics registry.  Costs engine-side bookkeeping; off by default.
+  bool profile_runs = false;
 };
 
 enum class Outcome {
@@ -126,8 +151,11 @@ struct ServeStats {
   std::uint64_t exec_wall_ns = 0;  ///< wall time inside bvram::run
   std::uint64_t uptime_ns = 0;     ///< since Service construction
 
-  /// Latency distribution over the most recent completions (up to the
-  /// retention window; all of them for bench/test-sized workloads).
+  /// Latency distribution over ALL completions, derived from the
+  /// registry's log2-bucket histogram: each quantile is nearest-rank
+  /// with linear interpolation inside the landing bucket, so it is
+  /// within its bucket's bounds (<= 2x relative error) rather than an
+  /// exact order statistic.  See docs/serve.md for the tolerance note.
   std::uint64_t latency_p50_ns = 0;
   std::uint64_t latency_p95_ns = 0;
   std::uint64_t latency_p99_ns = 0;
@@ -178,30 +206,80 @@ class Service {
   void resume();
 
   ServeStats stats() const;
-  /// The stats snapshot as a JSON object (schema nscc-serve-stats/v1).
+  /// The stats snapshot as a JSON object (schema nscc-serve-stats/v2;
+  /// v1's exact ring-buffer percentiles became histogram quantiles).
   std::string stats_json() const;
+
+  /// The metrics registry, with the derived gauges (queue depth, cache,
+  /// arena, parallel pool, uptime) refreshed to the current instant.
+  /// Write with registry.write_prometheus() / write_json().
+  obs::Registry& metrics();
 
  private:
   struct Pending {
+    std::uint64_t id = 0;  ///< request id (1-based, service-unique)
     std::shared_ptr<const CompiledProgram> program;
     ValueRef arg;
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::uint64_t span_t0 = 0;  ///< SpanLog timestamp at submit (spans on)
   };
 
-  void worker_loop();
+  /// Hot-path metric handles, registered once at construction; every
+  /// update through these is a relaxed atomic op, no registry lock.
+  struct Hot {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* ok = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* trapped = nullptr;
+    obs::Counter* fuel_exhausted = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* runs = nullptr;
+    obs::Counter* batch_runs = nullptr;
+    obs::Counter* batched_requests = nullptr;
+    obs::Counter* replays = nullptr;
+    obs::Counter* cost_time = nullptr;
+    obs::Counter* cost_work = nullptr;
+    obs::Counter* exec_wall_ns = nullptr;
+    obs::Histogram* latency_ns = nullptr;
+    obs::Histogram* batch_size = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* in_flight = nullptr;
+    // Engine-profile accumulators (only advance under cfg.profile_runs).
+    obs::Counter* eng_pool_hits = nullptr;
+    obs::Counter* eng_pool_misses = nullptr;
+    obs::Counter* eng_inplace_hits = nullptr;
+    obs::Counter* eng_move_swaps = nullptr;
+    obs::Counter* eng_par_kernels = nullptr;
+    obs::Counter* eng_par_chunks = nullptr;
+    obs::Counter* eng_fused_groups = nullptr;
+    obs::Counter* eng_fused_elided = nullptr;
+  };
+
+  void register_metrics();
+  void worker_loop(std::size_t worker);
   /// Claim the next batch: front of the queue plus up to max_batch-1
   /// later entries sharing its program.  Empty when paused / stopping.
   std::vector<Pending> next_batch();
-  void execute(std::vector<Pending> batch, bvram::BufferPool* arena);
+  void execute(std::vector<Pending> batch, bvram::BufferPool* arena,
+               std::size_t worker);
   Response run_one(const CompiledProgram& prog, const ValueRef& arg,
-                   bvram::BufferPool* arena);
+                   bvram::BufferPool* arena, std::size_t worker,
+                   std::uint64_t request_id, std::uint64_t run_id,
+                   const char* phase);
   void finish(Pending& p, Response r);
+  void note_engine(const bvram::EngineProfile& e);
 
   ServeConfig cfg_;
   ProgramCache cache_;
   ArenaPool arenas_;
   std::chrono::steady_clock::time_point started_;
+
+  obs::Registry registry_;
+  Hot m_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::atomic<std::uint64_t> next_run_id_{1};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;       ///< workers: queue non-empty / stop
@@ -210,12 +288,6 @@ class Service {
   std::size_t in_flight_ = 0;  ///< requests claimed but not yet finished
   bool paused_ = false;
   bool stopping_ = false;
-
-  // Counters (guarded by mu_; snapshot under the same lock).
-  ServeStats stats_;
-  std::vector<std::uint64_t> latencies_;  ///< ring, kLatencyWindow entries
-  std::size_t latency_next_ = 0;
-  static constexpr std::size_t kLatencyWindow = 1 << 16;
 
   std::vector<std::thread> threads_;
 };

@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <future>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +30,9 @@
 #include "bvram/pool.hpp"
 #include "front/front.hpp"
 #include "object/value.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "sa/compile.hpp"
 #include "serve/arena.hpp"
 #include "serve/cache.hpp"
@@ -474,9 +478,11 @@ TEST(Serve, StatsJsonCoherent) {
   EXPECT_GE(st.latency_p95_ns, st.latency_p50_ns);
   EXPECT_GE(st.latency_p99_ns, st.latency_p95_ns);
   const std::string json = svc.stats_json();
-  EXPECT_NE(json.find("\"schema\": \"nscc-serve-stats/v1\""),
+  EXPECT_NE(json.find("\"schema\": \"nscc-serve-stats/v2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"source\": \"log2-histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"parallel\""), std::string::npos);
   EXPECT_NE(json.find("\"cache\""), std::string::npos);
   EXPECT_NE(json.find("\"batch_occupancy\""), std::string::npos);
 }
@@ -507,6 +513,144 @@ TEST(Serve, ProfiledBatchBitIdentical) {
         sa::run_compiled(prog->unit, prog->dom, prog->cod, args[i]);
     EXPECT_TRUE(Value::equal(rp.value->elems()[i], solo.value));
   }
+}
+
+// -- Service: telemetry --------------------------------------------------
+
+// The invisibility contract: with EVERY telemetry sink wired (events,
+// spans, slow threshold, engine profiling), responses are bit-identical
+// to a dark service -- outcomes, values, T/W, batching decisions --
+// including across the trap-in-batch replay cascade.
+TEST(Serve, TelemetryInvisible) {
+  const auto prog = compile_source(kMeans);
+  // Request 2 traps (empty segment): the batch run aborts and replays,
+  // so the comparison covers batch, replay, and trap paths at once.
+  const std::vector<ValueRef> args = {
+      Value::seq({nat_seq({1, 2, 3}), nat_seq({10, 20})}),
+      Value::seq({nat_seq({4}), nat_seq({6})}),
+      Value::seq({nat_seq({4}), nat_seq({}), nat_seq({6})}),
+      Value::seq({nat_seq({8, 8})}),
+  };
+
+  const auto run_all = [&](serve::Service& svc) {
+    svc.pause();
+    std::vector<std::future<serve::Response>> futs;
+    for (const ValueRef& a : args) futs.push_back(svc.submit(prog, a));
+    svc.resume();
+    std::vector<serve::Response> out;
+    for (auto& f : futs) out.push_back(f.get());
+    svc.drain();
+    return out;
+  };
+
+  serve::ServeConfig dark;
+  dark.workers = 1;
+  dark.max_batch = 8;
+  serve::Service dark_svc(dark);
+  const std::vector<serve::Response> want = run_all(dark_svc);
+
+  obs::EventLog events;
+  obs::SpanLog spans;
+  serve::ServeConfig lit = dark;
+  lit.events = &events;
+  lit.spans = &spans;
+  lit.slow_ms = 1;  // latency-dependent events must not affect responses
+  lit.profile_runs = true;
+  serve::Service lit_svc(lit);
+  const std::vector<serve::Response> got = run_all(lit_svc);
+
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].outcome, got[i].outcome) << "request " << i;
+    EXPECT_EQ(want[i].error, got[i].error) << "request " << i;
+    if (want[i].ok()) {
+      EXPECT_TRUE(Value::equal(want[i].value, got[i].value))
+          << "request " << i;
+    }
+    EXPECT_EQ(want[i].cost, got[i].cost) << "request " << i;
+    EXPECT_EQ(want[i].batched, got[i].batched) << "request " << i;
+    EXPECT_EQ(want[i].batch_size, got[i].batch_size) << "request " << i;
+  }
+  const serve::ServeStats a = dark_svc.stats();
+  const serve::ServeStats b = lit_svc.stats();
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.trapped, b.trapped);
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.replays, b.replays);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+
+  // The telemetry side actually observed the cascade.
+  bool saw_trap = false, saw_replay = false;
+  for (const obs::Event& e : events.drain()) {
+    saw_trap = saw_trap || e.name == "serve.trap";
+    saw_replay = saw_replay || e.name == "serve.replay";
+  }
+  EXPECT_TRUE(saw_trap);
+  EXPECT_TRUE(saw_replay);
+  bool saw_execute = false, saw_replay_span = false, saw_wait = false;
+  for (const obs::ServeSpan& s : spans.drain()) {
+    saw_execute = saw_execute || s.phase == "execute";
+    saw_replay_span = saw_replay_span || s.phase == "replay";
+    saw_wait = saw_wait || s.phase == "queue-wait";
+  }
+  EXPECT_TRUE(saw_execute);
+  EXPECT_TRUE(saw_replay_span);
+  EXPECT_TRUE(saw_wait);
+}
+
+// A saturated event queue degrades telemetry, never the request path:
+// events beyond capacity are dropped and counted, and every request
+// still completes correctly.
+TEST(Serve, EventDropAccountingUnderSaturation) {
+  const auto prog = compile_source(kMeans);
+  obs::EventLog events(2);  // tiny on purpose
+  serve::ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 8;
+  cfg.events = &events;
+  serve::Service svc(cfg);
+  svc.pause();
+  std::vector<std::future<serve::Response>> futs;
+  // Every request traps solo (all-empty segments), and the batch replay
+  // cascade emits replay + trap events well past the capacity of 2.
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(
+        svc.submit(prog, Value::seq({nat_seq({}), nat_seq({})})));
+  }
+  svc.resume();
+  for (auto& f : futs) {
+    EXPECT_EQ(f.get().outcome, serve::Outcome::Trap);
+  }
+  svc.drain();
+  const obs::EventLogStats es = events.stats();
+  EXPECT_EQ(es.emitted, 2u);
+  EXPECT_GT(es.dropped, 0u);
+  EXPECT_EQ(es.queued, 2u);
+  EXPECT_EQ(events.drain().size(), 2u);
+}
+
+// Registry-backed stats must match the responses the service actually
+// delivered (the counters are relaxed atomics, but after drain() every
+// update is complete).
+TEST(Serve, MetricsRegistryCoherent) {
+  const auto prog = compile_source(kQuery);
+  serve::ServeConfig cfg;
+  cfg.workers = 2;
+  serve::Service svc(cfg);
+  std::vector<std::future<serve::Response>> futs;
+  for (int i = 0; i < 10; ++i) {
+    futs.push_back(svc.submit(prog, nat_seq({static_cast<std::uint64_t>(i)})));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok());
+  svc.drain();
+  std::ostringstream prom;
+  svc.metrics().write_prometheus(prom);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("nscc_serve_requests_ok_total 10"), std::string::npos);
+  EXPECT_NE(text.find("nscc_serve_latency_ns_count 10"), std::string::npos);
+  EXPECT_NE(text.find("nscc_serve_cache_hits"), std::string::npos);
+  EXPECT_NE(text.find("nscc_serve_arena_leases"), std::string::npos);
+  EXPECT_NE(text.find("nscc_parallel_calls"), std::string::npos);
 }
 
 }  // namespace

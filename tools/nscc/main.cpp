@@ -28,6 +28,15 @@
 //                   so corpus benches can run at n = 10^6+ without
 //                   committing megabyte input literals
 //
+// bench options:
+//   --compare BASELINE.json   diff this run against a committed baseline
+//                   (a previous `nscc bench --json` for the same file);
+//                   exit 1 when any config regresses executed T/W beyond
+//                   --tolerance, traps where the baseline didn't, or
+//                   loses eval/compiled agreement
+//   --tolerance PCT allowed executed-T/W growth over the baseline
+//                   (default 0: the counts are deterministic)
+//
 // serve options (see docs/serve.md):
 //   --requests PATH one request expression per line ('-' = stdin); these
 //                   join the module's `input` lines and --input values
@@ -39,7 +48,23 @@
 //   --fuel N        per-request instruction budget
 //   --parallel      run the vector kernels on the thread pool
 //   --no-fuse       disable fused super-instructions (also keyed in cache)
-//   --stats-json PATH   write the nscc-serve-stats/v1 snapshot there
+//   --stats-json PATH   write the nscc-serve-stats/v2 snapshot there
+//
+// serve telemetry (all pure observers; see docs/observability.md):
+//   --metrics PATH  write the metrics registry as Prometheus text
+//                   exposition (includes an nscc_build_info provenance
+//                   metric)
+//   --events PATH   write the structured event log as JSONL (header line
+//                   carries schema + provenance; then one event per line)
+//   --trace PATH    write a Chrome trace_event timeline of request spans
+//                   (queue-wait / admission / batch-assembly / execute /
+//                   replay / split; workers are trace threads, flow
+//                   arrows link waits to the runs that answered them)
+//   --snapshot-every N  rewrite --metrics and --stats-json after every N
+//                   completed requests (0 = only at exit)
+//   --slow-ms T     emit a serve.slow event for requests slower than T ms
+//   --profile       serve: fold the engine's execution counters (pool
+//                   hits, fused groups, ...) into the metrics registry
 //
 // profile options (see docs/observability.md):
 //   --by-line       per-source-line table only (the default prints all views)
@@ -65,12 +90,16 @@
 #include "nsc/eval.hpp"
 #include "nsc/typecheck.hpp"
 #include "object/value.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/provenance.hpp"
 #include "opt/opt.hpp"
 #include "sa/compile.hpp"
 #include "serve/service.hpp"
 #include "support/checked.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
 #include "support/prng.hpp"
 
 namespace {
@@ -107,6 +136,15 @@ struct Options {
   bool parallel = false;           // --parallel
   bool no_fuse = false;            // --no-fuse
   std::string stats_json_path;     // --stats-json
+  // serve telemetry
+  std::string metrics_path;        // --metrics (Prometheus exposition)
+  std::string events_path;         // --events (JSONL event log)
+  std::string trace_path;          // --trace (Chrome trace_event)
+  std::size_t snapshot_every = 0;  // --snapshot-every (0 = only at exit)
+  std::uint64_t slow_ms = 0;       // --slow-ms (0 = off)
+  // bench comparison
+  std::string compare_path;        // --compare (baseline bench JSON)
+  double tolerance_pct = 0.0;      // --tolerance (allowed T/W growth %)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -120,7 +158,9 @@ struct Options {
                "[--chrome PATH] [--min-attribution PCT] "
                "[--requests PATH] [--repeat K] [--workers N] [--max-batch K] "
                "[--no-batch] [--max-queue N] [--fuel N] [--parallel] "
-               "[--no-fuse] [--stats-json PATH]\n"
+               "[--no-fuse] [--stats-json PATH] [--metrics PATH] "
+               "[--events PATH] [--trace PATH] [--snapshot-every N] "
+               "[--slow-ms T] [--compare BASELINE.json] [--tolerance PCT]\n"
                "       %s doc\n",
                argv0, argv0);
   std::exit(2);
@@ -266,6 +306,33 @@ Options parse_args(int argc, char** argv) {
       o.no_fuse = true;
     } else if (arg == "--stats-json") {
       o.stats_json_path = need_value("--stats-json");
+    } else if (arg == "--metrics") {
+      o.metrics_path = need_value("--metrics");
+    } else if (arg == "--events") {
+      o.events_path = need_value("--events");
+    } else if (arg == "--trace") {
+      o.trace_path = need_value("--trace");
+    } else if (arg == "--snapshot-every" || arg == "--slow-ms") {
+      const std::string v = need_value(arg.c_str());
+      if (v.empty() || v.size() > 18 ||
+          v.find_first_not_of("0123456789") != std::string::npos) {
+        fail("bad " + arg + " '" + v + "' (expected a nonnegative integer)");
+      }
+      if (arg == "--snapshot-every") {
+        o.snapshot_every = static_cast<std::size_t>(std::stoull(v));
+      } else {
+        o.slow_ms = std::stoull(v);
+      }
+    } else if (arg == "--compare") {
+      o.compare_path = need_value("--compare");
+    } else if (arg == "--tolerance") {
+      const std::string v = need_value("--tolerance");
+      try {
+        o.tolerance_pct = std::stod(v);
+      } catch (...) {
+        fail("bad --tolerance '" + v + "' (expected a percentage)");
+      }
+      if (o.tolerance_pct < 0.0) fail("--tolerance must be nonnegative");
     } else {
       fail("unknown option '" + arg + "'");
     }
@@ -537,6 +604,103 @@ void json_escape(std::ostream& out, const std::string& s) {
   out << '"';
 }
 
+/// `bench --compare`: diff a fresh bench report against a committed
+/// baseline (a previous `nscc bench --json` for the same file).  The
+/// executed T/W counts are deterministic functions of (program, input,
+/// config), so the default tolerance is 0; --tolerance PCT loosens the
+/// T/W gates for workloads whose inputs legitimately drift.  Gates:
+///
+///   * executed_T / executed_W may not exceed baseline * (1 + PCT/100)
+///     for any (opt, sched, input) present in the baseline;
+///   * a run that didn't trap in the baseline may not trap now;
+///   * eval/compiled agreement may not be lost.
+///
+/// Improvements (lower T/W) pass and are reported.  Configs in the
+/// baseline but missing from the fresh report fail the comparison.
+int compare_bench(const std::string& fresh_text, const Options& o) {
+  std::ifstream f(o.compare_path, std::ios::binary);
+  if (!f) fail("cannot read " + o.compare_path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  json::Value fresh, base;
+  try {
+    fresh = json::parse(fresh_text);
+    base = json::parse(buf.str());
+  } catch (const Error& e) {
+    fail(std::string("--compare: ") + e.what());
+  }
+
+  const auto config_key = [](const json::Value& c) {
+    return c.at("opt").as_string() + "/" + c.at("sched").as_string();
+  };
+  int regressions = 0;
+  const auto regress = [&](const std::string& what) {
+    std::fprintf(stderr, "bench --compare: %s\n", what.c_str());
+    ++regressions;
+  };
+
+  const json::Value& base_cfgs = base.at("configs");
+  for (const json::Value& bc : base_cfgs.items) {
+    const std::string key = config_key(bc);
+    const json::Value* fc = nullptr;
+    for (const json::Value& c : fresh.at("configs").items) {
+      if (config_key(c) == key) {
+        fc = &c;
+        break;
+      }
+    }
+    if (fc == nullptr) {
+      regress("config " + key + " is in the baseline but not this run");
+      continue;
+    }
+    const json::Value& base_runs = bc.at("runs");
+    const json::Value& fresh_runs = fc->at("runs");
+    if (fresh_runs.items.size() < base_runs.items.size()) {
+      regress("config " + key + " ran " +
+              std::to_string(fresh_runs.items.size()) + " inputs, baseline " +
+              std::to_string(base_runs.items.size()));
+      continue;
+    }
+    const double factor = 1.0 + o.tolerance_pct / 100.0;
+    for (std::size_t i = 0; i < base_runs.items.size(); ++i) {
+      const json::Value& br = base_runs.items[i];
+      const json::Value& fr = fresh_runs.items[i];
+      const std::string at = key + " input " + std::to_string(i);
+      if (br.at("trap").as_bool() != fr.at("trap").as_bool()) {
+        regress(at + ": trap " +
+                (fr.at("trap").as_bool() ? "appeared" : "disappeared"));
+      }
+      if (br.at("agree").as_bool() && !fr.at("agree").as_bool()) {
+        regress(at + ": eval/compiled agreement lost");
+      }
+      for (const char* dim : {"executed_T", "executed_W"}) {
+        const std::uint64_t b = br.at(dim).as_u64();
+        const std::uint64_t v = fr.at(dim).as_u64();
+        if (static_cast<double>(v) > static_cast<double>(b) * factor) {
+          regress(at + ": " + dim + " " + std::to_string(v) +
+                  " exceeds baseline " + std::to_string(b) + " (+" +
+                  std::to_string(o.tolerance_pct) + "% allowed)");
+        } else if (v < b) {
+          std::printf("bench --compare: %s: %s improved %llu -> %llu\n",
+                      at.c_str(), dim, static_cast<unsigned long long>(b),
+                      static_cast<unsigned long long>(v));
+        }
+      }
+    }
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "bench --compare: %d regression%s vs %s\n",
+                 regressions, regressions == 1 ? "" : "s",
+                 o.compare_path.c_str());
+    return 1;
+  }
+  std::printf("bench --compare: no regressions vs %s (%zu configs, "
+              "tolerance %.1f%%)\n",
+              o.compare_path.c_str(), base_cfgs.items.size(),
+              o.tolerance_pct);
+  return 0;
+}
+
 int cmd_bench(const F::SourceFile& src, const Options& o) {
   const F::ResolvedModule mod = F::compile_file(src);
   const F::ResolvedFn& entry = entry_of(mod, o);
@@ -621,6 +785,7 @@ int cmd_bench(const F::SourceFile& src, const Options& o) {
     f << out.str();
     std::printf("wrote %s\n", o.json_path.c_str());
   }
+  if (!o.compare_path.empty()) return compare_bench(out.str(), o);
   return 0;
 }
 
@@ -752,7 +917,35 @@ int cmd_serve(const F::SourceFile& src, const Options& o) {
   cfg.batching = !o.no_batch;
   cfg.parallel_backend = o.parallel;
   cfg.fuse = !o.no_fuse;
+
+  // Telemetry sinks (pure observers; declared before the Service so they
+  // outlive the worker threads that write into them).
+  std::optional<obs::EventLog> events;
+  std::optional<obs::SpanLog> spans;
+  if (!o.events_path.empty()) {
+    events.emplace();
+    cfg.events = &*events;
+  }
+  if (!o.trace_path.empty()) {
+    spans.emplace();
+    cfg.spans = &*spans;
+  }
+  cfg.slow_ms = o.slow_ms;
+  cfg.profile_runs = o.profile;
   serve::Service svc(cfg);
+  const obs::Provenance prov = obs::Provenance::collect();
+  const auto write_snapshots = [&] {
+    if (!o.metrics_path.empty()) {
+      std::ofstream f(o.metrics_path, std::ios::binary);
+      if (!f) fail("cannot write " + o.metrics_path);
+      svc.metrics().write_prometheus(f, &prov);
+    }
+    if (!o.stats_json_path.empty()) {
+      std::ofstream f(o.stats_json_path, std::ios::binary);
+      if (!f) fail("cannot write " + o.stats_json_path);
+      f << svc.stats_json() << "\n";
+    }
+  };
 
   const auto prog = svc.load(src.name(), src.text(),
                              o.entry == "main" ? "" : o.entry, o.opt, o.sched);
@@ -779,6 +972,9 @@ int cmd_serve(const F::SourceFile& src, const Options& o) {
   for (std::size_t i = 0; i < futures.size(); ++i) {
     serve::Response r = futures[i].get();
     if (r.outcome == serve::Outcome::Error) internal_error = true;
+    if (o.snapshot_every > 0 && (i + 1) % o.snapshot_every == 0) {
+      write_snapshots();
+    }
     if (i == kPrint && futures.size() > kPrint) {
       std::printf("  ... (%zu more requests)\n", futures.size() - kPrint);
     }
@@ -823,11 +1019,34 @@ int cmd_serve(const F::SourceFile& src, const Options& o) {
               static_cast<double>(st.latency_p99_ns) / 1e3,
               static_cast<double>(st.latency_mean_ns) / 1e3);
 
+  write_snapshots();
+  if (!o.metrics_path.empty()) {
+    std::printf("wrote %s\n", o.metrics_path.c_str());
+  }
   if (!o.stats_json_path.empty()) {
-    std::ofstream f(o.stats_json_path, std::ios::binary);
-    if (!f) fail("cannot write " + o.stats_json_path);
-    f << svc.stats_json() << "\n";
     std::printf("wrote %s\n", o.stats_json_path.c_str());
+  }
+  if (events.has_value()) {
+    const obs::EventLogStats es = events->stats();
+    std::ofstream f(o.events_path, std::ios::binary);
+    if (!f) fail("cannot write " + o.events_path);
+    events->write_header(f);
+    for (const obs::Event& e : events->drain()) {
+      obs::EventLog::write_event(f, e);
+    }
+    std::printf("wrote %s (%llu events, %llu dropped)\n",
+                o.events_path.c_str(),
+                static_cast<unsigned long long>(es.emitted),
+                static_cast<unsigned long long>(es.dropped));
+  }
+  if (spans.has_value()) {
+    const obs::SpanLogStats ss = spans->stats();
+    std::ofstream f(o.trace_path, std::ios::binary);
+    if (!f) fail("cannot write " + o.trace_path);
+    obs::write_serve_trace(f, spans->drain(), svc.config().workers, &prov);
+    std::printf("wrote %s (%llu spans, %llu dropped)\n", o.trace_path.c_str(),
+                static_cast<unsigned long long>(ss.recorded),
+                static_cast<unsigned long long>(ss.dropped));
   }
   return internal_error ? 1 : 0;
 }
